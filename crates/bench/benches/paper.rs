@@ -1,0 +1,169 @@
+//! Criterion benchmarks — one group per paper artifact / measurement.
+//!
+//! * `generation`   — E-GEN / E-INC: controller-table generation, both
+//!   solver modes on the sweep family, the full D incrementally.
+//! * `invariants`   — E-INV: the ~50-invariant SQL suite.
+//! * `deadlock`     — FIG4: dependency analysis + cycle detection per
+//!   assignment, plus the closure ablation (E-ABL1).
+//! * `hwmap`        — FIG5: ED construction, partition, reconstruction.
+//! * `modelcheck`   — E-MC: explicit-state exploration by node count.
+//! * `simulation`   — E-SIM: random workloads on the executing tables.
+
+use ccsql::depend::{protocol_dependency_table, AnalysisConfig};
+use ccsql::gen::GeneratedProtocol;
+use ccsql::hwmap::{self, HwMapping};
+use ccsql::invariants;
+use ccsql::vc::VcAssignment;
+use ccsql::vcg::Vcg;
+use ccsql_bench::sweep_spec;
+use ccsql_mc::{explore, Model};
+use ccsql_protocol::topology::NodeId;
+use ccsql_protocol::ProtocolSpec;
+use ccsql_relalg::expr::SetContext;
+use ccsql_relalg::GenMode;
+use ccsql_sim::{Fig4, Mix, Schedule, Sim, SimConfig, Workload};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("generation");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    let ctx = SetContext::new();
+    for k in [2usize, 4] {
+        let spec = sweep_spec(k);
+        g.bench_with_input(BenchmarkId::new("monolithic", k), &spec, |b, s| {
+            b.iter(|| s.generate(GenMode::Monolithic, &ctx).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("incremental", k), &spec, |b, s| {
+            b.iter(|| s.generate(GenMode::Incremental, &ctx).unwrap())
+        });
+    }
+    let proto_ctx = ProtocolSpec::eval_context();
+    let d_spec = ccsql_protocol::directory::directory_spec();
+    g.bench_function("full_D_incremental", |b| {
+        b.iter(|| d_spec.spec.generate(GenMode::Incremental, &proto_ctx).unwrap())
+    });
+    g.bench_function("full_D_incremental_parallel8", |b| {
+        b.iter(|| {
+            d_spec
+                .spec
+                .generate(GenMode::IncrementalParallel { threads: 8 }, &proto_ctx)
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_invariants(c: &mut Criterion) {
+    let mut g = c.benchmark_group("invariants");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    let mut gen = GeneratedProtocol::generate_default().unwrap();
+    g.bench_function("suite_of_60", |b| {
+        b.iter(|| {
+            let r = invariants::check_all(&mut gen.db).unwrap();
+            assert!(invariants::failures(&r).is_empty());
+        })
+    });
+    g.finish();
+}
+
+fn bench_deadlock(c: &mut Criterion) {
+    let mut g = c.benchmark_group("deadlock");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    let gen = GeneratedProtocol::generate_default().unwrap();
+    for v in [VcAssignment::v0(), VcAssignment::v1(), VcAssignment::v2()] {
+        g.bench_with_input(BenchmarkId::new("analysis", v.name), &v, |b, v| {
+            b.iter(|| {
+                let t = protocol_dependency_table(&gen, v, &AnalysisConfig::default()).unwrap();
+                Vcg::build(&t).cycles()
+            })
+        });
+    }
+    g.bench_function("ablation_closure_v1", |b| {
+        let cfg = AnalysisConfig {
+            transitive_closure: true,
+            ..AnalysisConfig::default()
+        };
+        b.iter(|| {
+            let t = protocol_dependency_table(&gen, &VcAssignment::v1(), &cfg).unwrap();
+            Vcg::build(&t).cycles()
+        })
+    });
+    g.finish();
+}
+
+fn bench_hwmap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hwmap");
+    g.sample_size(10).measurement_time(Duration::from_secs(10));
+    let gen = GeneratedProtocol::generate_default().unwrap();
+    let d = gen.table("D").unwrap().clone();
+    g.bench_function("extend_ED", |b| {
+        b.iter(|| hwmap::extend_table(&d).unwrap())
+    });
+    g.bench_function("build_and_check", |b| {
+        b.iter(|| {
+            let m = HwMapping::build(&gen).unwrap();
+            assert!(m.check(&d).unwrap().ok());
+        })
+    });
+    g.finish();
+}
+
+fn bench_modelcheck(c: &mut Criterion) {
+    let mut g = c.benchmark_group("modelcheck");
+    g.sample_size(10).measurement_time(Duration::from_secs(10));
+    for nodes in [2usize, 3] {
+        g.bench_with_input(BenchmarkId::new("explore", nodes), &nodes, |b, &n| {
+            let m = Model {
+                nodes: n,
+                quota: 2,
+                resp_depth: 2,
+            };
+            b.iter(|| explore(&m, 10_000_000))
+        });
+    }
+    g.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulation");
+    g.sample_size(10).measurement_time(Duration::from_secs(10));
+    let gen = GeneratedProtocol::generate_default().unwrap();
+    g.bench_function("random_workload_2x2x100", |b| {
+        b.iter(|| {
+            let cfg = SimConfig {
+                quads: 2,
+                nodes_per_quad: 2,
+                vc_capacity: 2,
+                dedicated_mem_path: true,
+                schedule: Schedule::Random(5),
+                max_steps: 2_000_000,
+            };
+            let nodes: Vec<NodeId> = (0..2)
+                .flat_map(|q| (0..2).map(move |n| NodeId::new(q, n)))
+                .collect();
+            let wl = Workload::random(&nodes, 100, 8, Mix::default(), 5);
+            let mut sim = Sim::new(&gen, cfg, wl);
+            let out = sim.run().unwrap();
+            assert!(!out.is_deadlock());
+        })
+    });
+    g.bench_function("fig4_replay_v1", |b| {
+        b.iter(|| {
+            let out = Fig4::default().replay(&gen, false).unwrap();
+            assert!(out.is_deadlock());
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_generation,
+    bench_invariants,
+    bench_deadlock,
+    bench_hwmap,
+    bench_modelcheck,
+    bench_simulation
+);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! E-INC — incremental vs monolithic table generation (section 3).
+//!
+//! The paper: "Incremental table generation produces the final table
+//! within a few minutes on a SUN Sparc 10 whereas it takes around 6
+//! hours to solve the conjunction of all the column constraints for D."
+//!
+//! We reproduce the *shape*: the monolithic cross-product walk grows
+//! exponentially with the number of output columns while the
+//! incremental column-at-a-time strategy stays linear, so their ratio
+//! explodes. For the real D the monolithic product is so large we only
+//! report its size.
+
+use ccsql_bench::sweep_spec;
+use ccsql_relalg::expr::SetContext;
+use ccsql_relalg::GenMode;
+use std::time::Instant;
+
+fn main() {
+    ccsql_bench::banner(
+        "E-INC",
+        "Incremental (minutes) vs monolithic (~6 hours) generation",
+    );
+    let ctx = SetContext::new();
+    println!(
+        "{:>4} {:>12} {:>12} {:>14} {:>14} {:>9}",
+        "k", "mono-cands", "inc-cands", "monolithic", "incremental", "speedup"
+    );
+    for k in 0..=6 {
+        let spec = sweep_spec(k);
+        let t0 = Instant::now();
+        let (mono, ms) = spec.generate(GenMode::Monolithic, &ctx).unwrap();
+        let mono_t = t0.elapsed();
+        let t0 = Instant::now();
+        let (inc, is) = spec.generate(GenMode::Incremental, &ctx).unwrap();
+        let inc_t = t0.elapsed();
+        assert!(mono.set_eq(&inc), "modes disagree at k={k}");
+        println!(
+            "{:>4} {:>12} {:>12} {:>14?} {:>14?} {:>8.1}x",
+            k,
+            ms.candidates,
+            is.candidates,
+            mono_t,
+            inc_t,
+            mono_t.as_secs_f64() / inc_t.as_secs_f64().max(1e-9),
+        );
+    }
+
+    // The real directory table.
+    let gen = ccsql_bench::generate();
+    let spec = &gen.spec.controller("D").unwrap().spec;
+    let d_stats = &gen.stats["D"];
+    let product: f64 = spec.columns.iter().map(|c| c.values.len() as f64).product();
+    println!(
+        "\nfull D: incremental = {:?} over {} candidates.",
+        d_stats.elapsed, d_stats.candidates
+    );
+    println!(
+        "full D monolithic cross product = {:.2e} candidate rows — at the sweep's ~10^7 \
+         rows/second that is ~{:.1e} years (the paper's \"6 hours\" was Oracle 8 pruning a far \
+         smaller conjunction; the shape — incremental wins by orders of magnitude and the gap \
+         grows with column count — is the reproduced result).",
+        product,
+        product / 1e7 / (3600.0 * 24.0 * 365.0),
+    );
+
+    // Parallel incremental generation (crossbeam) for the full D.
+    let ctx2 = ccsql::gen::GeneratedProtocol::context();
+    let t0 = Instant::now();
+    let (_, _) = spec
+        .generate(GenMode::IncrementalParallel { threads: 8 }, &ctx2)
+        .unwrap();
+    println!("full D incremental, 8 threads: {:?}", t0.elapsed());
+}

@@ -1,0 +1,50 @@
+//! E-MC — the model-checker baseline and the state-explosion contrast.
+//!
+//! "Model checkers … have a lot of reasoning power and can detect such
+//! deadlocks. However, to use these tools, the controller tables need
+//! to be extensively abstracted to avoid the state explosion problem."
+//!
+//! The explicit-state exploration of even a heavily abstracted
+//! single-line model grows exponentially in nodes and operation quota,
+//! while the SQL analyses operate on fixed-size tables.
+
+use ccsql::depend::{protocol_dependency_table, AnalysisConfig};
+use ccsql::vc::VcAssignment;
+use ccsql_mc::{explore, Model};
+use std::time::Instant;
+
+fn main() {
+    ccsql_bench::banner("E-MC", "Explicit-state exploration vs SQL static analysis");
+    println!(
+        "{:>6} {:>6} {:>12} {:>14} {:>12}  outcome",
+        "nodes", "quota", "states", "transitions", "time"
+    );
+    for nodes in 2..=4 {
+        for quota in 1..=2 {
+            let m = Model {
+                nodes,
+                quota,
+                resp_depth: 2,
+            };
+            let (out, stats) = explore(&m, 30_000_000);
+            println!(
+                "{:>6} {:>6} {:>12} {:>14} {:>12?}  {:?}",
+                nodes, quota, stats.states, stats.transitions, stats.elapsed, out
+            );
+        }
+    }
+
+    let gen = ccsql_bench::generate();
+    let t0 = Instant::now();
+    let deps =
+        protocol_dependency_table(&gen, &VcAssignment::v1(), &AnalysisConfig::default()).unwrap();
+    let sql_t = t0.elapsed();
+    println!(
+        "\nSQL deadlock analysis of the full 8-controller protocol: {} dependency rows in \
+         {sql_t:?} — independent of node count (the tables are quantified over roles, not \
+         concrete nodes).",
+        deps.rows.len()
+    );
+    let gen_time: std::time::Duration = gen.stats.values().map(|s| s.elapsed).sum();
+    println!("table generation for all 8 controllers: {gen_time:?}.");
+}

@@ -1,0 +1,29 @@
+//! FIG1 — regenerate the Figure-1 protocol message catalogue.
+
+use ccsql_protocol::messages::{self, MsgClass, MsgKind};
+
+fn main() {
+    ccsql_bench::banner("FIG1", "Some protocol messages (the full catalogue)");
+    println!(
+        "{} message types ({} requests, {} responses) — paper: \"around 50\"\n",
+        messages::MESSAGES.len(),
+        messages::request_names().len(),
+        messages::response_names().len()
+    );
+    println!("{:<10} {:<9} {:<8} description", "message", "kind", "class");
+    println!("{}", "-".repeat(72));
+    for m in messages::MESSAGES {
+        let kind = match m.kind {
+            MsgKind::Request => "request",
+            MsgKind::Response => "response",
+        };
+        let class = match m.class {
+            MsgClass::Memory => "memory",
+            MsgClass::Snoop => "snoop",
+            MsgClass::MemCtl => "memctl",
+            MsgClass::Io => "io",
+            MsgClass::Special => "special",
+        };
+        println!("{:<10} {:<9} {:<8} {}", m.name, kind, class, m.desc);
+    }
+}

@@ -1,0 +1,50 @@
+//! FIG2 — replay the Figure-2 read-exclusive transaction and print the
+//! numbered message arcs (local → D → {remote, memory} → D → local).
+
+use ccsql_protocol::topology::NodeId;
+use ccsql_sim::{CpuOp, Outcome, Sim, SimConfig, Workload};
+
+fn main() {
+    ccsql_bench::banner("FIG2", "Read Exclusive Transaction at D");
+    let gen = ccsql_bench::generate();
+
+    // Local node in quad 0; home directory/memory and the sharing
+    // remote node in quad 1; the line is shared (SI) at the remote.
+    let cfg = SimConfig {
+        quads: 2,
+        nodes_per_quad: 2,
+        vc_capacity: 2,
+        dedicated_mem_path: true,
+        max_steps: 10_000,
+        ..SimConfig::default()
+    };
+    let local = NodeId::new(0, 0);
+    let remote = NodeId::new(1, 1);
+    let addr = 1; // home quad 1
+    let mut per_node = vec![Vec::new(); 4];
+    per_node[0] = vec![CpuOp::Write(addr)];
+    let mut sim = Sim::new(&gen, cfg, Workload::scripted(per_node));
+    sim.set_cache(remote, addr, "S", 7);
+    sim.set_dir(addr, "SI", &[remote]);
+    sim.set_mem(addr, 7);
+    sim.set_expected(addr, 7);
+    sim.enable_trace();
+
+    let out = sim.run().expect("simulation");
+    assert!(matches!(out, Outcome::Quiescent), "{out:?}");
+    sim.audit().expect("coherent");
+
+    println!("message/transition sequence (trace of the generated tables):");
+    for (i, line) in sim.trace.iter().enumerate() {
+        println!("  {:>2}. {line}", i + 1);
+    }
+    let (dirst, sharers) = sim.dir_state(addr);
+    let (cache, _) = sim.cache_state(local, addr);
+    println!(
+        "\nfinal state: directory {dirst} with {sharers} owner (paper: \"directory state is \
+         updated with the value MESI\"), local cache {cache}, remote invalidated."
+    );
+    assert_eq!(dirst, "MESI");
+    assert_eq!(cache, "M");
+    assert_eq!(sim.cache_state(remote, addr).0, "I");
+}

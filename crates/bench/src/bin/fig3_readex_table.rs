@@ -1,0 +1,58 @@
+//! FIG3 — regenerate the Figure-3 table (the read-exclusive transaction
+//! slice of the directory controller) from its column constraints, and
+//! show the same rows inside the full 30-column table `D`.
+
+use ccsql::gen::GeneratedProtocol;
+use ccsql_protocol::directory;
+use ccsql_relalg::{ops, report, Expr, GenMode};
+
+fn main() {
+    ccsql_bench::banner("FIG3", "Table for the readex transaction");
+    let ctx = GeneratedProtocol::context();
+
+    // The compact 8-column form the paper prints.
+    let (fig3, stats) = directory::fig3_spec()
+        .generate(GenMode::Incremental, &ctx)
+        .expect("fig3 generation");
+    println!(
+        "generated from column constraints: {} rows, {} columns, {} candidates, {:?}\n",
+        fig3.len(),
+        fig3.arity(),
+        stats.candidates,
+        stats.elapsed
+    );
+    print!("{}", report::ascii_table(&fig3.sorted()));
+
+    // The same transaction inside the full table D.
+    let gen = ccsql_bench::generate();
+    let d = gen.table("D").expect("D");
+    let slice = ops::select(
+        d,
+        &Expr::col_in("inmsg", &["readex"]).or(Expr::col_in(
+            "bdirst",
+            &["Busy-sd", "Busy-s", "Busy-d", "Busy-m"],
+        )),
+        &GeneratedProtocol::context(),
+    )
+    .expect("slice");
+    let cols = ops::project_str(
+        &slice,
+        &[
+            "inmsg", "dirst", "dirpv", "bdirst", "bdirpv", "locmsg", "remmsg", "memmsg",
+            "nxtbdirst", "nxtbdirpv", "cmpl",
+        ],
+    )
+    .expect("projection");
+    println!(
+        "\nthe same transaction in the full 30-column D ({} rows; retry rows for all request \
+         types included):",
+        cols.len()
+    );
+    let non_retry = ops::select(
+        &cols,
+        &ccsql_relalg::parse_expr("not locmsg = retry").unwrap(),
+        &ctx,
+    )
+    .unwrap();
+    print!("{}", report::ascii_table(&non_retry.sorted()));
+}

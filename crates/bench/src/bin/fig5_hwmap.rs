@@ -1,0 +1,50 @@
+//! FIG5 — map the debugged directory table onto the hardware
+//! implementation (section 5): extended table ED, nine implementation
+//! tables, reconstruction check, code generation.
+
+use ccsql::codegen;
+use ccsql::hwmap::{HwMapping, IMPL_INPUTS};
+use std::time::Instant;
+
+fn main() {
+    ccsql_bench::banner("FIG5", "A hardware implementation of D");
+    let gen = ccsql_bench::generate();
+    let d = gen.table("D").unwrap();
+
+    let t0 = Instant::now();
+    let mapping = HwMapping::build(&gen).expect("mapping");
+    let build_t = t0.elapsed();
+    let t0 = Instant::now();
+    let check = mapping.check(d).expect("check");
+    let check_t = t0.elapsed();
+
+    println!(
+        "D ({} rows x {} cols) → ED ({} rows x {} cols; inputs +Qstatus +Dqstatus, output \
+         +Fdback, request +Dfdback)\n",
+        d.len(),
+        d.arity(),
+        mapping.ed.len(),
+        mapping.ed.arity()
+    );
+    println!("nine implementation tables (one per output of the split request/response controllers):");
+    let mut total_loc = 0usize;
+    for (name, rel) in &mapping.impl_tables {
+        let n_inputs = IMPL_INPUTS.len() + 11;
+        let verilog = codegen::verilog_case(name, rel, n_inputs);
+        total_loc += verilog.lines().count();
+        println!(
+            "  {name:<18} {:>4} rows x {:>2} cols → {:>5} lines of Verilog",
+            rel.len(),
+            rel.arity(),
+            verilog.lines().count()
+        );
+    }
+    println!(
+        "\nmapping built in {build_t:?}; checks in {check_t:?}: ED reconstructible = {}, \
+         debugged D preserved = {} — \"it was explicitly checked that D could be reconstructed \
+         from these nine implementation tables\".",
+        check.ed_reconstructed, check.d_preserved
+    );
+    println!("total generated Verilog: {total_loc} lines (SQL report generation).");
+    assert!(check.ok());
+}

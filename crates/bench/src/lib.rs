@@ -1,0 +1,88 @@
+//! Shared helpers for the experiment harness binaries.
+//!
+//! Every figure and reported measurement of the paper has a binary in
+//! `src/bin/` that regenerates it (see DESIGN.md's experiment index)
+//! and a Criterion benchmark in `benches/paper.rs` that times it.
+
+use ccsql::gen::GeneratedProtocol;
+use ccsql_relalg::solver::ColumnDef;
+use ccsql_relalg::{Expr, TableSpec, Value};
+
+/// Print an experiment banner.
+pub fn banner(id: &str, title: &str) {
+    println!("==================================================================");
+    println!("{id}: {title}");
+    println!("==================================================================");
+}
+
+/// Generate the full protocol once (convenience for binaries).
+pub fn generate() -> GeneratedProtocol {
+    GeneratedProtocol::generate_default().expect("protocol generation")
+}
+
+/// A synthetic table family for the incremental-vs-monolithic sweep:
+/// three coupled input columns (8 × 6 × 4 values) plus `k` functionally
+/// determined output columns over 6-value domains. The monolithic cross
+/// product grows as `192 · 6^k`; the incremental intermediate stays at
+/// the legal-row count.
+pub fn sweep_spec(k: usize) -> TableSpec {
+    let dom = |prefix: &str, n: usize| -> Vec<Value> {
+        (0..n)
+            .map(|i| Value::sym(&format!("{prefix}{i}")))
+            .collect()
+    };
+    let mut spec = TableSpec::new(&format!("sweep{k}"));
+    spec.push(ColumnDef::input("msg", dom("m", 8), Expr::True));
+    spec.push(ColumnDef::input(
+        "st",
+        dom("s", 6),
+        // Each message is legal in two states.
+        ccsql_relalg::parse_expr(
+            &(0..8)
+                .map(|i| format!("(msg = m{i} and st in (s{}, s{}))", i % 6, (i + 1) % 6))
+                .collect::<Vec<_>>()
+                .join(" or "),
+        )
+        .unwrap(),
+    ));
+    spec.push(ColumnDef::input(
+        "pv",
+        dom("p", 4),
+        ccsql_relalg::parse_expr("st = s0 ? pv = p0 : true").unwrap(),
+    ));
+    for o in 0..k {
+        spec.push(ColumnDef::output(
+            &format!("out{o}"),
+            dom("v", 6),
+            // Functionally determined by the state.
+            ccsql_relalg::parse_expr(
+                &(0..6)
+                    .map(|s| format!("(st = s{s} and out{o} = v{})", (s + o) % 6))
+                    .collect::<Vec<_>>()
+                    .join(" or "),
+            )
+            .unwrap(),
+        ));
+    }
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccsql_relalg::expr::SetContext;
+    use ccsql_relalg::GenMode;
+
+    #[test]
+    fn sweep_spec_modes_agree() {
+        let ctx = SetContext::new();
+        for k in [0, 2, 4] {
+            let spec = sweep_spec(k);
+            let (mono, ms) = spec.generate(GenMode::Monolithic, &ctx).unwrap();
+            let (inc, is) = spec.generate(GenMode::Incremental, &ctx).unwrap();
+            assert!(mono.set_eq(&inc), "k={k}");
+            assert!(!inc.is_empty());
+            assert!(ms.candidates >= is.candidates, "k={k}");
+        }
+    }
+}

@@ -1,0 +1,524 @@
+//! The `ccsql` command line — the paper's "push-button manner" as a
+//! tool: generate the controller tables from constraints, check them,
+//! analyse deadlocks, map to hardware, simulate, and query the central
+//! database ad hoc.
+//!
+//! ```text
+//! ccsql gen [--table NAME] [--format ascii|csv|md] [--stats]
+//! ccsql check [--liveness]
+//! ccsql deadlock [--assignment v0|v1|v2] [--exact-only] [--closure]
+//! ccsql map [--emit verilog|rust] [--table NAME]
+//! ccsql sim [--seed N] [--quads N] [--nodes N] [--ops N] [--shared-vc4]
+//! ccsql fig4 [--fixed]
+//! ccsql query "SELECT …"
+//! ccsql solve FILE.ccsql [--format ascii|csv|md]
+//! ccsql walk [--request MSG --dirst ST --sharers N]
+//! ccsql export [--table NAME] [--invariants]
+//! ```
+//!
+//! The library entry point [`run`] returns the rendered output, so the
+//! whole surface is unit-testable.
+
+use ccsql::depend::{protocol_dependency_table, AnalysisConfig};
+use ccsql::gen::GeneratedProtocol;
+use ccsql::hwmap::{HwMapping, IMPL_INPUTS};
+use ccsql::liveness::BusyGraph;
+use ccsql::report::deadlock_report;
+use ccsql::vc::VcAssignment;
+use ccsql::{codegen, invariants};
+use ccsql_protocol::states;
+use ccsql_protocol::topology::NodeId;
+use ccsql_relalg::report;
+use ccsql_sim::{Fig4, Mix, Outcome, Schedule, Sim, SimConfig, Workload};
+use std::fmt::Write as _;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+ccsql — table-driven cache coherence design & early error detection (IPPS 2003)
+
+USAGE:
+    ccsql gen      [--table NAME] [--format ascii|csv|md] [--stats]
+    ccsql check    [--liveness]
+    ccsql deadlock [--assignment v0|v1|v2] [--exact-only] [--closure]
+    ccsql map      [--emit verilog|rust] [--table NAME]
+    ccsql sim      [--seed N] [--quads N] [--nodes N] [--ops N] [--shared-vc4]
+    ccsql fig4     [--fixed]
+    ccsql query    \"SELECT ... FROM D ...\"
+    ccsql solve    FILE.ccsql [--format ascii|csv|md]
+    ccsql walk     [--request MSG --dirst ST --sharers N]
+    ccsql export   [--table NAME] [--invariants]
+";
+
+/// Parsed `--flag value` options.
+struct Opts<'a> {
+    args: &'a [String],
+}
+
+impl<'a> Opts<'a> {
+    fn new(args: &'a [String]) -> Opts<'a> {
+        Opts { args }
+    }
+
+    fn flag(&self, name: &str) -> bool {
+        self.args.iter().any(|a| a == name)
+    }
+
+    fn value(&self, name: &str) -> Option<&'a str> {
+        self.args
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.args.get(i + 1))
+            .map(|s| s.as_str())
+    }
+
+    fn num(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.value(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("{name} expects a number, got {v:?}")),
+        }
+    }
+}
+
+/// Run the CLI on `args` (without the program name); returns the
+/// rendered output or an error message.
+pub fn run(args: &[String]) -> Result<String, String> {
+    let Some(cmd) = args.first() else {
+        return Err(USAGE.to_string());
+    };
+    let opts = Opts::new(&args[1..]);
+    match cmd.as_str() {
+        "gen" => cmd_gen(&opts),
+        "check" => cmd_check(&opts),
+        "deadlock" => cmd_deadlock(&opts),
+        "map" => cmd_map(&opts),
+        "sim" => cmd_sim(&opts),
+        "fig4" => cmd_fig4(&opts),
+        "query" => cmd_query(&opts),
+        "solve" => cmd_solve(&opts),
+        "walk" => cmd_walk(&opts),
+        "export" => cmd_export(&opts),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    }
+}
+
+fn generate() -> Result<GeneratedProtocol, String> {
+    GeneratedProtocol::generate_default().map_err(|e| format!("generation failed: {e}"))
+}
+
+fn cmd_gen(opts: &Opts) -> Result<String, String> {
+    let gen = generate()?;
+    let mut out = String::new();
+    match opts.value("--table") {
+        Some(name) => {
+            let rel = gen.table(name).map_err(|e| e.to_string())?;
+            match opts.value("--format").unwrap_or("ascii") {
+                "csv" => out.push_str(&report::csv(&rel.sorted())),
+                "md" => out.push_str(&report::markdown_table(&rel.sorted())),
+                "ascii" => out.push_str(&report::ascii_table(&rel.sorted())),
+                f => return Err(format!("unknown format {f:?}")),
+            }
+        }
+        None => {
+            for c in &gen.spec.controllers {
+                let t = gen.table(c.name).map_err(|e| e.to_string())?;
+                writeln!(out, "{:<4} {:>5} rows x {:>2} columns", c.name, t.len(), t.arity())
+                    .unwrap();
+            }
+        }
+    }
+    if opts.flag("--stats") {
+        for c in &gen.spec.controllers {
+            let s = &gen.stats[c.name];
+            writeln!(
+                out,
+                "{:<4} candidates={} elapsed={:?}",
+                c.name, s.candidates, s.elapsed
+            )
+            .unwrap();
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_check(opts: &Opts) -> Result<String, String> {
+    let mut gen = generate()?;
+    let results = invariants::check_all(&mut gen.db).map_err(|e| e.to_string())?;
+    let failed = invariants::failures(&results);
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{} invariants checked: {} violated",
+        results.len(),
+        failed.len()
+    )
+    .unwrap();
+    for r in &results {
+        if !r.holds() {
+            writeln!(out, "VIOLATED {} — witnesses:", r.name).unwrap();
+            out.push_str(&report::ascii_table(&r.witnesses));
+        }
+    }
+    if opts.flag("--liveness") {
+        let graph = BusyGraph::build(gen.table("D").map_err(|e| e.to_string())?, &states::busy_states())
+            .map_err(|e| e.to_string())?;
+        out.push_str(&graph.render());
+        if !graph.ok() {
+            return Err(out);
+        }
+    }
+    if failed.is_empty() {
+        Ok(out)
+    } else {
+        Err(out)
+    }
+}
+
+fn cmd_deadlock(opts: &Opts) -> Result<String, String> {
+    let gen = generate()?;
+    let v = match opts.value("--assignment").unwrap_or("v1") {
+        "v0" | "V0" => VcAssignment::v0(),
+        "v1" | "V1" => VcAssignment::v1(),
+        "v2" | "V2" => VcAssignment::v2(),
+        other => return Err(format!("unknown assignment {other:?} (v0|v1|v2)")),
+    };
+    let mut cfg = if opts.flag("--exact-only") {
+        AnalysisConfig::exact_only()
+    } else {
+        AnalysisConfig::default()
+    };
+    cfg.transitive_closure = opts.flag("--closure");
+    let deps = protocol_dependency_table(&gen, &v, &cfg).map_err(|e| e.to_string())?;
+    let rep = deadlock_report(&gen, v.name, &deps);
+    let rendered = rep.render();
+    if rep.cycles.is_empty() {
+        Ok(rendered)
+    } else {
+        // Cycles found: report on stderr-style error path so scripts can
+        // gate on the exit code, but still carry the full narrative.
+        Err(rendered)
+    }
+}
+
+fn cmd_map(opts: &Opts) -> Result<String, String> {
+    let gen = generate()?;
+    let mapping = HwMapping::build(&gen).map_err(|e| e.to_string())?;
+    let check = mapping
+        .check(gen.table("D").map_err(|e| e.to_string())?)
+        .map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "ED: {} rows x {} cols; 9 implementation tables; reconstruction={} preservation={}",
+        mapping.ed.len(),
+        mapping.ed.arity(),
+        check.ed_reconstructed,
+        check.d_preserved
+    )
+    .unwrap();
+    if let Some(emit) = opts.value("--emit") {
+        let table = opts.value("--table").unwrap_or("Request_locmsg");
+        let rel = mapping
+            .impl_tables
+            .iter()
+            .find(|(n, _)| n == table)
+            .map(|(_, r)| r)
+            .ok_or_else(|| format!("no implementation table {table:?}"))?;
+        let n_inputs = IMPL_INPUTS.len() + 11;
+        match emit {
+            "verilog" => out.push_str(&codegen::verilog_case(table, rel, n_inputs)),
+            "rust" => out.push_str(&codegen::rust_match(table, rel, n_inputs)),
+            other => return Err(format!("unknown emitter {other:?} (verilog|rust)")),
+        }
+    }
+    if check.ok() {
+        Ok(out)
+    } else {
+        Err(out)
+    }
+}
+
+fn cmd_sim(opts: &Opts) -> Result<String, String> {
+    let gen = generate()?;
+    let quads = opts.num("--quads", 2)? as usize;
+    let nodes_per_quad = opts.num("--nodes", 2)? as usize;
+    let ops = opts.num("--ops", 100)? as usize;
+    let seed = opts.num("--seed", 1)?;
+    if !(1..=4).contains(&quads) || !(1..=4).contains(&nodes_per_quad) {
+        return Err("quads and nodes must be 1..=4".into());
+    }
+    let cfg = SimConfig {
+        quads,
+        nodes_per_quad,
+        vc_capacity: nodes_per_quad.max(2),
+        dedicated_mem_path: !opts.flag("--shared-vc4"),
+        schedule: Schedule::Random(seed),
+        max_steps: 10_000_000,
+    };
+    let nodes: Vec<NodeId> = (0..quads)
+        .flat_map(|q| (0..nodes_per_quad).map(move |n| NodeId::new(q, n)))
+        .collect();
+    let wl = Workload::random(&nodes, ops, 16, Mix::default(), seed);
+    let mut sim = Sim::new(&gen, cfg, wl);
+    let out = sim.run().map_err(|e| e.to_string())?;
+    let s = sim.stats;
+    let mut text = String::new();
+    writeln!(
+        text,
+        "{} steps, {} issued, {} hits, {} completed, {} retries, {} msgs, {} reads checked",
+        s.steps, s.issued, s.hits, s.completed, s.retries, s.msgs, s.read_checks
+    )
+    .unwrap();
+    match out {
+        Outcome::Quiescent => {
+            sim.audit().map_err(|e| e.to_string())?;
+            write!(text, "spec-row coverage:").unwrap();
+            for (name, hit, total) in sim.coverage_report() {
+                write!(text, " {name} {hit}/{total}").unwrap();
+            }
+            writeln!(text, "\nquiescent — coherent").unwrap();
+            Ok(text)
+        }
+        Outcome::Deadlock(info) => {
+            writeln!(text, "{info}").unwrap();
+            Err(text)
+        }
+        Outcome::StepLimit => Err(format!("{text}step limit exceeded")),
+    }
+}
+
+fn cmd_fig4(opts: &Opts) -> Result<String, String> {
+    let gen = generate()?;
+    let dedicated = opts.flag("--fixed");
+    let out = Fig4::default()
+        .replay(&gen, dedicated)
+        .map_err(|e| e.to_string())?;
+    match out {
+        Outcome::Deadlock(info) => {
+            if dedicated {
+                Err(format!("unexpected deadlock with the fix:\n{info}"))
+            } else {
+                Ok(format!("{info}"))
+            }
+        }
+        Outcome::Quiescent => {
+            if dedicated {
+                Ok("quiescent — the dedicated directory→memory path removes the deadlock\n"
+                    .to_string())
+            } else {
+                Err("expected the Figure-4 deadlock".to_string())
+            }
+        }
+        Outcome::StepLimit => Err("step limit exceeded".to_string()),
+    }
+}
+
+fn cmd_query(opts: &Opts) -> Result<String, String> {
+    let sql = opts
+        .args
+        .first()
+        .ok_or_else(|| "query expects an SQL string".to_string())?;
+    let mut gen = generate()?;
+    let rel = gen.db.query(sql).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "{}({} rows)\n",
+        report::ascii_table(&rel),
+        rel.len()
+    ))
+}
+
+fn cmd_solve(opts: &Opts) -> Result<String, String> {
+    let path = opts
+        .args
+        .first()
+        .ok_or_else(|| "solve expects a .ccsql database-input file".to_string())?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let sf = ccsql_relalg::specfile::parse_specfile(&text).map_err(|e| e.to_string())?;
+    let (rel, failures) =
+        ccsql_relalg::specfile::solve_specfile(&sf).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "table {}: {} rows x {} columns; {} static check(s), {} failed",
+        sf.spec.name,
+        rel.len(),
+        rel.arity(),
+        sf.checks.len(),
+        failures.len()
+    )
+    .unwrap();
+    match opts.value("--format").unwrap_or("ascii") {
+        "csv" => out.push_str(&report::csv(&rel.sorted())),
+        "md" => out.push_str(&report::markdown_table(&rel.sorted())),
+        "ascii" => out.push_str(&report::ascii_table(&rel.sorted())),
+        f => return Err(format!("unknown format {f:?}")),
+    }
+    for (name, witnesses) in &failures {
+        writeln!(out, "CHECK FAILED {name} — witnesses:").unwrap();
+        out.push_str(&report::ascii_table(witnesses));
+    }
+    if failures.is_empty() {
+        Ok(out)
+    } else {
+        Err(out)
+    }
+}
+
+fn cmd_walk(opts: &Opts) -> Result<String, String> {
+    let gen = generate()?;
+    let mut out = String::new();
+    match opts.value("--request") {
+        Some(req) => {
+            let dirst = opts.value("--dirst").unwrap_or("I");
+            let sharers = opts.num("--sharers", 0)? as u32;
+            let w = ccsql::walker::walk(&gen, req, dirst, sharers).map_err(|e| e.to_string())?;
+            out.push_str(&w.render());
+            if !w.completed {
+                return Err(out);
+            }
+        }
+        None => {
+            let starts = ccsql::walker::all_starts(&gen).map_err(|e| e.to_string())?;
+            for (req, dirst, sharers) in starts {
+                let w = ccsql::walker::walk(&gen, &req, &dirst, sharers)
+                    .map_err(|e| e.to_string())?;
+                out.push_str(&w.render());
+                out.push('\n');
+                if !w.completed {
+                    return Err(out);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn cmd_export(opts: &Opts) -> Result<String, String> {
+    if opts.flag("--invariants") {
+        return Ok(ccsql::export::invariants_to_murphi());
+    }
+    let gen = generate()?;
+    let name = opts.value("--table").unwrap_or("D");
+    let ctrl = gen
+        .controller(name)
+        .ok_or_else(|| format!("no controller {name:?}"))?;
+    let table = gen.table(name).map_err(|e| e.to_string())?;
+    Ok(ccsql::export::to_murphi(ctrl, table))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn help_and_unknown() {
+        assert!(run(&argv("help")).unwrap().contains("USAGE"));
+        assert!(run(&[]).is_err());
+        assert!(run(&argv("frobnicate")).unwrap_err().contains("unknown command"));
+    }
+
+    #[test]
+    fn gen_lists_tables() {
+        let out = run(&argv("gen")).unwrap();
+        assert!(out.contains("D"));
+        assert!(out.contains("498 rows x 30 columns") || out.contains("rows x 30"));
+    }
+
+    #[test]
+    fn gen_formats_table() {
+        let out = run(&argv("gen --table M --format csv")).unwrap();
+        assert!(out.starts_with("inmsg,"));
+        assert!(out.contains("mread"));
+        assert!(run(&argv("gen --table NOPE")).is_err());
+        assert!(run(&argv("gen --table M --format bogus")).is_err());
+    }
+
+    #[test]
+    fn check_passes_on_debugged_tables() {
+        let out = run(&argv("check --liveness")).unwrap();
+        assert!(out.contains("0 violated"));
+        assert!(out.contains("no hangs"));
+    }
+
+    #[test]
+    fn deadlock_exit_semantics() {
+        // v2 clean → Ok; v1 cyclic → Err carrying the narrative.
+        let ok = run(&argv("deadlock --assignment v2")).unwrap();
+        assert!(ok.contains("absence of deadlocks"));
+        let err = run(&argv("deadlock --assignment v1")).unwrap_err();
+        assert!(err.contains("VC2"));
+        assert!(err.contains("VC4"));
+        assert!(run(&argv("deadlock --assignment vX")).is_err());
+    }
+
+    #[test]
+    fn map_reports_and_emits() {
+        let out = run(&argv("map")).unwrap();
+        assert!(out.contains("reconstruction=true preservation=true"));
+        let v = run(&argv("map --emit verilog --table Response_dir")).unwrap();
+        assert!(v.contains("module Response_dir"));
+        assert!(run(&argv("map --emit bogus")).is_err());
+        assert!(run(&argv("map --emit rust --table NOPE")).is_err());
+    }
+
+    #[test]
+    fn sim_runs_and_fig4_replays() {
+        let out = run(&argv("sim --seed 3 --ops 40")).unwrap();
+        assert!(out.contains("quiescent — coherent"));
+        let out = run(&argv("fig4")).unwrap();
+        assert!(out.contains("DEADLOCK"));
+        let out = run(&argv("fig4 --fixed")).unwrap();
+        assert!(out.contains("quiescent"));
+        assert!(run(&argv("sim --quads 9")).is_err());
+        assert!(run(&argv("sim --seed abc")).is_err());
+    }
+
+    #[test]
+    fn solve_runs_database_inputs() {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/fig3.ccsql");
+        let out = run(&["solve".to_string(), path.to_string()]).unwrap();
+        assert!(out.contains("table Fig3"), "{out}");
+        assert!(out.contains("0 failed"), "{out}");
+        assert!(out.contains("Busy-sd"), "{out}");
+        assert!(run(&argv("solve /nonexistent.ccsql")).is_err());
+        assert!(run(&argv("solve")).is_err());
+    }
+
+    #[test]
+    fn walk_charts_transactions() {
+        let out = run(&argv("walk --request readex --dirst SI --sharers 1")).unwrap();
+        assert!(out.contains("local → D : readex"));
+        assert!(out.contains("D → remote : sinv"));
+        assert!(out.contains("completed"));
+        let all = run(&argv("walk")).unwrap();
+        assert!(all.matches("completed").count() >= 20);
+        assert!(run(&argv("walk --request bogus")).is_err());
+    }
+
+    #[test]
+    fn export_emits_murphi() {
+        let out = run(&argv("export --table M")).unwrap();
+        assert!(out.contains("rule \"M_0\""));
+        let inv = run(&argv("export --invariants")).unwrap();
+        assert!(inv.contains("invariant \"D-retry-on-busy\""));
+        assert!(run(&argv("export --table NOPE")).is_err());
+    }
+
+    #[test]
+    fn query_runs_sql() {
+        let out = run(&[
+            "query".to_string(),
+            "select count(*) from D where isrequest(inmsg)".to_string(),
+        ])
+        .unwrap();
+        assert!(out.contains("count"));
+        assert!(run(&argv("query")).is_err());
+        assert!(run(&["query".to_string(), "selec bogus".to_string()]).is_err());
+    }
+}

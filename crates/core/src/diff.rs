@@ -1,0 +1,239 @@
+//! Table revision diffing.
+//!
+//! The paper: "The use of constraints also considerably reduces the
+//! time to update the controller tables" — specifications went "through
+//! several revisions" with the tables regenerated each time. This
+//! module compares two revisions of a controller table keyed on its
+//! input columns, so a constraint edit can be reviewed as
+//! added/removed/changed *transitions* rather than a 500-row dump.
+
+use ccsql_relalg::{Relation, Sym, Value};
+use std::collections::HashMap;
+
+/// One changed transition: same input combination, different outputs.
+#[derive(Clone, Debug)]
+pub struct ChangedRow {
+    /// The input-column values (the transition's key).
+    pub key: Vec<Value>,
+    /// `(column, old, new)` for every differing output.
+    pub deltas: Vec<(Sym, Value, Value)>,
+}
+
+/// The diff between two table revisions.
+#[derive(Clone, Debug, Default)]
+pub struct TableDiff {
+    /// Input-column names used as the key.
+    pub key_cols: Vec<Sym>,
+    /// Transitions present only in the new revision (full rows).
+    pub added: Vec<Vec<Value>>,
+    /// Transitions present only in the old revision (full rows).
+    pub removed: Vec<Vec<Value>>,
+    /// Transitions whose outputs changed.
+    pub changed: Vec<ChangedRow>,
+}
+
+impl TableDiff {
+    /// Diff `old` against `new`, keying rows on `key_cols` (the input
+    /// columns — a candidate key of a deterministic controller table).
+    pub fn diff(old: &Relation, new: &Relation, key_cols: &[Sym]) -> ccsql_relalg::Result<TableDiff> {
+        if !old.schema().same_as(new.schema()) {
+            return Err(ccsql_relalg::Error::SchemaMismatch(
+                "diff requires identical schemas".into(),
+            ));
+        }
+        let key_idx: Vec<usize> = key_cols
+            .iter()
+            .map(|c| old.schema().require(*c, "diff key"))
+            .collect::<ccsql_relalg::Result<_>>()?;
+        let key_of = |r: &[Value]| -> Vec<Value> { key_idx.iter().map(|&i| r[i]).collect() };
+
+        let mut old_map: HashMap<Vec<Value>, usize> = HashMap::with_capacity(old.len());
+        for (i, r) in old.rows().enumerate() {
+            old_map.insert(key_of(r), i);
+        }
+        let mut diff = TableDiff {
+            key_cols: key_cols.to_vec(),
+            ..TableDiff::default()
+        };
+        let mut seen_old: Vec<bool> = vec![false; old.len()];
+        for r in new.rows() {
+            match old_map.get(&key_of(r)) {
+                None => diff.added.push(r.to_vec()),
+                Some(&oi) => {
+                    seen_old[oi] = true;
+                    let o = old.row(oi);
+                    if o != r {
+                        let deltas = old
+                            .schema()
+                            .columns()
+                            .iter()
+                            .enumerate()
+                            .filter(|&(i, _)| o[i] != r[i])
+                            .map(|(i, c)| (*c, o[i], r[i]))
+                            .collect();
+                        diff.changed.push(ChangedRow {
+                            key: key_of(r),
+                            deltas,
+                        });
+                    }
+                }
+            }
+        }
+        for (i, seen) in seen_old.iter().enumerate() {
+            if !seen {
+                diff.removed.push(old.row(i).to_vec());
+            }
+        }
+        // Deterministic report order.
+        diff.added.sort();
+        diff.removed.sort();
+        diff.changed.sort_by(|a, b| a.key.cmp(&b.key));
+        Ok(diff)
+    }
+
+    /// Nothing changed.
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty() && self.changed.is_empty()
+    }
+
+    /// Human-readable summary.
+    pub fn render(&self, schema: &ccsql_relalg::Schema) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        writeln!(
+            s,
+            "{} added, {} removed, {} changed transition(s)",
+            self.added.len(),
+            self.removed.len(),
+            self.changed.len()
+        )
+        .unwrap();
+        let fmt_key = |key: &[Value]| {
+            self.key_cols
+                .iter()
+                .zip(key)
+                .map(|(c, v)| format!("{c}={v}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let key_idx: Vec<usize> = self
+            .key_cols
+            .iter()
+            .filter_map(|c| schema.index_of(*c))
+            .collect();
+        for r in &self.added {
+            let key: Vec<Value> = key_idx.iter().map(|&i| r[i]).collect();
+            writeln!(s, "  + {}", fmt_key(&key)).unwrap();
+        }
+        for r in &self.removed {
+            let key: Vec<Value> = key_idx.iter().map(|&i| r[i]).collect();
+            writeln!(s, "  - {}", fmt_key(&key)).unwrap();
+        }
+        for c in &self.changed {
+            writeln!(s, "  ~ {}", fmt_key(&c.key)).unwrap();
+            for (col, old, new) in &c.deltas {
+                writeln!(s, "      {col}: {old} → {new}").unwrap();
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccsql_relalg::Relation;
+
+    fn v(s: &str) -> Value {
+        Value::sym(s)
+    }
+
+    fn table(rows: &[(&str, &str, &str)]) -> Relation {
+        let mut r = Relation::with_columns(["inmsg", "dirst", "locmsg"]).unwrap();
+        for (a, b, c) in rows {
+            r.push_row(&[v(a), v(b), v(c)]).unwrap();
+        }
+        r
+    }
+
+    fn keys() -> Vec<Sym> {
+        vec![Sym::intern("inmsg"), Sym::intern("dirst")]
+    }
+
+    #[test]
+    fn identical_tables_diff_empty() {
+        let a = table(&[("readex", "I", "NULL1"), ("data", "Busy-d", "edata")]);
+        let d = TableDiff::diff(&a, &a, &keys()).unwrap();
+        assert!(d.is_empty());
+        assert!(d.render(a.schema()).contains("0 added, 0 removed, 0 changed"));
+    }
+
+    #[test]
+    fn added_removed_changed_classified() {
+        let old = table(&[
+            ("readex", "I", "x"),
+            ("data", "Busy-d", "edata"),
+            ("flush", "I", "compl"),
+        ]);
+        let new = table(&[
+            ("readex", "I", "x"),
+            ("data", "Busy-d", "data"), // output changed
+            ("wb", "MESI", "compl"),    // added; flush@I removed
+        ]);
+        let d = TableDiff::diff(&old, &new, &keys()).unwrap();
+        assert_eq!(d.added.len(), 1);
+        assert_eq!(d.removed.len(), 1);
+        assert_eq!(d.changed.len(), 1);
+        assert_eq!(d.changed[0].deltas.len(), 1);
+        let (col, o, n) = d.changed[0].deltas[0];
+        assert_eq!(col.as_str(), "locmsg");
+        assert_eq!(o, v("edata"));
+        assert_eq!(n, v("data"));
+        let rendered = d.render(old.schema());
+        assert!(rendered.contains("+ inmsg=wb"));
+        assert!(rendered.contains("- inmsg=flush"));
+        assert!(rendered.contains("locmsg: edata → data"));
+    }
+
+    #[test]
+    fn schema_mismatch_rejected() {
+        let a = table(&[]);
+        let b = Relation::with_columns(["x"]).unwrap();
+        assert!(TableDiff::diff(&a, &b, &keys()).is_err());
+        // Unknown key column.
+        assert!(TableDiff::diff(&a, &a, &[Sym::intern("nope")]).is_err());
+    }
+
+    #[test]
+    fn real_spec_revision_diff() {
+        use ccsql_relalg::GenMode;
+        // Two revisions of the Figure-3 spec: the "revision" forgets the
+        // ownership transfer on completion (a classic spec bug).
+        let ctx = crate::gen::GeneratedProtocol::context();
+        let (old, _) = ccsql_protocol::directory::fig3_spec()
+            .generate(GenMode::Incremental, &ctx)
+            .unwrap();
+        let broken = old.clone();
+        // Simulate the regenerated table after the bad constraint edit:
+        // data@Busy-d no longer sets nxtdirpv=repl.
+        let s = broken.schema().clone();
+        let pvcol = s.index_of_str("nxtdirpv").unwrap();
+        let inmsg = s.index_of_str("inmsg").unwrap();
+        let dirst = s.index_of_str("dirst").unwrap();
+        let mut rows: Vec<Vec<Value>> = broken.rows().map(|r| r.to_vec()).collect();
+        for r in &mut rows {
+            if r[inmsg] == v("data") && r[dirst] == v("Busy-d") {
+                r[pvcol] = Value::Null;
+            }
+        }
+        let mut new_rel = Relation::new(s.clone());
+        for r in rows {
+            new_rel.push_row(&r).unwrap();
+        }
+        let keys = [Sym::intern("inmsg"), Sym::intern("dirst"), Sym::intern("dirpv")];
+        let d = TableDiff::diff(&old, &new_rel, &keys).unwrap();
+        assert_eq!(d.changed.len(), 1);
+        assert!(d.added.is_empty() && d.removed.is_empty());
+        assert!(d.render(&s).contains("nxtdirpv: repl → NULL"));
+    }
+}

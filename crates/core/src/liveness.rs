@@ -1,0 +1,304 @@
+//! Static liveness analysis of the busy-directory state machine.
+//!
+//! The invariant suite (section 4.3) checks *per-row* properties; this
+//! module checks *path* properties of the directory table that the
+//! paper's designers would review by hand: every busy state that a
+//! transaction can enter must be able to make progress and eventually
+//! deallocate — a transaction that parks in a busy state with no exit
+//! is a protocol hang even if every individual row is well-formed.
+//!
+//! The analysis builds the busy-state transition graph from the rows of
+//! the generated `D`:
+//!
+//! * **alloc edges** `I → s` (rows with `bdirupd = alloc`),
+//! * **transition edges** `s → s'` (rows with `bdirupd = write`),
+//! * **dealloc edges** `s → I` (rows with `bdirupd = dealloc`),
+//!
+//! and checks reachability in both directions.
+
+use ccsql_relalg::{Relation, Sym, Value};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// One edge of the busy-state graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BusyEdge {
+    /// Source busy state (`I` for allocations).
+    pub from: Sym,
+    /// Destination busy state (`I` for deallocations).
+    pub to: Sym,
+    /// The incoming message driving the transition.
+    pub on: Sym,
+    /// Row index in `D` (witness).
+    pub row: usize,
+}
+
+/// The busy-state transition graph plus analysis results.
+pub struct BusyGraph {
+    /// All edges.
+    pub edges: Vec<BusyEdge>,
+    /// Busy states with at least one row (exercised states).
+    pub used: HashSet<Sym>,
+    /// Busy states declared in the column table but never entered
+    /// (informational — spare encodings).
+    pub declared_unused: Vec<Sym>,
+    /// Exercised states not reachable from `I` via alloc+transitions.
+    pub unreachable: Vec<Sym>,
+    /// Reachable states from which no dealloc is reachable (hangs).
+    pub stuck: Vec<Sym>,
+    /// Reachable states with no outgoing edge at all (dead ends).
+    pub dead_ends: Vec<Sym>,
+}
+
+impl BusyGraph {
+    /// Build and analyse the busy-state graph of a directory table.
+    /// `declared` is the full busy-state column table (e.g.
+    /// `ccsql_protocol::states::busy_states()`).
+    pub fn build(d: &Relation, declared: &[String]) -> ccsql_relalg::Result<BusyGraph> {
+        let schema = d.schema();
+        let col = |n: &str| {
+            schema
+                .index_of_str(n)
+                .ok_or_else(|| ccsql_relalg::Error::NoSuchColumn(n.into(), "liveness".into()))
+        };
+        let inmsg = col("inmsg")?;
+        let bdirst = col("bdirst")?;
+        let nxtbdirst = col("nxtbdirst")?;
+        let bdirupd = col("bdirupd")?;
+        let i_sym = Sym::intern("I");
+
+        let mut edges = Vec::new();
+        let mut entered: HashSet<Sym> = HashSet::new();
+        let mut occupied: HashSet<Sym> = HashSet::new();
+        for (ri, r) in d.rows().enumerate() {
+            let from = r[bdirst].as_sym().unwrap_or(i_sym);
+            if from != i_sym {
+                occupied.insert(from);
+            }
+            let upd = match r[bdirupd] {
+                Value::Sym(s) => s,
+                _ => continue,
+            };
+            let on = r[inmsg].as_sym().expect("inmsg is total");
+            let to = match upd.as_str() {
+                "alloc" => {
+                    let to = r[nxtbdirst].as_sym().expect("alloc names a state");
+                    entered.insert(to);
+                    to
+                }
+                "write" => {
+                    let to = r[nxtbdirst].as_sym().unwrap_or(from);
+                    if to != i_sym {
+                        entered.insert(to);
+                    }
+                    to
+                }
+                "dealloc" => i_sym,
+                _ => continue,
+            };
+            edges.push(BusyEdge { from, to, on, row: ri });
+        }
+
+        // Forward reachability from I.
+        let mut fwd: HashSet<Sym> = HashSet::new();
+        let mut queue: VecDeque<Sym> = VecDeque::new();
+        fwd.insert(i_sym);
+        queue.push_back(i_sym);
+        let mut adj: HashMap<Sym, Vec<Sym>> = HashMap::new();
+        let mut radj: HashMap<Sym, Vec<Sym>> = HashMap::new();
+        for e in &edges {
+            adj.entry(e.from).or_default().push(e.to);
+            radj.entry(e.to).or_default().push(e.from);
+        }
+        while let Some(s) = queue.pop_front() {
+            for &t in adj.get(&s).into_iter().flatten() {
+                if fwd.insert(t) {
+                    queue.push_back(t);
+                }
+            }
+        }
+        // Backward reachability from I (can deallocate).
+        let mut bwd: HashSet<Sym> = HashSet::new();
+        bwd.insert(i_sym);
+        queue.push_back(i_sym);
+        while let Some(s) = queue.pop_front() {
+            for &t in radj.get(&s).into_iter().flatten() {
+                if bwd.insert(t) {
+                    queue.push_back(t);
+                }
+            }
+        }
+
+        // "Used" = actually entered by some alloc/write, or the source
+        // of a real transition (not counting the defensive retry rows,
+        // which occupy a state without transitioning it). States that
+        // only appear as `bdirst` inputs of retry rows are spare
+        // encodings.
+        let _ = occupied;
+        let active: HashSet<Sym> = edges
+            .iter()
+            .map(|e| e.from)
+            .filter(|s| *s != i_sym)
+            .collect();
+        let used: HashSet<Sym> = entered.union(&active).copied().collect();
+        let sorted =
+            |mut v: Vec<Sym>| -> Vec<Sym> {
+                v.sort();
+                v
+            };
+        let declared_unused = sorted(
+            declared
+                .iter()
+                .map(|s| Sym::intern(s))
+                .filter(|s| *s != i_sym && !used.contains(s))
+                .collect(),
+        );
+        let unreachable = sorted(used.iter().copied().filter(|s| !fwd.contains(s)).collect());
+        let stuck = sorted(
+            used.iter()
+                .copied()
+                .filter(|s| fwd.contains(s) && !bwd.contains(s))
+                .collect(),
+        );
+        let dead_ends = sorted(
+            used.iter()
+                .copied()
+                .filter(|s| fwd.contains(s) && adj.get(s).is_none_or(|a| a.is_empty()))
+                .collect(),
+        );
+        Ok(BusyGraph {
+            edges,
+            used,
+            declared_unused,
+            unreachable,
+            stuck,
+            dead_ends,
+        })
+    }
+
+    /// Does the table pass all liveness checks?
+    pub fn ok(&self) -> bool {
+        self.unreachable.is_empty() && self.stuck.is_empty() && self.dead_ends.is_empty()
+    }
+
+    /// Human-readable report.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        writeln!(
+            s,
+            "busy-state graph: {} edges over {} exercised states ({} declared-but-unused encodings)",
+            self.edges.len(),
+            self.used.len(),
+            self.declared_unused.len()
+        )
+        .unwrap();
+        let list = |v: &[Sym]| {
+            v.iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        if self.ok() {
+            writeln!(
+                s,
+                "every exercised busy state is reachable from I and can deallocate — no hangs"
+            )
+            .unwrap();
+        } else {
+            if !self.unreachable.is_empty() {
+                writeln!(s, "UNREACHABLE: {}", list(&self.unreachable)).unwrap();
+            }
+            if !self.stuck.is_empty() {
+                writeln!(s, "STUCK (no path to dealloc): {}", list(&self.stuck)).unwrap();
+            }
+            if !self.dead_ends.is_empty() {
+                writeln!(s, "DEAD ENDS (no outgoing row): {}", list(&self.dead_ends)).unwrap();
+            }
+        }
+        s
+    }
+
+    /// Transition edges out of one state (for per-family summaries).
+    pub fn edges_from(&self, state: &str) -> Vec<&BusyEdge> {
+        let s = Sym::intern(state);
+        self.edges.iter().filter(|e| e.from == s).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::GeneratedProtocol;
+    use ccsql_protocol::states;
+    use std::sync::OnceLock;
+
+    fn generated() -> &'static GeneratedProtocol {
+        static GEN: OnceLock<GeneratedProtocol> = OnceLock::new();
+        GEN.get_or_init(|| GeneratedProtocol::generate_default().unwrap())
+    }
+
+    #[test]
+    fn debugged_d_is_live() {
+        let g = generated();
+        let graph = BusyGraph::build(g.table("D").unwrap(), &states::busy_states()).unwrap();
+        assert!(graph.ok(), "{}", graph.render());
+        // The readex family path of Figure 2 exists.
+        let from_sd: Vec<String> = graph
+            .edges_from("Busy-sd")
+            .iter()
+            .map(|e| format!("{}→{} on {}", e.from, e.to, e.on))
+            .collect();
+        assert!(from_sd.iter().any(|e| e.contains("Busy-s on data")), "{from_sd:?}");
+        assert!(from_sd.iter().any(|e| e.contains("Busy-d on idone")), "{from_sd:?}");
+    }
+
+    #[test]
+    fn declared_unused_states_are_the_spare_encodings() {
+        let g = generated();
+        let graph = BusyGraph::build(g.table("D").unwrap(), &states::busy_states()).unwrap();
+        // 17 of the 40 encodings are entered by the transaction
+        // families; the other 23 are spare encodings that only carry
+        // the defensive retry-interleaving rows.
+        assert_eq!(graph.used.len(), 17, "{:?}", graph.used);
+        assert_eq!(graph.declared_unused.len(), 23, "{:?}", graph.declared_unused);
+    }
+
+    #[test]
+    fn a_stuck_state_is_detected() {
+        use ccsql_relalg::Relation;
+        // Hand-built mini table: alloc into Busy-x, transition into
+        // Busy-trap with no dealloc.
+        let mut d = Relation::with_columns(["inmsg", "bdirst", "nxtbdirst", "bdirupd"]).unwrap();
+        let v = Value::sym;
+        d.push_row(&[v("req"), v("I"), v("Busy-x"), v("alloc")]).unwrap();
+        d.push_row(&[v("rsp"), v("Busy-x"), v("Busy-trap"), v("write")])
+            .unwrap();
+        // Busy-trap has a self-transition but never deallocs.
+        d.push_row(&[v("tick"), v("Busy-trap"), Value::Null, v("write")])
+            .unwrap();
+        let graph = BusyGraph::build(
+            &d,
+            &["I".into(), "Busy-x".into(), "Busy-trap".into(), "Busy-free".into()],
+        )
+        .unwrap();
+        assert!(!graph.ok());
+        let stuck: Vec<&str> = graph.stuck.iter().map(|s| s.as_str()).collect();
+        assert_eq!(stuck, ["Busy-trap", "Busy-x"]);
+        assert_eq!(graph.declared_unused.len(), 1);
+        assert!(graph.render().contains("STUCK"));
+    }
+
+    #[test]
+    fn an_unreachable_state_is_detected() {
+        use ccsql_relalg::Relation;
+        let mut d = Relation::with_columns(["inmsg", "bdirst", "nxtbdirst", "bdirupd"]).unwrap();
+        let v = Value::sym;
+        // Busy-orphan has rows but nothing allocates it.
+        d.push_row(&[v("rsp"), v("Busy-orphan"), v("I"), v("dealloc")])
+            .unwrap();
+        let graph = BusyGraph::build(&d, &["I".into(), "Busy-orphan".into()]).unwrap();
+        assert!(!graph.ok());
+        assert_eq!(graph.unreachable.len(), 1);
+        assert!(graph.render().contains("UNREACHABLE"));
+    }
+}

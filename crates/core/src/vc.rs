@@ -1,0 +1,231 @@
+//! Virtual channel assignments — the table `V(m, s, d, v)` of section
+//! 4.1: which virtual channel carries message `m` from source role `s`
+//! to destination role `d`.
+//!
+//! Three assignments reproduce the paper's history:
+//!
+//! * [`VcAssignment::v0`] — the initial 4-channel assignment (VC0–VC3);
+//!   directory↔memory traffic shares the request/response channels,
+//!   which yields "several cycles … most of these deadlocks involved the
+//!   directory controller and the memory controller at the home node".
+//! * [`VcAssignment::v1`] — VC4 added for directory→memory requests.
+//!   The analysis then finds the Figure-4 deadlock (cycle VC2 ↔ VC4).
+//! * [`VcAssignment::v2`] — the paper's fix: "a dedicated hardware path
+//!   from directory controller to the home memory controller for mread
+//!   requests". A dedicated path is not a finite shared resource, so
+//!   messages routed over it contribute no channel dependencies. (Our
+//!   protocol's directory also issues `mwrite` while processing
+//!   responses, so the dedicated path carries the directory's memory
+//!   operations `mread`/`mwrite` — see DESIGN.md.)
+
+use ccsql_relalg::{Relation, Value};
+use ccsql_protocol::messages;
+use ccsql_protocol::topology::Role;
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+/// The channel names.
+pub const CHANNELS: &[&str] = &["VC0", "VC1", "VC2", "VC3", "VC4", "PATH"];
+
+/// One assignment entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VcEntry {
+    /// Message name.
+    pub msg: &'static str,
+    /// Source role.
+    pub src: Role,
+    /// Destination role.
+    pub dest: Role,
+    /// Virtual channel name.
+    pub vc: &'static str,
+}
+
+/// A virtual channel assignment: the table `V` plus the set of channels
+/// that are *dedicated* hardware paths (excluded from dependency
+/// analysis because they are never shared).
+#[derive(Clone, Debug, Default)]
+pub struct VcAssignment {
+    /// Human name of the assignment (`V0`, `V1`, `V2`).
+    pub name: &'static str,
+    entries: HashMap<(&'static str, Role, Role), &'static str>,
+    dedicated: HashSet<&'static str>,
+}
+
+impl VcAssignment {
+    /// Channel assigned to `(msg, src, dest)`, if any.
+    pub fn lookup(&self, msg: &str, src: Role, dest: Role) -> Option<&'static str> {
+        // `msg` arrives as a runtime string from table cells; entries are
+        // keyed by the catalogue's 'static names.
+        let m = messages::message(msg)?.name;
+        self.entries.get(&(m, src, dest)).copied()
+    }
+
+    /// Is `vc` a dedicated (dependency-free) path?
+    pub fn is_dedicated(&self, vc: &str) -> bool {
+        self.dedicated.contains(vc)
+    }
+
+    /// All entries, sorted for deterministic reports.
+    pub fn entries(&self) -> Vec<VcEntry> {
+        let mut out: Vec<VcEntry> = self
+            .entries
+            .iter()
+            .map(|(&(msg, src, dest), &vc)| VcEntry {
+                msg,
+                src,
+                dest,
+                vc,
+            })
+            .collect();
+        out.sort_by_key(|e| (e.vc, e.msg, e.src, e.dest));
+        out
+    }
+
+    /// Render `V` as a relation (columns `m, s, d, v`), the database
+    /// table form the paper stores it in.
+    pub fn as_relation(&self) -> Relation {
+        let mut rel = Relation::with_columns(["m", "s", "d", "v"]).expect("static schema");
+        for e in self.entries() {
+            rel.push_row(&[
+                Value::sym(e.msg),
+                Value::sym(e.src.as_str()),
+                Value::sym(e.dest.as_str()),
+                Value::sym(e.vc),
+            ])
+            .expect("arity");
+        }
+        rel
+    }
+
+    /// Number of distinct (non-dedicated) virtual channels in use.
+    pub fn channel_count(&self) -> usize {
+        let used: HashSet<&str> = self
+            .entries
+            .values()
+            .filter(|v| !self.dedicated.contains(*v))
+            .copied()
+            .collect();
+        used.len()
+    }
+
+    fn insert(&mut self, msg: &'static str, src: Role, dest: Role, vc: &'static str) {
+        self.entries.insert((msg, src, dest), vc);
+    }
+
+    /// Build an assignment by classifying every catalogued message over
+    /// the role pairs it travels. `home_home_request` selects the channel
+    /// for directory→memory requests; `dedicated_mem_ops` routes
+    /// `mread`/`mwrite` over the dedicated `PATH`.
+    fn classified(
+        name: &'static str,
+        home_home_request: &'static str,
+        dedicated_mem_ops: bool,
+    ) -> VcAssignment {
+        let mut v = VcAssignment {
+            name,
+            ..VcAssignment::default()
+        };
+        for m in messages::MESSAGES {
+            let req = m.kind == messages::MsgKind::Request;
+            // Role pairs this message class travels on. The assignment is
+            // "based on the source and the destination and the
+            // classification of messages as requests vs. responses".
+            if req {
+                // Requests from the local node to home.
+                v.insert(m.name, Role::Local, Role::Home, "VC0");
+                // Snoop requests home → remote.
+                v.insert(m.name, Role::Home, Role::Remote, "VC1");
+                // Directory → home memory requests.
+                let hh = if dedicated_mem_ops && (m.name == "mread" || m.name == "mwrite") {
+                    "PATH"
+                } else {
+                    home_home_request
+                };
+                v.insert(m.name, Role::Home, Role::Home, hh);
+            } else {
+                // Responses remote → home.
+                v.insert(m.name, Role::Remote, Role::Home, "VC2");
+                // Responses home → local.
+                v.insert(m.name, Role::Home, Role::Local, "VC3");
+                // Memory → directory responses (same quad).
+                v.insert(m.name, Role::Home, Role::Home, "VC2");
+            }
+        }
+        if dedicated_mem_ops {
+            v.dedicated.insert("PATH");
+        }
+        v
+    }
+
+    /// The initial 4-channel assignment.
+    pub fn v0() -> VcAssignment {
+        VcAssignment::classified("V0", "VC0", false)
+    }
+
+    /// VC4 added for directory→memory requests (pre-Figure-4 fix).
+    pub fn v1() -> VcAssignment {
+        VcAssignment::classified("V1", "VC4", false)
+    }
+
+    /// The fixed assignment: VC4 plus the dedicated directory→memory
+    /// path for the directory's memory operations.
+    pub fn v2() -> VcAssignment {
+        VcAssignment::classified("V2", "VC4", true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_channel_semantics() {
+        let v = VcAssignment::v1();
+        // "VC0 carries requests from local to home"
+        assert_eq!(v.lookup("readex", Role::Local, Role::Home), Some("VC0"));
+        // "VC1 carries requests from home to remote"
+        assert_eq!(v.lookup("sinv", Role::Home, Role::Remote), Some("VC1"));
+        // "VC2 carries responses from remote to home"
+        assert_eq!(v.lookup("idone", Role::Remote, Role::Home), Some("VC2"));
+        // "VC3 carries responses from home to local"
+        assert_eq!(v.lookup("compl", Role::Home, Role::Local), Some("VC3"));
+        // "VC4 carries requests from home directory to home memory"
+        assert_eq!(v.lookup("mread", Role::Home, Role::Home), Some("VC4"));
+        assert_eq!(v.lookup("wb", Role::Home, Role::Home), Some("VC4"));
+    }
+
+    #[test]
+    fn v0_shares_vc0_for_home_home() {
+        let v = VcAssignment::v0();
+        assert_eq!(v.lookup("mread", Role::Home, Role::Home), Some("VC0"));
+        assert!(!v.is_dedicated("VC0"));
+        assert_eq!(v.channel_count(), 4);
+    }
+
+    #[test]
+    fn v2_dedicates_memory_ops() {
+        let v = VcAssignment::v2();
+        assert_eq!(v.lookup("mread", Role::Home, Role::Home), Some("PATH"));
+        assert_eq!(v.lookup("mwrite", Role::Home, Role::Home), Some("PATH"));
+        // The forwarded wb still rides VC4.
+        assert_eq!(v.lookup("wb", Role::Home, Role::Home), Some("VC4"));
+        assert!(v.is_dedicated("PATH"));
+        assert_eq!(v.channel_count(), 5);
+    }
+
+    #[test]
+    fn unknown_message_has_no_entry() {
+        let v = VcAssignment::v1();
+        assert_eq!(v.lookup("nonexistent", Role::Local, Role::Home), None);
+    }
+
+    #[test]
+    fn relation_form_matches_entries() {
+        let v = VcAssignment::v1();
+        let rel = v.as_relation();
+        assert_eq!(rel.arity(), 4);
+        assert_eq!(rel.len(), v.entries().len());
+        // Every catalogued message occurs on 3 role pairs.
+        assert_eq!(rel.len(), messages::MESSAGES.len() * 3);
+    }
+}

@@ -1,0 +1,164 @@
+//! Breadth-first explicit-state exploration (the Murphi-style engine).
+
+use crate::model::Model;
+use crate::state::State;
+use std::collections::{HashSet, VecDeque};
+use std::time::{Duration, Instant};
+
+/// Why the exploration stopped.
+#[derive(Debug, PartialEq, Eq)]
+pub enum McOutcome {
+    /// Full state space explored; all properties hold.
+    Verified,
+    /// A safety property failed (name included).
+    Violation(&'static str),
+    /// A non-quiescent state with no successors (deadlock/livelock in
+    /// the abstract machine).
+    Stuck,
+    /// The state budget ran out (the state-explosion outcome).
+    BudgetExceeded,
+}
+
+/// Exploration statistics.
+#[derive(Debug)]
+pub struct McStats {
+    /// Distinct states visited.
+    pub states: usize,
+    /// Transitions fired.
+    pub transitions: u64,
+    /// Maximum BFS depth reached.
+    pub depth: usize,
+    /// Wall-clock time.
+    pub elapsed: Duration,
+}
+
+/// Explore the model's state space up to `budget` distinct states.
+pub fn explore(model: &Model, budget: usize) -> (McOutcome, McStats) {
+    let start = Instant::now();
+    let init = model.initial();
+    let mut seen: HashSet<State> = HashSet::new();
+    let mut frontier: VecDeque<(State, usize)> = VecDeque::new();
+    seen.insert(init.clone());
+    frontier.push_back((init, 0));
+    let mut transitions = 0u64;
+    let mut depth = 0usize;
+
+    let finish = |outcome, seen: &HashSet<State>, transitions, depth, start: Instant| {
+        (
+            outcome,
+            McStats {
+                states: seen.len(),
+                transitions,
+                depth,
+                elapsed: start.elapsed(),
+            },
+        )
+    };
+
+    while let Some((s, d)) = frontier.pop_front() {
+        depth = depth.max(d);
+        if let Some(prop) = model.check(&s) {
+            return finish(McOutcome::Violation(prop), &seen, transitions, depth, start);
+        }
+        let succ = model.successors(&s);
+        if succ.is_empty() && !s.quiescent() {
+            return finish(McOutcome::Stuck, &seen, transitions, depth, start);
+        }
+        for t in succ {
+            transitions += 1;
+            if !seen.contains(&t) {
+                if seen.len() >= budget {
+                    return finish(
+                        McOutcome::BudgetExceeded,
+                        &seen,
+                        transitions,
+                        depth,
+                        start,
+                    );
+                }
+                seen.insert(t.clone());
+                frontier.push_back((t, d + 1));
+            }
+        }
+    }
+    finish(McOutcome::Verified, &seen, transitions, depth, start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_model_verifies() {
+        let m = Model {
+            nodes: 2,
+            quota: 1,
+            resp_depth: 2,
+        };
+        let (out, stats) = explore(&m, 1_000_000);
+        assert_eq!(out, McOutcome::Verified, "{stats:?}");
+        assert!(stats.states > 10);
+        assert!(stats.transitions >= stats.states as u64 - 1);
+        assert!(stats.depth > 2);
+    }
+
+    #[test]
+    fn two_node_two_op_model_verifies() {
+        let m = Model {
+            nodes: 2,
+            quota: 2,
+            resp_depth: 2,
+        };
+        let (out, stats) = explore(&m, 5_000_000);
+        assert_eq!(out, McOutcome::Verified, "{stats:?}");
+    }
+
+    #[test]
+    fn state_count_explodes_with_nodes() {
+        // The paper's point: explicit-state exploration grows violently
+        // with the number of nodes, while the SQL static checks operate
+        // on fixed-size tables.
+        let count = |nodes| {
+            let m = Model {
+                nodes,
+                quota: 1,
+                resp_depth: 2,
+            };
+            explore(&m, 10_000_000).1.states
+        };
+        let s2 = count(2);
+        let s3 = count(3);
+        let s4 = count(4);
+        assert!(s3 > 4 * s2, "2→3 nodes: {s2} → {s3}");
+        assert!(s4 > 4 * s3, "3→4 nodes: {s3} → {s4}");
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        let m = Model {
+            nodes: 3,
+            quota: 2,
+            resp_depth: 2,
+        };
+        let (out, stats) = explore(&m, 50);
+        assert_eq!(out, McOutcome::BudgetExceeded);
+        assert!(stats.states <= 51);
+    }
+
+    #[test]
+    fn seeded_bug_is_found() {
+        // Break the model: make it grant exclusive data while sharers
+        // survive, by exploring from a corrupt initial state.
+        let m = Model {
+            nodes: 2,
+            quota: 1,
+            resp_depth: 2,
+        };
+        let mut init = m.initial();
+        init.cache[0] = crate::state::Cache::M;
+        init.cache[1] = crate::state::Cache::S;
+        // Explore from the corrupt state via a wrapper model: simplest
+        // is to check it directly.
+        assert!(m.check(&init).is_some());
+    }
+}

@@ -1,0 +1,21 @@
+//! # `ccsql-mc` — Murphi-style explicit-state model checker (baseline)
+//!
+//! The paper positions its SQL-based static analysis against formal
+//! model checkers: "Model checkers based on formal approaches have a
+//! lot of reasoning power and can detect such deadlocks. However, to
+//! use these tools, the controller tables need to be extensively
+//! abstracted to avoid the state explosion problem."
+//!
+//! This crate is that baseline: a heavily abstracted single-line model
+//! of the same directory MESI protocol ([`model::Model`]) explored by
+//! breadth-first search ([`explore::explore`]). The benches measure the
+//! exponential growth of its state space against the table-size-bounded
+//! cost of the SQL analyses.
+
+pub mod explore;
+pub mod model;
+pub mod state;
+
+pub use explore::{explore, McOutcome, McStats};
+pub use model::Model;
+pub use state::State;

@@ -1,0 +1,174 @@
+//! The abstracted protocol state for explicit-state model checking.
+//!
+//! As the paper notes, "to use these tools, the controller tables need
+//! to be extensively abstracted to avoid the state explosion problem".
+//! This module is that abstraction: a single cache line, symmetric
+//! nodes, small bounded message slots — the classic Murphi-style model
+//! of a directory MESI protocol (one abstract home, N abstract nodes).
+
+/// MESI cache state, compact.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Cache {
+    /// Modified.
+    M,
+    /// Exclusive.
+    E,
+    /// Shared.
+    S,
+    /// Invalid.
+    I,
+}
+
+/// Directory state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Dir {
+    /// No cached copy.
+    I,
+    /// Shared-or-invalid; sharers in the presence bitset.
+    Si,
+    /// One owner (any MESI state possible there).
+    Mesi,
+}
+
+/// A processor request (node → directory).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Req {
+    /// Shared read.
+    Read,
+    /// Read exclusive.
+    ReadEx,
+    /// Shared → exclusive, no data.
+    Upgrade,
+    /// Write back a modified line.
+    Wb,
+    /// Drop a clean line.
+    Replace,
+}
+
+/// A snoop (directory → node).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Snoop {
+    /// Invalidate.
+    Inv,
+    /// Downgrade to shared (owner supplies data).
+    Down,
+}
+
+/// A response (directory → node).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Resp {
+    /// Shared data.
+    Data,
+    /// Exclusive data (also completes writes).
+    EData,
+    /// Completion without data (upgrade, write back, replace).
+    Compl,
+    /// Try again.
+    Retry,
+}
+
+/// The in-flight transaction at the directory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Busy {
+    /// The request being served.
+    pub req: Req,
+    /// The requesting node.
+    pub requester: u8,
+    /// Outstanding snoop responses.
+    pub pending: u8,
+}
+
+/// One global state of the abstract machine.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct State {
+    /// Per-node cache state.
+    pub cache: Vec<Cache>,
+    /// Per-node pending request at the node (issued, not completed).
+    pub pend: Vec<Option<Req>>,
+    /// Per-node request slot in flight to the directory.
+    pub req: Vec<Option<Req>>,
+    /// Per-node snoop slot in flight from the directory.
+    pub snoop: Vec<Option<Snoop>>,
+    /// Per-node snoop response in flight to the directory.
+    pub sresp: Vec<bool>,
+    /// Per-node response queue from the directory (bounded).
+    pub resp: Vec<Vec<Resp>>,
+    /// Directory state.
+    pub dir: Dir,
+    /// Presence bitset.
+    pub pv: u16,
+    /// In-flight transaction.
+    pub busy: Option<Busy>,
+    /// Remaining operations each node may still issue (bounds the
+    /// reachable space; `None`-like saturation at 255).
+    pub quota: Vec<u8>,
+}
+
+impl State {
+    /// Initial state: everything invalid, `quota` operations per node.
+    pub fn initial(nodes: usize, quota: u8) -> State {
+        State {
+            cache: vec![Cache::I; nodes],
+            pend: vec![None; nodes],
+            req: vec![None; nodes],
+            snoop: vec![None; nodes],
+            sresp: vec![false; nodes],
+            resp: vec![Vec::new(); nodes],
+            dir: Dir::I,
+            pv: 0,
+            busy: None,
+            quota: vec![quota; nodes],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Sharer count.
+    pub fn sharers(&self) -> u32 {
+        self.pv.count_ones()
+    }
+
+    /// Is node `i` in the presence vector?
+    pub fn in_pv(&self, i: usize) -> bool {
+        self.pv & (1 << i) != 0
+    }
+
+    /// True when nothing is in flight and no node has a pending op.
+    pub fn quiescent(&self) -> bool {
+        self.busy.is_none()
+            && self.pend.iter().all(|p| p.is_none())
+            && self.req.iter().all(|r| r.is_none())
+            && self.snoop.iter().all(|s| s.is_none())
+            && self.sresp.iter().all(|s| !s)
+            && self.resp.iter().all(|r| r.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_state_is_quiescent() {
+        let s = State::initial(3, 2);
+        assert!(s.quiescent());
+        assert_eq!(s.nodes(), 3);
+        assert_eq!(s.sharers(), 0);
+        assert!(!s.in_pv(0));
+    }
+
+    #[test]
+    fn states_hash_and_compare_structurally() {
+        use std::collections::HashSet;
+        let a = State::initial(2, 1);
+        let mut b = State::initial(2, 1);
+        let mut set = HashSet::new();
+        set.insert(a.clone());
+        assert!(set.contains(&b));
+        b.cache[1] = Cache::M;
+        assert!(!set.contains(&b));
+    }
+}

@@ -1,0 +1,74 @@
+//! Property-based tests for the model checker: random walks through
+//! the transition relation preserve the safety properties and basic
+//! structural sanity of states.
+
+use ccsql_mc::{Model, State};
+use proptest::prelude::*;
+
+fn walk(model: &Model, choices: &[u8]) -> Vec<State> {
+    let mut s = model.initial();
+    let mut path = vec![s.clone()];
+    for &c in choices {
+        let succ = model.successors(&s);
+        if succ.is_empty() {
+            break;
+        }
+        s = succ[c as usize % succ.len()].clone();
+        path.push(s.clone());
+    }
+    path
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_walks_stay_safe(
+        nodes in 2usize..4,
+        choices in prop::collection::vec(any::<u8>(), 0..60),
+    ) {
+        let m = Model { nodes, quota: 2, resp_depth: 2 };
+        for s in walk(&m, &choices) {
+            prop_assert!(m.check(&s).is_none(), "violation in {s:?}");
+        }
+    }
+
+    #[test]
+    fn walks_preserve_structure(
+        nodes in 2usize..4,
+        choices in prop::collection::vec(any::<u8>(), 0..60),
+    ) {
+        let m = Model { nodes, quota: 2, resp_depth: 2 };
+        for s in walk(&m, &choices) {
+            prop_assert_eq!(s.nodes(), nodes);
+            // The presence vector never names nodes outside the system.
+            prop_assert_eq!(s.pv >> nodes, 0);
+            // Busy pending counts stay within the node count.
+            if let Some(b) = s.busy {
+                prop_assert!((b.pending as usize) < nodes.max(2));
+                prop_assert!((b.requester as usize) < nodes);
+            }
+            // Response queues respect the bound.
+            for q in &s.resp {
+                prop_assert!(q.len() <= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn quiescent_states_are_stable_or_issue(
+        nodes in 2usize..4,
+        choices in prop::collection::vec(any::<u8>(), 0..40),
+    ) {
+        let m = Model { nodes, quota: 1, resp_depth: 2 };
+        for s in walk(&m, &choices) {
+            if s.quiescent() {
+                // From quiescence the only enabled rules are issues.
+                for t in m.successors(&s) {
+                    let issued = (0..nodes).filter(|&i| t.req[i].is_some()).count();
+                    prop_assert_eq!(issued, 1);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! The configuration / special-transaction controller table `CFG`.
+//!
+//! Handles the "special transactions that are used to communicate the
+//! state information among the controllers": configuration register
+//! access, synchronisation barriers, and directory-state probes.
+
+use crate::spec::cols::{only, vals, vals_null};
+use crate::spec::{ControllerBuilder, ControllerSpec, MsgTriple, Rule};
+use ccsql_relalg::{Expr, Value};
+
+fn v(s: &str) -> Value {
+    Value::sym(s)
+}
+
+/// Build the configuration controller specification.
+pub fn cfg_spec() -> ControllerSpec {
+    let mut b = ControllerBuilder::new("CFG");
+    b.input(
+        "inmsg",
+        vals(&["cfgrd", "cfgwr", "sync", "probe"]),
+        Expr::True,
+    );
+    b.input("inmsgsrc", only("local"), Expr::col_eq("inmsgsrc", "local"));
+    b.input("inmsgdest", only("home"), Expr::col_eq("inmsgdest", "home"));
+    b.input("cfgst", vals(&["idle", "synced"]), Expr::True);
+
+    b.output(
+        "outmsg",
+        vals_null(&["cfgdata", "cfgcompl", "syncdone", "proberes"]),
+        Value::Null,
+    );
+    b.output("nxtcfgst", vals_null(&["idle", "synced"]), Value::Null);
+    b.derived(
+        "outmsgsrc",
+        vals_null(&["home"]),
+        ccsql_relalg::parse_expr("outmsg = NULL ? outmsgsrc = NULL : outmsgsrc = home").unwrap(),
+    );
+    b.derived(
+        "outmsgdest",
+        vals_null(&["local"]),
+        ccsql_relalg::parse_expr("outmsg = NULL ? outmsgdest = NULL : outmsgdest = local").unwrap(),
+    );
+
+    let g = |m: &str, st: &[&str]| {
+        let stx = match st {
+            [one] => Expr::col_eq("cfgst", one),
+            many => Expr::col_in("cfgst", many),
+        };
+        Expr::col_eq("inmsg", m).and(stx)
+    };
+    b.rule(Rule::new(
+        "cfgrd",
+        g("cfgrd", &["idle", "synced"]),
+        vec![("outmsg", v("cfgdata"))],
+    ));
+    b.rule(Rule::new(
+        "cfgwr",
+        g("cfgwr", &["idle", "synced"]),
+        vec![("outmsg", v("cfgcompl"))],
+    ));
+    b.rule(Rule::new(
+        "sync",
+        g("sync", &["idle"]),
+        vec![("outmsg", v("syncdone")), ("nxtcfgst", v("synced"))],
+    ));
+    b.rule(Rule::new(
+        "sync/again",
+        g("sync", &["synced"]),
+        vec![("outmsg", v("syncdone"))],
+    ));
+    b.rule(Rule::new(
+        "probe",
+        g("probe", &["idle", "synced"]),
+        vec![("outmsg", v("proberes"))],
+    ));
+
+    ControllerSpec {
+        name: "CFG",
+        spec: b.build(),
+        input_triples: vec![MsgTriple::new("inmsg", "inmsgsrc", "inmsgdest")],
+        output_triples: vec![MsgTriple::new("outmsg", "outmsgsrc", "outmsgdest")],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccsql_relalg::expr::SetContext;
+    use ccsql_relalg::GenMode;
+
+    #[test]
+    fn cfg_rows_and_responses() {
+        let (rel, _) = cfg_spec()
+            .spec
+            .generate(GenMode::Incremental, &SetContext::new())
+            .unwrap();
+        // cfgrd 2 + cfgwr 2 + sync 2 + probe 2.
+        assert_eq!(rel.len(), 8);
+        let s = rel.schema();
+        let col = |n: &str| s.index_of_str(n).unwrap();
+        for r in rel.rows() {
+            assert_ne!(r[col("outmsg")], Value::Null, "every special op answered");
+        }
+    }
+}

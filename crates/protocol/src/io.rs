@@ -1,0 +1,133 @@
+//! The I/O controller table `IO` (home quad).
+//!
+//! Serves I/O-space transactions forwarded by the directory engine and
+//! interrupt delivery.
+
+use crate::spec::cols::{only, vals, vals_null};
+use crate::spec::{ControllerBuilder, ControllerSpec, MsgTriple, Rule};
+use ccsql_relalg::{Expr, Value};
+
+fn v(s: &str) -> Value {
+    Value::sym(s)
+}
+
+/// Build the I/O controller specification.
+pub fn io_spec() -> ControllerSpec {
+    let mut b = ControllerBuilder::new("IO");
+    b.input(
+        "inmsg",
+        vals(&["ioread", "iowrite", "iordex", "intr", "intack"]),
+        Expr::True,
+    );
+    b.input("inmsgsrc", only("home"), Expr::col_eq("inmsgsrc", "home"));
+    b.input("inmsgdest", only("home"), Expr::col_eq("inmsgdest", "home"));
+    b.input("iost", vals(&["ready", "owned"]), Expr::True);
+
+    b.output(
+        "outmsg",
+        vals_null(&["iodata", "iocompl", "intdone", "ack", "retry"]),
+        Value::Null,
+    );
+    b.output("nxtiost", vals_null(&["ready", "owned"]), Value::Null);
+    b.derived(
+        "outmsgsrc",
+        vals_null(&["home"]),
+        ccsql_relalg::parse_expr("outmsg = NULL ? outmsgsrc = NULL : outmsgsrc = home").unwrap(),
+    );
+    b.derived(
+        "outmsgdest",
+        vals_null(&["home"]),
+        ccsql_relalg::parse_expr("outmsg = NULL ? outmsgdest = NULL : outmsgdest = home").unwrap(),
+    );
+
+    let g = |m: &str, st: &str| Expr::col_eq("inmsg", m).and(Expr::col_eq("iost", st));
+    b.rule(Rule::new(
+        "ioread/ready",
+        g("ioread", "ready"),
+        vec![("outmsg", v("iodata"))],
+    ));
+    b.rule(Rule::new(
+        "ioread/owned",
+        g("ioread", "owned"),
+        vec![("outmsg", v("retry"))],
+    ));
+    b.rule(Rule::new(
+        "iowrite/ready",
+        g("iowrite", "ready"),
+        vec![("outmsg", v("iocompl"))],
+    ));
+    b.rule(Rule::new(
+        "iowrite/owned",
+        g("iowrite", "owned"),
+        vec![("outmsg", v("retry"))],
+    ));
+    // Exclusive device ownership.
+    b.rule(Rule::new(
+        "iordex/ready",
+        g("iordex", "ready"),
+        vec![("outmsg", v("iodata")), ("nxtiost", v("owned"))],
+    ));
+    b.rule(Rule::new(
+        "iordex/owned",
+        g("iordex", "owned"),
+        vec![("outmsg", v("retry"))],
+    ));
+    b.rule(Rule::new(
+        "intr",
+        Expr::col_eq("inmsg", "intr").and(Expr::col_in("iost", &["ready", "owned"])),
+        vec![("outmsg", v("intdone"))],
+    ));
+    // Interrupt acknowledge releases device ownership.
+    b.rule(Rule::new(
+        "intack/owned",
+        g("intack", "owned"),
+        vec![("outmsg", v("ack")), ("nxtiost", v("ready"))],
+    ));
+    b.rule(Rule::new(
+        "intack/ready",
+        g("intack", "ready"),
+        vec![("outmsg", v("ack"))],
+    ));
+
+    ControllerSpec {
+        name: "IO",
+        spec: b.build(),
+        input_triples: vec![MsgTriple::new("inmsg", "inmsgsrc", "inmsgdest")],
+        output_triples: vec![MsgTriple::new("outmsg", "outmsgsrc", "outmsgdest")],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccsql_relalg::expr::SetContext;
+    use ccsql_relalg::GenMode;
+
+    #[test]
+    fn io_rows() {
+        let (rel, _) = io_spec()
+            .spec
+            .generate(GenMode::Incremental, &SetContext::new())
+            .unwrap();
+        // 2 rows per request type (ready/owned) for 5 types.
+        assert_eq!(rel.len(), 10);
+    }
+
+    #[test]
+    fn ownership_gates_access() {
+        let (rel, _) = io_spec()
+            .spec
+            .generate(GenMode::Incremental, &SetContext::new())
+            .unwrap();
+        let s = rel.schema();
+        let col = |n: &str| s.index_of_str(n).unwrap();
+        for r in rel.rows() {
+            let m = r[col("inmsg")].to_string();
+            if r[col("iost")] == Value::sym("owned")
+                && matches!(m.as_str(), "ioread" | "iowrite" | "iordex")
+            {
+                assert_eq!(r[col("outmsg")], Value::sym("retry"));
+            }
+        }
+    }
+}

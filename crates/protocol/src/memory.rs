@@ -1,0 +1,105 @@
+//! The home memory controller table `M`.
+//!
+//! Home memory serves the directory controller: it answers `mread` with
+//! `data`, `mwrite` with `mcompl`, forwarded `wb` with `compl` (the
+//! Figure-4 deadlock row R1: `(wb, home, home) → (compl, home, home)`),
+//! and I/O space operations with `iodata`/`iocompl`.
+
+use crate::spec::cols::{only, vals, vals_null};
+use crate::spec::{ControllerBuilder, ControllerSpec, MsgTriple, Rule};
+use ccsql_relalg::{Expr, Value};
+
+fn v(s: &str) -> Value {
+    Value::sym(s)
+}
+
+/// Build the memory controller specification.
+pub fn memory_spec() -> ControllerSpec {
+    let mut b = ControllerBuilder::new("M");
+    b.input(
+        "inmsg",
+        vals(&["mread", "mwrite", "wb", "ioread", "iowrite", "mupd", "mflush"]),
+        Expr::True,
+    );
+    b.input("inmsgsrc", only("home"), Expr::col_eq("inmsgsrc", "home"));
+    b.input("inmsgdest", only("home"), Expr::col_eq("inmsgdest", "home"));
+    b.input("inmsgres", only("memq"), Expr::col_eq("inmsgres", "memq"));
+    b.input("memst", only("ready"), Expr::col_eq("memst", "ready"));
+
+    b.output(
+        "outmsg",
+        vals_null(&["data", "mcompl", "compl", "iodata", "iocompl", "ack"]),
+        Value::Null,
+    );
+    b.output("nxtmemst", vals_null(&["ready"]), Value::Null);
+    b.derived(
+        "outmsgsrc",
+        vals_null(&["home"]),
+        ccsql_relalg::parse_expr("outmsg = NULL ? outmsgsrc = NULL : outmsgsrc = home").unwrap(),
+    );
+    b.derived(
+        "outmsgdest",
+        vals_null(&["home"]),
+        ccsql_relalg::parse_expr("outmsg = NULL ? outmsgdest = NULL : outmsgdest = home").unwrap(),
+    );
+    b.derived(
+        "outmsgres",
+        vals_null(&["rspq"]),
+        ccsql_relalg::parse_expr("outmsg = NULL ? outmsgres = NULL : outmsgres = rspq").unwrap(),
+    );
+
+    let g = |m: &str| Expr::col_eq("inmsg", m).and(Expr::col_eq("memst", "ready"));
+    b.rule(Rule::new("mread", g("mread"), vec![("outmsg", v("data"))]));
+    b.rule(Rule::new("mwrite", g("mwrite"), vec![("outmsg", v("mcompl"))]));
+    // Figure-4 row R1: the forwarded write back is answered with compl.
+    b.rule(Rule::new("wb", g("wb"), vec![("outmsg", v("compl"))]));
+    b.rule(Rule::new("ioread", g("ioread"), vec![("outmsg", v("iodata"))]));
+    b.rule(Rule::new(
+        "iowrite",
+        g("iowrite"),
+        vec![("outmsg", v("iocompl"))],
+    ));
+    b.rule(Rule::new("mupd", g("mupd"), vec![("outmsg", v("ack"))]));
+    // mflush drains the write buffer; no reply message.
+    b.rule(Rule::new("mflush", g("mflush"), vec![]));
+
+    ControllerSpec {
+        name: "M",
+        spec: b.build(),
+        input_triples: vec![MsgTriple::new("inmsg", "inmsgsrc", "inmsgdest")],
+        output_triples: vec![MsgTriple::new("outmsg", "outmsgsrc", "outmsgdest")],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccsql_relalg::expr::SetContext;
+    use ccsql_relalg::GenMode;
+
+    #[test]
+    fn memory_table_rows() {
+        let spec = memory_spec();
+        let (rel, _) = spec
+            .spec
+            .generate(GenMode::Incremental, &SetContext::new())
+            .unwrap();
+        assert_eq!(rel.len(), 7);
+        let s = rel.schema();
+        let col = |n: &str| s.index_of_str(n).unwrap();
+        let wb = rel
+            .rows()
+            .find(|r| r[col("inmsg")] == Value::sym("wb"))
+            .unwrap();
+        // Figure-4 R1: (wb, home, home) → (compl, home, home).
+        assert_eq!(wb[col("outmsg")], Value::sym("compl"));
+        assert_eq!(wb[col("outmsgsrc")], Value::sym("home"));
+        assert_eq!(wb[col("outmsgdest")], Value::sym("home"));
+        let mflush = rel
+            .rows()
+            .find(|r| r[col("inmsg")] == Value::sym("mflush"))
+            .unwrap();
+        assert_eq!(mflush[col("outmsg")], Value::Null);
+        assert_eq!(mflush[col("outmsgdest")], Value::Null);
+    }
+}

@@ -1,0 +1,378 @@
+//! The node controller table `N` (local node).
+//!
+//! The node controller sits between the processors of a node and the
+//! network: processor operations (`cpu_read`, `cpu_write`, `cpu_evict`,
+//! `cpu_flush`, `cpu_ioread`, `cpu_iowrite`) become protocol requests to
+//! the home directory; network responses update the node's cache state
+//! and complete the pending operation.
+//!
+//! State: the line's cache state (`cachest` ∈ MESI) and the pending
+//! transaction (`pendst`).
+
+use crate::spec::cols::{vals, vals_null};
+use crate::spec::{ControllerBuilder, ControllerSpec, MsgTriple, Rule};
+use ccsql_relalg::{Expr, Value};
+
+fn v(s: &str) -> Value {
+    Value::sym(s)
+}
+
+/// Processor-side operations (not network messages).
+pub const CPU_OPS: &[&str] = &[
+    "cpu_read",
+    "cpu_write",
+    "cpu_evict",
+    "cpu_flush",
+    "cpu_ioread",
+    "cpu_iowrite",
+];
+
+/// Network responses the node consumes.
+pub const N_RESPONSES: &[&str] = &[
+    "data", "edata", "compl", "retry", "wbcompl", "iodata", "iocompl", "ack",
+];
+
+/// Pending-transaction states of the node controller.
+pub const PEND_STATES: &[&str] = &["none", "p_read", "p_write", "p_evict", "p_flush", "p_io"];
+
+fn g(inmsg: &str, cachest: &[&str], pendst: &str) -> Expr {
+    let st = match cachest {
+        [one] => Expr::col_eq("cachest", one),
+        many => Expr::col_in("cachest", many),
+    };
+    Expr::col_eq("inmsg", inmsg)
+        .and(st)
+        .and(Expr::col_eq("pendst", pendst))
+}
+
+/// Build the node controller specification.
+pub fn node_spec() -> ControllerSpec {
+    let mut b = ControllerBuilder::new("N");
+
+    let mut inmsgs: Vec<&str> = CPU_OPS.to_vec();
+    inmsgs.extend_from_slice(N_RESPONSES);
+    b.input("inmsg", vals(&inmsgs), Expr::True);
+    // CPU ops have no network source; responses come from home.
+    b.input(
+        "inmsgsrc",
+        vals_null(&["home"]),
+        ccsql_relalg::parse_expr(
+            "inmsg in (cpu_read, cpu_write, cpu_evict, cpu_flush, cpu_ioread, cpu_iowrite) \
+             ? inmsgsrc = NULL : inmsgsrc = home",
+        )
+        .unwrap(),
+    );
+    b.input(
+        "inmsgdest",
+        vals_null(&["local"]),
+        ccsql_relalg::parse_expr("inmsgsrc = NULL ? inmsgdest = NULL : inmsgdest = local").unwrap(),
+    );
+    b.input("cachest", vals(&["M", "E", "S", "I"]), Expr::True);
+    b.input("pendst", vals(PEND_STATES), Expr::True);
+
+    b.output(
+        "outmsg",
+        vals_null(&[
+            "read", "readex", "upgrade", "wb", "replace", "flush", "ioread", "iowrite",
+        ]),
+        Value::Null,
+    );
+    b.output("nxtcachest", vals_null(&["M", "E", "S", "I"]), Value::Null);
+    b.output("nxtpendst", vals_null(PEND_STATES), Value::Null);
+    // What the processor sees: immediate completion (hit), stall, or a
+    // completed miss.
+    b.output("cpures", vals(&["done", "wait", "redo"]), v("done"));
+    b.derived(
+        "outmsgsrc",
+        vals_null(&["local"]),
+        ccsql_relalg::parse_expr("outmsg = NULL ? outmsgsrc = NULL : outmsgsrc = local").unwrap(),
+    );
+    b.derived(
+        "outmsgdest",
+        vals_null(&["home"]),
+        ccsql_relalg::parse_expr("outmsg = NULL ? outmsgdest = NULL : outmsgdest = home").unwrap(),
+    );
+    b.derived(
+        "outmsgres",
+        vals_null(&["reqq"]),
+        ccsql_relalg::parse_expr("outmsg = NULL ? outmsgres = NULL : outmsgres = reqq").unwrap(),
+    );
+
+    // ------------------------------------------------------- CPU reads
+    b.rule(Rule::new(
+        "cpu_read/hit",
+        g("cpu_read", &["M", "E", "S"], "none"),
+        vec![("cpures", v("done"))],
+    ));
+    b.rule(Rule::new(
+        "cpu_read/miss",
+        g("cpu_read", &["I"], "none"),
+        vec![
+            ("outmsg", v("read")),
+            ("nxtpendst", v("p_read")),
+            ("cpures", v("wait")),
+        ],
+    ));
+    // ------------------------------------------------------ CPU writes
+    b.rule(Rule::new(
+        "cpu_write/hit-M",
+        g("cpu_write", &["M"], "none"),
+        vec![("cpures", v("done"))],
+    ));
+    b.rule(Rule::new(
+        "cpu_write/hit-E",
+        g("cpu_write", &["E"], "none"),
+        vec![("nxtcachest", v("M")), ("cpures", v("done"))],
+    ));
+    b.rule(Rule::new(
+        "cpu_write/upgrade",
+        g("cpu_write", &["S"], "none"),
+        vec![
+            ("outmsg", v("upgrade")),
+            ("nxtpendst", v("p_write")),
+            ("cpures", v("wait")),
+        ],
+    ));
+    b.rule(Rule::new(
+        "cpu_write/miss",
+        g("cpu_write", &["I"], "none"),
+        vec![
+            ("outmsg", v("readex")),
+            ("nxtpendst", v("p_write")),
+            ("cpures", v("wait")),
+        ],
+    ));
+    // --------------------------------------------------------- evictions
+    b.rule(Rule::new(
+        "cpu_evict/dirty",
+        g("cpu_evict", &["M"], "none"),
+        vec![
+            ("outmsg", v("wb")),
+            ("nxtpendst", v("p_evict")),
+            ("cpures", v("wait")),
+        ],
+    ));
+    // The line stays valid until the directory acknowledges the
+    // replacement — invalidating at issue would leave a stale presence
+    // vector entry behind if the replace is retried and re-evaluated
+    // against an already-invalid cache.
+    b.rule(Rule::new(
+        "cpu_evict/clean",
+        g("cpu_evict", &["E", "S"], "none"),
+        vec![
+            ("outmsg", v("replace")),
+            ("nxtpendst", v("p_evict")),
+            ("cpures", v("wait")),
+        ],
+    ));
+    b.rule(Rule::new(
+        "cpu_evict/nothing",
+        g("cpu_evict", &["I"], "none"),
+        vec![("cpures", v("done"))],
+    ));
+    // ----------------------------------------------------------- flush
+    b.rule(Rule::new(
+        "cpu_flush",
+        g("cpu_flush", &["M", "E", "S", "I"], "none"),
+        vec![
+            ("outmsg", v("flush")),
+            ("nxtcachest", v("I")),
+            ("nxtpendst", v("p_flush")),
+            ("cpures", v("wait")),
+        ],
+    ));
+    // ------------------------------------------------------------- I/O
+    b.rule(Rule::new(
+        "cpu_ioread",
+        g("cpu_ioread", &["I"], "none"),
+        vec![
+            ("outmsg", v("ioread")),
+            ("nxtpendst", v("p_io")),
+            ("cpures", v("wait")),
+        ],
+    ));
+    b.rule(Rule::new(
+        "cpu_iowrite",
+        g("cpu_iowrite", &["I"], "none"),
+        vec![
+            ("outmsg", v("iowrite")),
+            ("nxtpendst", v("p_io")),
+            ("cpures", v("wait")),
+        ],
+    ));
+
+    // -------------------------------------------------------- responses
+    b.rule(Rule::new(
+        "data/p_read",
+        g("data", &["I"], "p_read"),
+        vec![
+            ("nxtcachest", v("S")),
+            ("nxtpendst", v("none")),
+            ("cpures", v("done")),
+        ],
+    ));
+    // A read miss answered with exclusive ownership (no other sharers).
+    b.rule(Rule::new(
+        "edata/p_read",
+        g("edata", &["I"], "p_read"),
+        vec![
+            ("nxtcachest", v("E")),
+            ("nxtpendst", v("none")),
+            ("cpures", v("done")),
+        ],
+    ));
+    // Data forwarded while invalidations are still outstanding
+    // (readex@SI, Figure 2): stage it, completion (compl) follows.
+    b.rule(Rule::new(
+        "data/p_write",
+        g("data", &["S", "I"], "p_write"),
+        vec![("cpures", v("wait"))],
+    ));
+    b.rule(Rule::new(
+        "edata/p_write",
+        g("edata", &["I"], "p_write"),
+        vec![
+            ("nxtcachest", v("M")),
+            ("nxtpendst", v("none")),
+            ("cpures", v("done")),
+        ],
+    ));
+    b.rule(Rule::new(
+        "compl/p_write",
+        g("compl", &["S", "I"], "p_write"),
+        vec![
+            ("nxtcachest", v("M")),
+            ("nxtpendst", v("none")),
+            ("cpures", v("done")),
+        ],
+    ));
+    b.rule(Rule::new(
+        "compl/p_evict",
+        g("compl", &["M"], "p_evict"),
+        vec![
+            ("nxtcachest", v("I")),
+            ("nxtpendst", v("none")),
+            ("cpures", v("done")),
+        ],
+    ));
+    b.rule(Rule::new(
+        "ack/p_evict",
+        g("ack", &["E", "S"], "p_evict"),
+        vec![
+            ("nxtcachest", v("I")),
+            ("nxtpendst", v("none")),
+            ("cpures", v("done")),
+        ],
+    ));
+    b.rule(Rule::new(
+        "wbcompl/p_evict",
+        g("wbcompl", &["M"], "p_evict"),
+        vec![
+            ("nxtcachest", v("I")),
+            ("nxtpendst", v("none")),
+            ("cpures", v("done")),
+        ],
+    ));
+    b.rule(Rule::new(
+        "compl/p_flush",
+        g("compl", &["I"], "p_flush"),
+        vec![("nxtpendst", v("none")), ("cpures", v("done"))],
+    ));
+    b.rule(Rule::new(
+        "iodata/p_io",
+        g("iodata", &["I"], "p_io"),
+        vec![("nxtpendst", v("none")), ("cpures", v("done"))],
+    ));
+    b.rule(Rule::new(
+        "iocompl/p_io",
+        g("iocompl", &["I"], "p_io"),
+        vec![("nxtpendst", v("none")), ("cpures", v("done"))],
+    ));
+    // A retried request is re-issued by the processor interface.
+    for (pend, st) in [
+        ("p_read", &["I"][..]),
+        ("p_write", &["S", "I"][..]),
+        ("p_evict", &["M", "E", "S", "I"][..]),
+        ("p_flush", &["I"][..]),
+        ("p_io", &["I"][..]),
+    ] {
+        b.rule(Rule::new(
+            format!("retry/{pend}"),
+            g("retry", st, pend),
+            vec![("nxtpendst", v("none")), ("cpures", v("redo"))],
+        ));
+    }
+
+    ControllerSpec {
+        name: "N",
+        spec: b.build(),
+        input_triples: vec![MsgTriple::new("inmsg", "inmsgsrc", "inmsgdest")],
+        output_triples: vec![MsgTriple::new("outmsg", "outmsgsrc", "outmsgdest")],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccsql_relalg::expr::SetContext;
+    use ccsql_relalg::GenMode;
+
+    #[test]
+    fn node_table_generates() {
+        let spec = node_spec();
+        let (rel, _) = spec
+            .spec
+            .generate(GenMode::Incremental, &SetContext::new())
+            .unwrap();
+        // 18 cpu-op rows + 14 response rows + 9 retry rows.
+        assert_eq!(rel.len(), 41);
+        let s = rel.schema();
+        let col = |n: &str| s.index_of_str(n).unwrap();
+        let miss = rel
+            .rows()
+            .find(|r| {
+                r[col("inmsg")] == Value::sym("cpu_write") && r[col("cachest")] == Value::sym("I")
+            })
+            .unwrap();
+        assert_eq!(miss[col("outmsg")], Value::sym("readex"));
+        assert_eq!(miss[col("outmsgdest")], Value::sym("home"));
+        assert_eq!(miss[col("cpures")], Value::sym("wait"));
+    }
+
+    #[test]
+    fn cpu_ops_have_no_network_source() {
+        let spec = node_spec();
+        let (rel, _) = spec
+            .spec
+            .generate(GenMode::Incremental, &SetContext::new())
+            .unwrap();
+        let s = rel.schema();
+        let col = |n: &str| s.index_of_str(n).unwrap();
+        for r in rel.rows() {
+            let m = r[col("inmsg")].to_string();
+            if m.starts_with("cpu_") {
+                assert_eq!(r[col("inmsgsrc")], Value::Null);
+                assert_eq!(r[col("inmsgdest")], Value::Null);
+            } else {
+                assert_eq!(r[col("inmsgsrc")], Value::sym("home"));
+            }
+        }
+    }
+
+    #[test]
+    fn retry_causes_redo() {
+        let spec = node_spec();
+        let (rel, _) = spec
+            .spec
+            .generate(GenMode::Incremental, &SetContext::new())
+            .unwrap();
+        let s = rel.schema();
+        let col = |n: &str| s.index_of_str(n).unwrap();
+        for r in rel.rows() {
+            if r[col("inmsg")] == Value::sym("retry") {
+                assert_eq!(r[col("cpures")], Value::sym("redo"));
+                assert_eq!(r[col("nxtpendst")], Value::sym("none"));
+            }
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! The remote access cache controller table `R` (remote node).
+//!
+//! The RAC fields snoop requests arriving from the home directory
+//! (`sinv`, `sread`, `sflush`, `srdex`, `sfetch`) against the line's
+//! local state, answers with `idone`/`sdata`/`fdone`/`xferdone`/`sdone`,
+//! and spontaneously writes back dirty victims (the race that sets up
+//! the Figure-4 deadlock: "the remote node writes back its modified line
+//! A to memory before receiving sinv(A)" — so a `sinv` can find the line
+//! already invalid and still must answer `idone`).
+
+use crate::spec::cols::{only, vals, vals_null};
+use crate::spec::{ControllerBuilder, ControllerSpec, MsgTriple, Rule};
+use ccsql_relalg::{Expr, Value};
+
+fn v(s: &str) -> Value {
+    Value::sym(s)
+}
+
+fn g(inmsg: &str, st: &[&str]) -> Expr {
+    let stx = match st {
+        [one] => Expr::col_eq("linest", one),
+        many => Expr::col_in("linest", many),
+    };
+    Expr::col_eq("inmsg", inmsg).and(stx)
+}
+
+/// Build the remote access cache controller specification.
+pub fn rac_spec() -> ControllerSpec {
+    let mut b = ControllerBuilder::new("R");
+    b.input(
+        "inmsg",
+        vals(&["sinv", "sread", "sflush", "srdex", "sfetch"]),
+        Expr::True,
+    );
+    b.input("inmsgsrc", only("home"), Expr::col_eq("inmsgsrc", "home"));
+    b.input(
+        "inmsgdest",
+        only("remote"),
+        Expr::col_eq("inmsgdest", "remote"),
+    );
+    b.input("inmsgres", only("snpq"), Expr::col_eq("inmsgres", "snpq"));
+    b.input("linest", vals(&["M", "E", "S", "I"]), Expr::True);
+
+    b.output(
+        "rspmsg",
+        vals_null(&["idone", "sdata", "fdone", "xferdone", "sdone"]),
+        Value::Null,
+    );
+    b.output("nxtlinest", vals_null(&["M", "E", "S", "I"]), Value::Null);
+    b.derived(
+        "rspmsgsrc",
+        vals_null(&["remote"]),
+        ccsql_relalg::parse_expr("rspmsg = NULL ? rspmsgsrc = NULL : rspmsgsrc = remote").unwrap(),
+    );
+    b.derived(
+        "rspmsgdest",
+        vals_null(&["home"]),
+        ccsql_relalg::parse_expr("rspmsg = NULL ? rspmsgdest = NULL : rspmsgdest = home").unwrap(),
+    );
+    b.derived(
+        "rspmsgres",
+        vals_null(&["rspq"]),
+        ccsql_relalg::parse_expr("rspmsg = NULL ? rspmsgres = NULL : rspmsgres = rspq").unwrap(),
+    );
+
+    // Invalidations: every state (including I — the line may have been
+    // written back / replaced before the snoop arrived, Figure 4)
+    // answers idone. Figure-4 row: (sinv, home, remote) → (idone,
+    // remote, home).
+    b.rule(Rule::new(
+        "sinv",
+        g("sinv", &["M", "E", "S", "I"]),
+        vec![("rspmsg", v("idone")), ("nxtlinest", v("I"))],
+    ));
+    // Downgrades: a dirty owner supplies data; clean owners just confirm.
+    b.rule(Rule::new(
+        "sread/dirty",
+        g("sread", &["M"]),
+        vec![("rspmsg", v("sdata")), ("nxtlinest", v("S"))],
+    ));
+    b.rule(Rule::new(
+        "sread/clean",
+        g("sread", &["E", "S", "I"]),
+        vec![("rspmsg", v("sdone")), ("nxtlinest", v("S"))],
+    ));
+    // Flushes: dirty data travels home with fdone.
+    b.rule(Rule::new(
+        "sflush/dirty",
+        g("sflush", &["M"]),
+        vec![("rspmsg", v("fdone")), ("nxtlinest", v("I"))],
+    ));
+    b.rule(Rule::new(
+        "sflush/clean",
+        g("sflush", &["E", "S", "I"]),
+        vec![("rspmsg", v("fdone")), ("nxtlinest", v("I"))],
+    ));
+    // Ownership transfer.
+    b.rule(Rule::new(
+        "srdex",
+        g("srdex", &["M", "E"]),
+        vec![("rspmsg", v("xferdone")), ("nxtlinest", v("I"))],
+    ));
+    // Uncached fetch from the owner.
+    b.rule(Rule::new(
+        "sfetch",
+        g("sfetch", &["M", "E"]),
+        vec![("rspmsg", v("sdata"))],
+    ));
+
+    ControllerSpec {
+        name: "R",
+        spec: b.build(),
+        input_triples: vec![MsgTriple::new("inmsg", "inmsgsrc", "inmsgdest")],
+        output_triples: vec![MsgTriple::new("rspmsg", "rspmsgsrc", "rspmsgdest")],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccsql_relalg::expr::SetContext;
+    use ccsql_relalg::GenMode;
+
+    #[test]
+    fn rac_rows_and_figure4_row() {
+        let spec = rac_spec();
+        let (rel, _) = spec
+            .spec
+            .generate(GenMode::Incremental, &SetContext::new())
+            .unwrap();
+        // sinv 4 + sread 4 + sflush 4 + srdex 2 + sfetch 2 = 16.
+        assert_eq!(rel.len(), 16);
+        let s = rel.schema();
+        let col = |n: &str| s.index_of_str(n).unwrap();
+        // Figure 4: sinv finds the line already written back (I) and
+        // still answers idone on the response channel.
+        let r = rel
+            .rows()
+            .find(|r| r[col("inmsg")] == Value::sym("sinv") && r[col("linest")] == Value::sym("I"))
+            .unwrap();
+        assert_eq!(r[col("rspmsg")], Value::sym("idone"));
+        assert_eq!(r[col("rspmsgsrc")], Value::sym("remote"));
+        assert_eq!(r[col("rspmsgdest")], Value::sym("home"));
+    }
+
+    #[test]
+    fn every_snoop_is_answered() {
+        // Liveness at the remote: every row produces a response.
+        let spec = rac_spec();
+        let (rel, _) = spec
+            .spec
+            .generate(GenMode::Incremental, &SetContext::new())
+            .unwrap();
+        let s = rel.schema();
+        let col = |n: &str| s.index_of_str(n).unwrap();
+        for r in rel.rows() {
+            assert_ne!(r[col("rspmsg")], Value::Null);
+        }
+    }
+}

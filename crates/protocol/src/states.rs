@@ -1,0 +1,170 @@
+//! Protocol state vocabularies: cache states (MESI), directory states,
+//! busy-directory states, and presence-vector encodings.
+
+/// The four MESI cache states.
+pub const CACHE_STATES: &[&str] = &["M", "E", "S", "I"];
+
+/// Directory states. The directory entry tracks the caches' view of a
+/// line conservatively: `I` (no cached copy), `SI` (shared or invalid),
+/// `MESI` (any state possible — one owner).
+pub const DIR_STATES: &[&str] = &["I", "SI", "MESI"];
+
+/// Presence-vector encodings used in the controller tables: the 16-bit
+/// hardware vector is abstracted as `zero` (no sharers), `one` (exactly
+/// one sharer) or `gone` (more than one sharer).
+pub const DIRPV_VALUES: &[&str] = &["zero", "one", "gone"];
+
+/// Operations on the presence vector in the *next*-vector output column:
+/// increment, decrement, replace, decrement-and-replace-if-zero.
+pub const DIRPV_OPS: &[&str] = &["inc", "dec", "repl", "drepl"];
+
+/// Lookup-result columns (directory / busy-directory lookup).
+pub const LOOKUP_VALUES: &[&str] = &["hit", "miss"];
+
+/// Directory / busy-directory update operations.
+pub const UPD_OPS: &[&str] = &["alloc", "write", "dealloc"];
+
+/// Address-space classification of a transaction.
+pub const ADDR_CLASSES: &[&str] = &["mem", "io"];
+
+/// The transaction families tracked by busy-directory states. The
+/// `readex` family keeps the paper's bare `Busy-sd`/`Busy-s`/`Busy-d`
+/// spellings (Figures 2 and 3); other families are prefixed.
+const BUSY_FAMILIES: &[(&str, &str)] = &[
+    // (family tag used in state names, request message starting it)
+    ("", "readex"), // Busy-sd, Busy-s, Busy-d, Busy-m
+    ("r", "read"),
+    ("u", "upgrade"),
+    ("w", "wb"),
+    ("wi", "wbinv"),
+    ("f", "flush"),
+    ("ft", "fetch"),
+    ("sw", "swap"),
+    ("io", "ioread"),
+    ("iw", "iowrite"),
+];
+
+/// Pending-response suffixes: `sd` = snoop + data pending, `s` = snoop
+/// pending, `d` = data pending, `m` = memory-completion pending.
+const BUSY_SUFFIXES: &[&str] = &["sd", "s", "d", "m"];
+
+/// All busy-directory states (≈40, matching the paper's "around 40 Busy
+/// states"), plus the idle marker `I` at index 0.
+pub fn busy_states() -> Vec<String> {
+    let mut out = vec!["I".to_string()];
+    for (fam, _) in BUSY_FAMILIES {
+        for suf in BUSY_SUFFIXES {
+            out.push(busy_state(fam, suf));
+        }
+    }
+    out
+}
+
+/// Compose a busy-state name from a family tag and pending suffix.
+pub fn busy_state(family: &str, pending: &str) -> String {
+    if family.is_empty() {
+        format!("Busy-{pending}")
+    } else {
+        format!("Busy-{family}-{pending}")
+    }
+}
+
+/// The busy state entered when request `msg` allocates a busy-directory
+/// entry with `pending` responses outstanding. Returns `None` for
+/// messages that never allocate one.
+pub fn busy_state_for(msg: &str, pending: &str) -> Option<String> {
+    BUSY_FAMILIES
+        .iter()
+        .find(|(_, m)| *m == msg)
+        .map(|(fam, _)| busy_state(fam, pending))
+}
+
+/// The request family a busy state belongs to, if any.
+pub fn family_of_busy(state: &str) -> Option<&'static str> {
+    let rest = state.strip_prefix("Busy-")?;
+    // Longest-tag match first so `io`/`iw`/`wi` don't collide with `w`.
+    let mut fams: Vec<&(&str, &str)> = BUSY_FAMILIES.iter().collect();
+    fams.sort_by_key(|(fam, _)| std::cmp::Reverse(fam.len()));
+    for (fam, msg) in fams {
+        if fam.is_empty() {
+            continue;
+        }
+        if let Some(suffix) = rest.strip_prefix(&format!("{fam}-")) {
+            if BUSY_SUFFIXES.contains(&suffix) {
+                return Some(msg);
+            }
+        }
+    }
+    // Bare Busy-sd/s/d/m → readex family.
+    if BUSY_SUFFIXES.contains(&rest) {
+        return Some("readex");
+    }
+    None
+}
+
+/// The pending suffix of a busy state (`sd`, `s`, `d` or `m`).
+pub fn pending_of_busy(state: &str) -> Option<&'static str> {
+    let rest = state.strip_prefix("Busy-")?;
+    let last = rest.rsplit('-').next()?;
+    BUSY_SUFFIXES.iter().copied().find(|s| *s == last)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn about_forty_busy_states() {
+        // "includes around 40 Busy states" — 10 families × 4 suffixes.
+        let b = busy_states();
+        assert_eq!(b.len(), 41); // 40 busy + idle "I"
+        assert_eq!(b[0], "I");
+    }
+
+    #[test]
+    fn paper_busy_names_unprefixed_for_readex() {
+        let b = busy_states();
+        for s in ["Busy-sd", "Busy-s", "Busy-d"] {
+            assert!(b.iter().any(|x| x == s), "missing {s}");
+        }
+        assert_eq!(busy_state_for("readex", "sd").unwrap(), "Busy-sd");
+        assert_eq!(busy_state_for("read", "d").unwrap(), "Busy-r-d");
+        assert_eq!(busy_state_for("data", "d"), None);
+    }
+
+    #[test]
+    fn busy_names_unique() {
+        let mut b = busy_states();
+        b.sort();
+        let n = b.len();
+        b.dedup();
+        assert_eq!(b.len(), n);
+    }
+
+    #[test]
+    fn family_round_trip() {
+        assert_eq!(family_of_busy("Busy-sd"), Some("readex"));
+        assert_eq!(family_of_busy("Busy-r-d"), Some("read"));
+        assert_eq!(family_of_busy("Busy-iw-m"), Some("iowrite"));
+        assert_eq!(family_of_busy("Busy-wi-m"), Some("wbinv"));
+        assert_eq!(family_of_busy("I"), None);
+        assert_eq!(family_of_busy("Busy-zz-q"), None);
+    }
+
+    #[test]
+    fn pending_extraction() {
+        assert_eq!(pending_of_busy("Busy-sd"), Some("sd"));
+        assert_eq!(pending_of_busy("Busy-io-m"), Some("m"));
+        assert_eq!(pending_of_busy("MESI"), None);
+    }
+
+    #[test]
+    fn every_family_message_is_a_request() {
+        for (_, msg) in BUSY_FAMILIES {
+            assert!(
+                crate::messages::is_request(msg),
+                "{msg} is not a catalogued request"
+            );
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! System topology: quads, nodes, the local/home/remote role vocabulary,
+//! and the five quad-placement relations used by the deadlock analysis.
+
+use std::fmt;
+
+/// Number of quads in a full ASURA system.
+pub const MAX_QUADS: usize = 4;
+/// Nodes per quad.
+pub const NODES_PER_QUAD: usize = 4;
+/// Processors per node (2–4 in the product; we model the maximum).
+pub const CPUS_PER_NODE: usize = 4;
+
+/// The role a node plays in one transaction: the requester (`local`),
+/// the owner of the address and its directory (`home`), or a node that
+/// may hold the line in its caches (`remote`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Role {
+    /// Node initiating the request.
+    Local,
+    /// Memory + directory controller for the requested line.
+    Home,
+    /// Node(s) potentially caching the line.
+    Remote,
+}
+
+/// All roles, in canonical order.
+pub const ROLES: &[Role] = &[Role::Local, Role::Home, Role::Remote];
+
+impl Role {
+    /// The table/column spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Role::Local => "local",
+            Role::Home => "home",
+            Role::Remote => "remote",
+        }
+    }
+
+    /// Parse a role name.
+    pub fn parse(s: &str) -> Option<Role> {
+        match s {
+            "local" => Some(Role::Local),
+            "home" => Some(Role::Home),
+            "remote" => Some(Role::Remote),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Role {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The five possible relations between the local (L), home (H) and
+/// remote (R) quads (section 4.1 of the paper): which transaction roles
+/// are placed on the same quad and therefore share physical/virtual
+/// channels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum QuadPlacement {
+    /// L = H = R — all three on the same quad.
+    AllSame,
+    /// L = H ≠ R — local and home share a quad.
+    LocalHome,
+    /// L ≠ H = R — home and remote share a quad (the Figure-4 deadlock).
+    HomeRemote,
+    /// L = R ≠ H — local and remote share a quad.
+    LocalRemote,
+    /// L ≠ H ≠ R — all distinct (the exact-match base case).
+    AllDistinct,
+}
+
+/// All five placements.
+pub const PLACEMENTS: &[QuadPlacement] = &[
+    QuadPlacement::AllSame,
+    QuadPlacement::LocalHome,
+    QuadPlacement::HomeRemote,
+    QuadPlacement::LocalRemote,
+    QuadPlacement::AllDistinct,
+];
+
+impl QuadPlacement {
+    /// The paper's notation.
+    pub fn notation(self) -> &'static str {
+        match self {
+            QuadPlacement::AllSame => "L=H=R",
+            QuadPlacement::LocalHome => "L=H!=R",
+            QuadPlacement::HomeRemote => "L!=H=R",
+            QuadPlacement::LocalRemote => "L=R!=H",
+            QuadPlacement::AllDistinct => "L!=H!=R",
+        }
+    }
+
+    /// Canonicalise a role under this placement: roles on the same quad
+    /// share channels, so they are merged to one representative (the
+    /// first of the equivalence class in `local < home < remote` order).
+    /// This is how the paper turns row `R2` into `R2'` in the Figure-4
+    /// analysis: under `L≠H=R`, `remote` becomes `home`.
+    pub fn canon(self, role: Role) -> Role {
+        match self {
+            QuadPlacement::AllSame => Role::Local,
+            QuadPlacement::LocalHome => {
+                if role == Role::Home {
+                    Role::Local
+                } else {
+                    role
+                }
+            }
+            QuadPlacement::HomeRemote => {
+                if role == Role::Remote {
+                    Role::Home
+                } else {
+                    role
+                }
+            }
+            QuadPlacement::LocalRemote => {
+                if role == Role::Remote {
+                    Role::Local
+                } else {
+                    role
+                }
+            }
+            QuadPlacement::AllDistinct => role,
+        }
+    }
+
+    /// True if the two roles are on the same quad under this placement.
+    pub fn same_quad(self, a: Role, b: Role) -> bool {
+        self.canon(a) == self.canon(b)
+    }
+}
+
+/// A concrete node address: quad + node within quad.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId {
+    /// Quad index (0-based).
+    pub quad: u8,
+    /// Node index within the quad.
+    pub node: u8,
+}
+
+impl NodeId {
+    /// Construct, asserting bounds.
+    pub fn new(quad: usize, node: usize) -> NodeId {
+        assert!(quad < MAX_QUADS && node < NODES_PER_QUAD);
+        NodeId {
+            quad: quad as u8,
+            node: node as u8,
+        }
+    }
+
+    /// Flat index (for presence-vector bits: the paper's 16-bit vector).
+    pub fn flat(self) -> usize {
+        self.quad as usize * NODES_PER_QUAD + self.node as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}n{}", self.quad, self.node)
+    }
+}
+
+/// A 16-bit presence vector over the system's nodes, with the
+/// `zero`/`one`/`gone` abstraction used by the controller tables.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PresenceVector(pub u16);
+
+impl PresenceVector {
+    /// Empty vector.
+    pub fn new() -> PresenceVector {
+        PresenceVector(0)
+    }
+
+    /// Set the bit for `node`.
+    pub fn set(&mut self, node: NodeId) {
+        self.0 |= 1 << node.flat();
+    }
+
+    /// Clear the bit for `node`.
+    pub fn clear(&mut self, node: NodeId) {
+        self.0 &= !(1 << node.flat());
+    }
+
+    /// Is the bit for `node` set?
+    pub fn contains(self, node: NodeId) -> bool {
+        self.0 & (1 << node.flat()) != 0
+    }
+
+    /// Number of sharers.
+    pub fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// The table abstraction: `zero`, `one` or `gone` (more than one).
+    pub fn encoding(self) -> &'static str {
+        match self.count() {
+            0 => "zero",
+            1 => "one",
+            _ => "gone",
+        }
+    }
+
+    /// Apply a next-presence-vector table operation (`inc`, `dec`,
+    /// `repl`, `drepl`) with `node` as the operand. Returns the new
+    /// vector. `drepl` decrements and, if the vector becomes empty,
+    /// replaces it with `{node}` (ownership transfer on last
+    /// invalidation).
+    pub fn apply_op(self, op: &str, node: NodeId) -> PresenceVector {
+        let mut pv = self;
+        match op {
+            "inc" => pv.set(node),
+            "dec" => pv.clear(node),
+            "repl" => pv = PresenceVector(1 << node.flat()),
+            "drepl" => {
+                // Clearing is performed by the caller per responding
+                // node; when empty, ownership moves to `node`.
+                if pv.0 == 0 {
+                    pv = PresenceVector(1 << node.flat());
+                }
+            }
+            _ => panic!("unknown presence-vector op {op:?}"),
+        }
+        pv
+    }
+
+    /// All nodes currently marked present.
+    pub fn nodes(self) -> Vec<NodeId> {
+        (0..MAX_QUADS * NODES_PER_QUAD)
+            .filter(|i| self.0 & (1 << i) != 0)
+            .map(|i| NodeId::new(i / NODES_PER_QUAD, i % NODES_PER_QUAD))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_canonicalisation_matches_paper_example() {
+        // Under L≠H=R the paper rewrites (idone, remote, home, VC2)
+        // to (idone, home, home, VC2).
+        let p = QuadPlacement::HomeRemote;
+        assert_eq!(p.canon(Role::Remote), Role::Home);
+        assert_eq!(p.canon(Role::Local), Role::Local);
+        assert!(p.same_quad(Role::Home, Role::Remote));
+        assert!(!p.same_quad(Role::Local, Role::Home));
+    }
+
+    #[test]
+    fn all_distinct_is_identity() {
+        for &r in ROLES {
+            assert_eq!(QuadPlacement::AllDistinct.canon(r), r);
+        }
+    }
+
+    #[test]
+    fn all_same_merges_everything() {
+        for &r in ROLES {
+            assert_eq!(QuadPlacement::AllSame.canon(r), Role::Local);
+        }
+    }
+
+    #[test]
+    fn five_placements() {
+        assert_eq!(PLACEMENTS.len(), 5);
+        let mut notations: Vec<_> = PLACEMENTS.iter().map(|p| p.notation()).collect();
+        notations.sort();
+        notations.dedup();
+        assert_eq!(notations.len(), 5);
+    }
+
+    #[test]
+    fn role_parse_round_trip() {
+        for &r in ROLES {
+            assert_eq!(Role::parse(r.as_str()), Some(r));
+        }
+        assert_eq!(Role::parse("bogus"), None);
+    }
+
+    #[test]
+    fn node_flat_indexing() {
+        assert_eq!(NodeId::new(0, 0).flat(), 0);
+        assert_eq!(NodeId::new(3, 3).flat(), 15);
+        assert_eq!(NodeId::new(1, 2).to_string(), "q1n2");
+    }
+
+    #[test]
+    #[should_panic]
+    fn node_bounds_checked() {
+        NodeId::new(4, 0);
+    }
+
+    #[test]
+    fn presence_vector_encoding() {
+        let mut pv = PresenceVector::new();
+        assert_eq!(pv.encoding(), "zero");
+        pv.set(NodeId::new(0, 1));
+        assert_eq!(pv.encoding(), "one");
+        pv.set(NodeId::new(2, 3));
+        assert_eq!(pv.encoding(), "gone");
+        assert_eq!(pv.count(), 2);
+        assert!(pv.contains(NodeId::new(2, 3)));
+        pv.clear(NodeId::new(2, 3));
+        assert_eq!(pv.encoding(), "one");
+    }
+
+    #[test]
+    fn presence_vector_ops() {
+        let local = NodeId::new(0, 0);
+        let rem = NodeId::new(1, 0);
+        let pv = PresenceVector::new().apply_op("inc", rem);
+        assert!(pv.contains(rem));
+        let pv2 = pv.apply_op("repl", local);
+        assert!(pv2.contains(local) && !pv2.contains(rem));
+        assert_eq!(pv2.count(), 1);
+        let pv3 = pv.apply_op("dec", rem);
+        assert_eq!(pv3.count(), 0);
+        // drepl on empty vector transfers ownership.
+        let pv4 = pv3.apply_op("drepl", local);
+        assert!(pv4.contains(local));
+        // drepl on non-empty vector leaves it alone.
+        let pv5 = pv.apply_op("drepl", local);
+        assert_eq!(pv5, pv);
+    }
+
+    #[test]
+    fn nodes_enumeration() {
+        let mut pv = PresenceVector::new();
+        pv.set(NodeId::new(0, 1));
+        pv.set(NodeId::new(3, 2));
+        let nodes = pv.nodes();
+        assert_eq!(nodes, vec![NodeId::new(0, 1), NodeId::new(3, 2)]);
+    }
+}

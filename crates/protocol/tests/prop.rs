@@ -1,0 +1,177 @@
+//! Property-based tests over the protocol domain: presence-vector
+//! algebra, busy-state naming, and structural invariants of every
+//! generated controller table.
+
+use ccsql_protocol::states;
+use ccsql_protocol::topology::{NodeId, PresenceVector, QuadPlacement, Role, PLACEMENTS};
+use ccsql_protocol::ProtocolSpec;
+use ccsql_relalg::{GenMode, Relation};
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn node_strategy() -> impl Strategy<Value = NodeId> {
+    (0usize..4, 0usize..4).prop_map(|(q, n)| NodeId::new(q, n))
+}
+
+fn pv_strategy() -> impl Strategy<Value = PresenceVector> {
+    any::<u16>().prop_map(PresenceVector)
+}
+
+proptest! {
+    #[test]
+    fn pv_set_clear_inverse(pv in pv_strategy(), n in node_strategy()) {
+        let mut with = pv;
+        with.set(n);
+        prop_assert!(with.contains(n));
+        let mut without = with;
+        without.clear(n);
+        prop_assert!(!without.contains(n));
+        // Clearing only removes that node.
+        prop_assert_eq!(without.0, pv.0 & !(1 << n.flat()));
+    }
+
+    #[test]
+    fn pv_encoding_matches_count(pv in pv_strategy()) {
+        let enc = pv.encoding();
+        match pv.count() {
+            0 => prop_assert_eq!(enc, "zero"),
+            1 => prop_assert_eq!(enc, "one"),
+            _ => prop_assert_eq!(enc, "gone"),
+        }
+        prop_assert_eq!(pv.nodes().len() as u32, pv.count());
+    }
+
+    #[test]
+    fn pv_ops_preserve_validity(pv in pv_strategy(), n in node_strategy()) {
+        for op in ["inc", "dec", "repl", "drepl"] {
+            let out = pv.apply_op(op, n);
+            match op {
+                "inc" => prop_assert!(out.contains(n)),
+                "dec" => prop_assert!(!out.contains(n)),
+                "repl" => {
+                    prop_assert_eq!(out.count(), 1);
+                    prop_assert!(out.contains(n));
+                }
+                _ => {
+                    if pv.0 == 0 {
+                        prop_assert!(out.contains(n));
+                    } else {
+                        prop_assert_eq!(out.0, pv.0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn placement_canon_is_idempotent_projection(p in 0usize..PLACEMENTS.len()) {
+        let placement = PLACEMENTS[p];
+        for &r in &[Role::Local, Role::Home, Role::Remote] {
+            let once = placement.canon(r);
+            prop_assert_eq!(placement.canon(once), once, "{:?}", placement);
+            // same_quad is an equivalence relation under canon.
+            prop_assert!(placement.same_quad(r, r));
+        }
+        // AllDistinct is the only identity placement.
+        let identity = [Role::Local, Role::Home, Role::Remote]
+            .iter()
+            .all(|&r| placement.canon(r) == r);
+        prop_assert_eq!(identity, placement == QuadPlacement::AllDistinct);
+    }
+
+    #[test]
+    fn busy_state_names_parse_back(fam in 0usize..10, suf in 0usize..4) {
+        let all = states::busy_states();
+        let idx = 1 + fam * 4 + suf; // skip the leading "I"
+        let name = &all[idx];
+        prop_assert!(states::family_of_busy(name).is_some(), "{}", name);
+        prop_assert!(states::pending_of_busy(name).is_some(), "{}", name);
+    }
+}
+
+// ------------------------------------------------------------------
+// Structural properties of every generated table (deterministic, but
+// expressed as exhaustive checks across all controllers).
+
+fn tables() -> &'static Vec<(&'static str, Relation)> {
+    static TABLES: OnceLock<Vec<(&'static str, Relation)>> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let p = ProtocolSpec::asura();
+        let ctx = ProtocolSpec::eval_context();
+        p.controllers
+            .iter()
+            .map(|c| {
+                (
+                    c.name,
+                    c.spec.generate(GenMode::Incremental, &ctx).unwrap().0,
+                )
+            })
+            .collect()
+    })
+}
+
+#[test]
+fn every_table_has_functional_inputs() {
+    // The inputs of each table form a key: the controllers are
+    // deterministic state machines.
+    let p = ProtocolSpec::asura();
+    for (name, rel) in tables() {
+        let spec = &p.controller(name).unwrap().spec;
+        let inputs = spec.input_names();
+        let mut seen = std::collections::HashSet::new();
+        let idx: Vec<usize> = inputs
+            .iter()
+            .map(|c| rel.schema().index_of(*c).unwrap())
+            .collect();
+        for r in rel.rows() {
+            let key: Vec<_> = idx.iter().map(|&i| r[i]).collect();
+            assert!(
+                seen.insert(key.clone()),
+                "{name}: duplicate input combination {key:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_cell_is_within_its_column_table() {
+    let p = ProtocolSpec::asura();
+    for (name, rel) in tables() {
+        let spec = &p.controller(name).unwrap().spec;
+        for col in &spec.columns {
+            let i = rel.schema().index_of(col.name).unwrap();
+            for r in rel.rows() {
+                assert!(
+                    col.values.contains(&r[i]),
+                    "{name}.{}: illegal value {:?}",
+                    col.name,
+                    r[i]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn message_triples_are_null_consistent() {
+    let p = ProtocolSpec::asura();
+    for (name, rel) in tables() {
+        let ctrl = p.controller(name).unwrap();
+        for t in ctrl.input_triples.iter().chain(&ctrl.output_triples) {
+            let m = rel.schema().index_of_str(t.msg).unwrap();
+            let s = rel.schema().index_of_str(t.src).unwrap();
+            let d = rel.schema().index_of_str(t.dest).unwrap();
+            for r in rel.rows() {
+                // For outputs NULL-ness must agree; inputs may have
+                // NULL src (processor-side ops) with a real message.
+                if r[m].is_null() {
+                    assert!(
+                        r[s].is_null() && r[d].is_null(),
+                        "{name}: {} NULL but src/dest set",
+                        t.msg
+                    );
+                }
+            }
+        }
+    }
+}

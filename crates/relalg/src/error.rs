@@ -1,0 +1,52 @@
+//! Error type shared across the engine.
+
+use std::fmt;
+
+/// Result alias for engine operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised by the relational engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A referenced table does not exist.
+    NoSuchTable(String),
+    /// A table with this name already exists.
+    TableExists(String),
+    /// A referenced column does not exist in the schema (table context in `.1`).
+    NoSuchColumn(String, String),
+    /// A column reference was ambiguous across the FROM tables.
+    AmbiguousColumn(String),
+    /// Row arity does not match the schema.
+    ArityMismatch { expected: usize, got: usize },
+    /// Two schemas that must match (union/difference) do not.
+    SchemaMismatch(String),
+    /// Syntax error from the SQL/constraint parser.
+    Parse { pos: usize, msg: String },
+    /// An expression evaluated to a non-boolean where a predicate was needed.
+    NotBoolean(String),
+    /// A named set / predicate function is not defined.
+    NoSuchSet(String),
+    /// Constraint-solver specification problem.
+    BadSpec(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            Error::TableExists(t) => write!(f, "table already exists: {t}"),
+            Error::NoSuchColumn(c, ctx) => write!(f, "no such column: {c} (in {ctx})"),
+            Error::AmbiguousColumn(c) => write!(f, "ambiguous column reference: {c}"),
+            Error::ArityMismatch { expected, got } => {
+                write!(f, "row arity mismatch: expected {expected}, got {got}")
+            }
+            Error::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+            Error::Parse { pos, msg } => write!(f, "parse error at byte {pos}: {msg}"),
+            Error::NotBoolean(e) => write!(f, "expression is not boolean: {e}"),
+            Error::NoSuchSet(s) => write!(f, "no such named set/predicate: {s}"),
+            Error::BadSpec(m) => write!(f, "bad table specification: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,858 @@
+//! Lexer and recursive-descent parser for the SQL subset and the
+//! ternary column-constraint language of the paper.
+//!
+//! Supported grammar (case-insensitive keywords):
+//!
+//! ```text
+//! query      := SELECT [DISTINCT] select_list FROM table_ref ("," table_ref)*
+//!               [WHERE expr] [ORDER BY sel_item [DESC] ("," sel_item [DESC])*]
+//!             | CREATE TABLE ident AS query
+//!             | INSERT INTO ident VALUES "(" literal ("," literal)* ")"
+//!             | DELETE FROM ident [WHERE expr]
+//! select_list:= "*" | COUNT "(" "*" ")" | sel_item ("," sel_item)*
+//! sel_item   := ident ["." ident]
+//! table_ref  := ident [ident]            -- name [alias]
+//!
+//! expr       := or_expr ["?" expr ":" expr]       -- ternary, right-assoc
+//! or_expr    := and_expr (OR and_expr)*
+//! and_expr   := not_expr (AND not_expr)*
+//! not_expr   := NOT not_expr | cmp
+//! cmp        := primary (("=" | "!=" | "<>") primary | IN "(" lit_list ")")?
+//! primary    := "(" expr ")" | literal | ident "(" expr ")"   -- named-set call
+//!             | ident ["." ident]                             -- column / symbol
+//! literal    := string | integer | TRUE | FALSE | NULL
+//! ```
+//!
+//! Bare identifiers in expressions are parsed as [`Expr::Ident`] and
+//! resolve to a column when the schema has one, otherwise to a symbolic
+//! constant — exactly how the paper writes `dirpv = zero`.
+
+use crate::error::{Error, Result};
+use crate::expr::Expr;
+use crate::symbol::Sym;
+use crate::value::Value;
+
+/// One item of a `SELECT` list: optional table qualifier + column name.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SelectItem {
+    /// Optional `alias.` qualifier.
+    pub qualifier: Option<Sym>,
+    /// Column name.
+    pub column: Sym,
+}
+
+/// A table reference in `FROM`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TableRef {
+    /// Table name in the database.
+    pub table: Sym,
+    /// Alias (defaults to the table name).
+    pub alias: Sym,
+}
+
+/// The projection of a `SELECT`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Projection {
+    /// `*`.
+    Star,
+    /// Explicit column list.
+    Columns(Vec<SelectItem>),
+    /// `COUNT(*)`.
+    CountStar,
+    /// `col…, COUNT(*) … GROUP BY col…` — grouped counting.
+    GroupCount(Vec<SelectItem>),
+}
+
+/// A parsed query.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Query {
+    /// `SELECT …`
+    Select {
+        /// `DISTINCT`?
+        distinct: bool,
+        /// The projection.
+        projection: Projection,
+        /// `FROM` tables.
+        from: Vec<TableRef>,
+        /// `WHERE` predicate.
+        predicate: Option<Expr>,
+        /// `ORDER BY` keys with a descending flag.
+        order_by: Vec<(SelectItem, bool)>,
+    },
+    /// `CREATE TABLE name AS query`
+    CreateTableAs {
+        /// New table name.
+        name: Sym,
+        /// Source query.
+        query: Box<Query>,
+    },
+    /// `INSERT INTO name VALUES (…)`
+    Insert {
+        /// Target table.
+        table: Sym,
+        /// Row literals.
+        values: Vec<Value>,
+    },
+    /// `DELETE FROM name [WHERE …]`
+    Delete {
+        /// Target table.
+        table: Sym,
+        /// Rows to delete (all when absent).
+        predicate: Option<Expr>,
+    },
+}
+
+/// Parse a complete query.
+pub fn parse_query(input: &str) -> Result<Query> {
+    let mut p = Parser::new(input)?;
+    let q = p.query()?;
+    p.expect_eof()?;
+    Ok(q)
+}
+
+/// Parse a standalone (constraint) expression.
+pub fn parse_expr(input: &str) -> Result<Expr> {
+    let mut p = Parser::new(input)?;
+    let e = p.expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+// ---------------------------------------------------------------- lexer
+
+#[derive(Clone, Debug, PartialEq)]
+enum Tok {
+    Ident(String),
+    Str(String),
+    Int(i64),
+    Punct(&'static str),
+    Eof,
+}
+
+struct Lexer;
+
+impl Lexer {
+    fn lex(input: &str) -> Result<Vec<(Tok, usize)>> {
+        let b = input.as_bytes();
+        let mut i = 0;
+        let mut out = Vec::new();
+        while i < b.len() {
+            let c = b[i];
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+                b'(' | b')' | b',' | b'?' | b':' | b'.' | b'*' | b'=' => {
+                    let p = match c {
+                        b'(' => "(",
+                        b')' => ")",
+                        b',' => ",",
+                        b'?' => "?",
+                        b':' => ":",
+                        b'.' => ".",
+                        b'*' => "*",
+                        _ => "=",
+                    };
+                    out.push((Tok::Punct(p), i));
+                    i += 1;
+                }
+                b'!' => {
+                    if i + 1 < b.len() && b[i + 1] == b'=' {
+                        out.push((Tok::Punct("!="), i));
+                        i += 2;
+                    } else {
+                        return Err(Error::Parse {
+                            pos: i,
+                            msg: "expected '=' after '!'".into(),
+                        });
+                    }
+                }
+                b'<' => {
+                    if i + 1 < b.len() && b[i + 1] == b'>' {
+                        out.push((Tok::Punct("!="), i));
+                        i += 2;
+                    } else {
+                        return Err(Error::Parse {
+                            pos: i,
+                            msg: "only '<>' is supported".into(),
+                        });
+                    }
+                }
+                b'"' | b'\'' => {
+                    let quote = c;
+                    let start = i;
+                    i += 1;
+                    let mut s = String::new();
+                    loop {
+                        if i >= b.len() {
+                            return Err(Error::Parse {
+                                pos: start,
+                                msg: "unterminated string".into(),
+                            });
+                        }
+                        if b[i] == quote {
+                            i += 1;
+                            break;
+                        }
+                        s.push(b[i] as char);
+                        i += 1;
+                    }
+                    out.push((Tok::Str(s), start));
+                }
+                b'0'..=b'9' => {
+                    let start = i;
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let n: i64 = input[start..i].parse().map_err(|_| Error::Parse {
+                        pos: start,
+                        msg: "bad integer".into(),
+                    })?;
+                    out.push((Tok::Int(n), start));
+                }
+                b'-' => {
+                    // Negative integer literal.
+                    let start = i;
+                    i += 1;
+                    if i >= b.len() || !b[i].is_ascii_digit() {
+                        return Err(Error::Parse {
+                            pos: start,
+                            msg: "expected digit after '-'".into(),
+                        });
+                    }
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let n: i64 = input[start..i].parse().map_err(|_| Error::Parse {
+                        pos: start,
+                        msg: "bad integer".into(),
+                    })?;
+                    out.push((Tok::Int(n), start));
+                }
+                _ if c.is_ascii_alphabetic() || c == b'_' => {
+                    let start = i;
+                    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                        i += 1;
+                    }
+                    out.push((Tok::Ident(input[start..i].to_string()), start));
+                }
+                _ => {
+                    return Err(Error::Parse {
+                        pos: i,
+                        msg: format!("unexpected character {:?}", c as char),
+                    })
+                }
+            }
+        }
+        out.push((Tok::Eof, b.len()));
+        Ok(out)
+    }
+}
+
+// --------------------------------------------------------------- parser
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(input: &str) -> Result<Parser> {
+        Ok(Parser {
+            toks: Lexer::lex(input)?,
+            pos: 0,
+        })
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].0
+    }
+
+    fn bytepos(&self) -> usize {
+        self.toks[self.pos].1
+    }
+
+    fn advance(&mut self) -> Tok {
+        let t = self.toks[self.pos].0.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T> {
+        Err(Error::Parse {
+            pos: self.bytepos(),
+            msg: msg.into(),
+        })
+    }
+
+    /// Is the current token the (case-insensitive) keyword `kw`?
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected keyword {kw:?}"))
+        }
+    }
+
+    fn eat_punct(&mut self, p: &str) -> bool {
+        if matches!(self.peek(), Tok::Punct(q) if *q == p) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<()> {
+        if self.eat_punct(p) {
+            Ok(())
+        } else {
+            self.err(format!("expected {p:?}"))
+        }
+    }
+
+    fn ident(&mut self) -> Result<Sym> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.advance();
+                Ok(Sym::intern(&s))
+            }
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if matches!(self.peek(), Tok::Eof) {
+            Ok(())
+        } else {
+            self.err(format!("trailing input: {:?}", self.peek()))
+        }
+    }
+
+    fn query(&mut self) -> Result<Query> {
+        if self.eat_kw("create") {
+            self.expect_kw("table")?;
+            let name = self.ident()?;
+            self.expect_kw("as")?;
+            let q = self.query()?;
+            return Ok(Query::CreateTableAs {
+                name,
+                query: Box::new(q),
+            });
+        }
+        if self.eat_kw("insert") {
+            self.expect_kw("into")?;
+            let table = self.ident()?;
+            self.expect_kw("values")?;
+            self.expect_punct("(")?;
+            let mut values = vec![self.literal_value()?];
+            while self.eat_punct(",") {
+                values.push(self.literal_value()?);
+            }
+            self.expect_punct(")")?;
+            return Ok(Query::Insert { table, values });
+        }
+        if self.eat_kw("delete") {
+            self.expect_kw("from")?;
+            let table = self.ident()?;
+            let predicate = if self.eat_kw("where") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            return Ok(Query::Delete { table, predicate });
+        }
+        self.expect_kw("select")?;
+        let distinct = self.eat_kw("distinct");
+        let projection = if self.eat_punct("*") {
+            Projection::Star
+        } else if self.at_kw("count") {
+            self.advance();
+            self.expect_punct("(")?;
+            self.expect_punct("*")?;
+            self.expect_punct(")")?;
+            Projection::CountStar
+        } else {
+            let mut items = vec![self.select_item()?];
+            let mut counted = false;
+            while self.eat_punct(",") {
+                if self.at_kw("count") {
+                    self.advance();
+                    self.expect_punct("(")?;
+                    self.expect_punct("*")?;
+                    self.expect_punct(")")?;
+                    counted = true;
+                    break;
+                }
+                items.push(self.select_item()?);
+            }
+            if counted {
+                Projection::GroupCount(items)
+            } else {
+                Projection::Columns(items)
+            }
+        };
+        self.expect_kw("from")?;
+        let mut from = vec![self.table_ref()?];
+        while self.eat_punct(",") {
+            from.push(self.table_ref()?);
+        }
+        let predicate = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        if let Projection::GroupCount(items) = &projection {
+            // `GROUP BY` must repeat the projected columns.
+            self.expect_kw("group")?;
+            self.expect_kw("by")?;
+            let mut group = vec![self.select_item()?];
+            while self.eat_punct(",") {
+                group.push(self.select_item()?);
+            }
+            if &group != items {
+                return self.err("GROUP BY columns must match the projected columns");
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            loop {
+                let item = self.select_item()?;
+                let desc = if self.eat_kw("desc") {
+                    true
+                } else {
+                    self.eat_kw("asc");
+                    false
+                };
+                order_by.push((item, desc));
+                if !self.eat_punct(",") {
+                    break;
+                }
+            }
+        }
+        Ok(Query::Select {
+            distinct,
+            projection,
+            from,
+            predicate,
+            order_by,
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem> {
+        let first = self.ident()?;
+        if self.eat_punct(".") {
+            let col = self.ident()?;
+            Ok(SelectItem {
+                qualifier: Some(first),
+                column: col,
+            })
+        } else {
+            Ok(SelectItem {
+                qualifier: None,
+                column: first,
+            })
+        }
+    }
+
+    fn table_ref(&mut self) -> Result<TableRef> {
+        let table = self.ident()?;
+        // Optional alias: a bare identifier that is not a clause keyword.
+        let alias = if matches!(self.peek(), Tok::Ident(s)
+            if !["where", "from", "select", "create", "order", "group", "insert", "delete"]
+                .iter()
+                .any(|k| s.eq_ignore_ascii_case(k)))
+        {
+            self.ident()?
+        } else {
+            table
+        };
+        Ok(TableRef { table, alias })
+    }
+
+    // expr := or_expr ["?" expr ":" expr]
+    fn expr(&mut self) -> Result<Expr> {
+        let cond = self.or_expr()?;
+        if self.eat_punct("?") {
+            let t = self.expr()?;
+            self.expect_punct(":")?;
+            let f = self.expr()?;
+            Ok(cond.ternary(t, f))
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let mut e = self.and_expr()?;
+        while self.eat_kw("or") {
+            let r = self.and_expr()?;
+            e = e.or(r);
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let mut e = self.not_expr()?;
+        while self.eat_kw("and") {
+            let r = self.not_expr()?;
+            e = e.and(r);
+        }
+        Ok(e)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.eat_kw("not") {
+            Ok(self.not_expr()?.negate())
+        } else {
+            self.cmp()
+        }
+    }
+
+    fn cmp(&mut self) -> Result<Expr> {
+        let lhs = self.primary()?;
+        if self.eat_punct("=") {
+            let rhs = self.primary()?;
+            Ok(Expr::Eq(Box::new(lhs), Box::new(rhs)))
+        } else if self.eat_punct("!=") {
+            let rhs = self.primary()?;
+            Ok(Expr::Ne(Box::new(lhs), Box::new(rhs)))
+        } else if self.at_kw("in") {
+            self.advance();
+            self.expect_punct("(")?;
+            let mut vals = vec![self.literal_value()?];
+            while self.eat_punct(",") {
+                vals.push(self.literal_value()?);
+            }
+            self.expect_punct(")")?;
+            Ok(Expr::In(Box::new(lhs), vals))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    /// A literal usable inside an IN list: string, int, bool, NULL, or a
+    /// bare identifier (interpreted as a symbolic constant).
+    fn literal_value(&mut self) -> Result<Value> {
+        match self.peek().clone() {
+            Tok::Str(s) => {
+                self.advance();
+                Ok(Value::sym(&s))
+            }
+            Tok::Int(n) => {
+                self.advance();
+                Ok(Value::Int(n))
+            }
+            Tok::Ident(s) if s.eq_ignore_ascii_case("null") => {
+                self.advance();
+                Ok(Value::Null)
+            }
+            Tok::Ident(s) if s.eq_ignore_ascii_case("true") => {
+                self.advance();
+                Ok(Value::Bool(true))
+            }
+            Tok::Ident(s) if s.eq_ignore_ascii_case("false") => {
+                self.advance();
+                Ok(Value::Bool(false))
+            }
+            Tok::Ident(s) => {
+                self.advance();
+                Ok(Value::sym(&s))
+            }
+            other => self.err(format!("expected literal, found {other:?}")),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.peek().clone() {
+            Tok::Punct("(") => {
+                self.advance();
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            Tok::Str(s) => {
+                self.advance();
+                Ok(Expr::Lit(Value::sym(&s)))
+            }
+            Tok::Int(n) => {
+                self.advance();
+                Ok(Expr::Lit(Value::Int(n)))
+            }
+            Tok::Ident(s) if s.eq_ignore_ascii_case("null") => {
+                self.advance();
+                Ok(Expr::Lit(Value::Null))
+            }
+            Tok::Ident(s) if s.eq_ignore_ascii_case("true") => {
+                self.advance();
+                Ok(Expr::True)
+            }
+            Tok::Ident(s) if s.eq_ignore_ascii_case("false") => {
+                self.advance();
+                Ok(Expr::False)
+            }
+            Tok::Ident(s) => {
+                self.advance();
+                // Named-set call: ident "(" expr ")".
+                if self.eat_punct("(") {
+                    let arg = self.expr()?;
+                    self.expect_punct(")")?;
+                    return Ok(Expr::Call(Sym::intern(&s), Box::new(arg)));
+                }
+                // Qualified column: ident "." ident → single name "a.b".
+                if self.eat_punct(".") {
+                    let col = self.ident()?;
+                    return Ok(Expr::Ident(Sym::intern(&format!("{s}.{col}"))));
+                }
+                Ok(Expr::Ident(Sym::intern(&s)))
+            }
+            other => self.err(format!("expected expression, found {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{NoContext, SetContext};
+    use crate::schema::Schema;
+
+    #[test]
+    fn parses_paper_dirpv_constraint() {
+        // Verbatim from the paper (section 3).
+        let e = parse_expr(
+            r#"inmsg = "data" and dirst = "Busy-d" ? dirpv = zero : dirpv = one"#,
+        )
+        .unwrap();
+        let s = Schema::new(["inmsg", "dirst", "dirpv"]).unwrap();
+        let b = e.bind(&s).unwrap();
+        let row = |a: &str, b2: &str, c: &str| {
+            vec![Value::sym(a), Value::sym(b2), Value::sym(c)]
+        };
+        assert!(b
+            .eval_bool(&row("data", "Busy-d", "zero"), &NoContext)
+            .unwrap());
+        assert!(!b
+            .eval_bool(&row("data", "Busy-d", "one"), &NoContext)
+            .unwrap());
+        assert!(b.eval_bool(&row("readex", "SI", "one"), &NoContext).unwrap());
+    }
+
+    #[test]
+    fn parses_paper_remmsg_constraint() {
+        let e = parse_expr(
+            "inmsg = readex and dirst = SI ? remmsg = sinv : remmsg = NULL",
+        )
+        .unwrap();
+        let s = Schema::new(["inmsg", "dirst", "remmsg"]).unwrap();
+        let b = e.bind(&s).unwrap();
+        let mk = |a: &str, st: &str, r: Value| vec![Value::sym(a), Value::sym(st), r];
+        assert!(b
+            .eval_bool(&mk("readex", "SI", Value::sym("sinv")), &NoContext)
+            .unwrap());
+        assert!(b
+            .eval_bool(&mk("read", "SI", Value::Null), &NoContext)
+            .unwrap());
+        assert!(!b
+            .eval_bool(&mk("read", "SI", Value::sym("sinv")), &NoContext)
+            .unwrap());
+    }
+
+    #[test]
+    fn parses_select_with_where() {
+        let q = parse_query(
+            r#"Select dirst, dirpv from D where dirst = "MESI" and not dirpv = "one""#,
+        )
+        .unwrap();
+        match q {
+            Query::Select {
+                distinct,
+                projection,
+                from,
+                predicate,
+                order_by,
+            } => {
+                assert!(!distinct);
+                let Projection::Columns(items) = projection else {
+                    panic!("expected column projection");
+                };
+                assert_eq!(items.len(), 2);
+                assert_eq!(items[0].column.as_str(), "dirst");
+                assert_eq!(from.len(), 1);
+                assert_eq!(from[0].table.as_str(), "D");
+                assert!(predicate.is_some());
+                assert!(order_by.is_empty());
+            }
+            _ => panic!("expected select"),
+        }
+    }
+
+    #[test]
+    fn parses_select_star_and_distinct_and_alias() {
+        let q = parse_query("select distinct * from D d1, D d2 where d1.inmsg = d2.inmsg")
+            .unwrap();
+        match q {
+            Query::Select {
+                distinct,
+                projection,
+                from,
+                ..
+            } => {
+                assert!(distinct);
+                assert_eq!(projection, Projection::Star);
+                assert_eq!(from[0].alias.as_str(), "d1");
+                assert_eq!(from[1].alias.as_str(), "d2");
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_count_order_insert_delete() {
+        let q = parse_query("select count(*) from D where inmsg = readex").unwrap();
+        assert!(matches!(
+            q,
+            Query::Select {
+                projection: Projection::CountStar,
+                ..
+            }
+        ));
+        let q = parse_query("select a, b from t order by a desc, b").unwrap();
+        let Query::Select { order_by, .. } = q else {
+            panic!()
+        };
+        assert_eq!(order_by.len(), 2);
+        assert!(order_by[0].1);
+        assert!(!order_by[1].1);
+
+        let q = parse_query(r#"insert into t values ("x", 3, NULL)"#).unwrap();
+        let Query::Insert { table, values } = q else {
+            panic!()
+        };
+        assert_eq!(table.as_str(), "t");
+        assert_eq!(values, vec![Value::sym("x"), Value::Int(3), Value::Null]);
+
+        let q = parse_query("delete from t where a = b").unwrap();
+        assert!(matches!(
+            q,
+            Query::Delete {
+                predicate: Some(_),
+                ..
+            }
+        ));
+        let q = parse_query("delete from t").unwrap();
+        assert!(matches!(q, Query::Delete { predicate: None, .. }));
+    }
+
+    #[test]
+    fn parses_create_table_as() {
+        let q = parse_query(
+            "Create Table Request_remmsg as Select distinct inmsg, remmsg from ED Where isrequest(inmsg)",
+        )
+        .unwrap();
+        match q {
+            Query::CreateTableAs { name, query } => {
+                assert_eq!(name.as_str(), "Request_remmsg");
+                assert!(matches!(*query, Query::Select { .. }));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn call_predicate_evaluates_with_context() {
+        let e = parse_expr("isrequest(inmsg) and not inmsg = wb").unwrap();
+        let s = Schema::new(["inmsg"]).unwrap();
+        let b = e.bind(&s).unwrap();
+        let mut ctx = SetContext::new();
+        ctx.define("isrequest", [Value::sym("readex"), Value::sym("wb")]);
+        assert!(b.eval_bool(&[Value::sym("readex")], &ctx).unwrap());
+        assert!(!b.eval_bool(&[Value::sym("wb")], &ctx).unwrap());
+        assert!(!b.eval_bool(&[Value::sym("data")], &ctx).unwrap());
+    }
+
+    #[test]
+    fn parses_in_lists() {
+        let e = parse_expr(r#"dirst in ("I", "SI", MESI)"#).unwrap();
+        let s = Schema::new(["dirst"]).unwrap();
+        let b = e.bind(&s).unwrap();
+        assert!(b.eval_bool(&[Value::sym("MESI")], &NoContext).unwrap());
+        assert!(!b.eval_bool(&[Value::sym("Busy-d")], &NoContext).unwrap());
+    }
+
+    #[test]
+    fn parses_integers_booleans_null() {
+        let e = parse_expr("n = 3 or n = -1 or b = true or x = NULL").unwrap();
+        let s = Schema::new(["n", "b", "x"]).unwrap();
+        let bound = e.bind(&s).unwrap();
+        assert!(bound
+            .eval_bool(&[Value::Int(3), Value::Bool(false), Value::sym("y")], &NoContext)
+            .unwrap());
+        assert!(bound
+            .eval_bool(&[Value::Int(-1), Value::Bool(false), Value::sym("y")], &NoContext)
+            .unwrap());
+        assert!(bound
+            .eval_bool(&[Value::Int(0), Value::Bool(true), Value::sym("y")], &NoContext)
+            .unwrap());
+        assert!(bound
+            .eval_bool(&[Value::Int(0), Value::Bool(false), Value::Null], &NoContext)
+            .unwrap());
+        assert!(!bound
+            .eval_bool(&[Value::Int(0), Value::Bool(false), Value::sym("y")], &NoContext)
+            .unwrap());
+    }
+
+    #[test]
+    fn precedence_not_binds_tighter_than_and() {
+        // not a = x and b = y  ≡  (not (a = x)) and (b = y)
+        let e = parse_expr("not a = x and b = y").unwrap();
+        let s = Schema::new(["a", "b"]).unwrap();
+        let bnd = e.bind(&s).unwrap();
+        assert!(bnd
+            .eval_bool(&[Value::sym("z"), Value::sym("y")], &NoContext)
+            .unwrap());
+        assert!(!bnd
+            .eval_bool(&[Value::sym("x"), Value::sym("y")], &NoContext)
+            .unwrap());
+    }
+
+    #[test]
+    fn nested_ternaries_are_right_associative() {
+        // a = p ? b = q : a = r ? b = s : b = t
+        let e = parse_expr("a = p ? b = q : (a = r ? b = s : b = t)").unwrap();
+        let e2 = parse_expr("a = p ? b = q : a = r ? b = s : b = t").unwrap();
+        assert_eq!(format!("{e:?}"), format!("{e2:?}"));
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let err = parse_expr("a = ").unwrap_err();
+        assert!(matches!(err, Error::Parse { .. }));
+        let err = parse_query("select from").unwrap_err();
+        assert!(matches!(err, Error::Parse { .. }));
+        let err = parse_expr("a @ b").unwrap_err();
+        assert!(matches!(err, Error::Parse { .. }));
+        let err = parse_expr(r#"a = "unterminated"#).unwrap_err();
+        assert!(matches!(err, Error::Parse { .. }));
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        assert!(parse_expr("a = b extra").is_err());
+        assert!(parse_query("select * from t garbage garbage").is_err());
+    }
+}

@@ -1,0 +1,248 @@
+//! Report generation: render relations as ASCII tables, markdown or CSV.
+//!
+//! This plays the role of "SQL report generation" in the paper's flow —
+//! the final implementation tables are emitted to the hardware team as
+//! formatted reports.
+
+use crate::relation::Relation;
+
+/// Render as an ASCII table with a header row (paper-figure style).
+pub fn ascii_table(rel: &Relation) -> String {
+    let headers: Vec<String> = rel
+        .schema()
+        .columns()
+        .iter()
+        .map(|c| c.to_string())
+        .collect();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    let rows: Vec<Vec<String>> = rel
+        .rows()
+        .map(|r| r.iter().map(|v| v.to_string()).collect())
+        .collect();
+    for row in &rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        out.push('+');
+        for w in &widths {
+            out.push_str(&"-".repeat(w + 2));
+            out.push('+');
+        }
+        out.push('\n');
+    };
+    sep(&mut out);
+    out.push('|');
+    for (h, w) in headers.iter().zip(&widths) {
+        out.push_str(&format!(" {h:w$} |"));
+    }
+    out.push('\n');
+    sep(&mut out);
+    for row in &rows {
+        out.push('|');
+        for (cell, w) in row.iter().zip(&widths) {
+            out.push_str(&format!(" {cell:w$} |"));
+        }
+        out.push('\n');
+    }
+    sep(&mut out);
+    out
+}
+
+/// Render as a GitHub-flavoured markdown table.
+pub fn markdown_table(rel: &Relation) -> String {
+    let mut out = String::new();
+    out.push('|');
+    for c in rel.schema().columns() {
+        out.push_str(&format!(" {c} |"));
+    }
+    out.push('\n');
+    out.push('|');
+    for _ in rel.schema().columns() {
+        out.push_str("---|");
+    }
+    out.push('\n');
+    for r in rel.rows() {
+        out.push('|');
+        for v in r {
+            out.push_str(&format!(" {v} |"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render as CSV (header + rows). Cells containing commas or quotes are
+/// quoted per RFC 4180.
+pub fn csv(rel: &Relation) -> String {
+    fn esc(s: &str) -> String {
+        if s.contains(',') || s.contains('"') || s.contains('\n') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    }
+    let mut out = String::new();
+    let header: Vec<String> = rel
+        .schema()
+        .columns()
+        .iter()
+        .map(|c| esc(c.as_str()))
+        .collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for r in rel.rows() {
+        let row: Vec<String> = r.iter().map(|v| esc(&v.to_string())).collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a CSV produced by [`csv`] back into a relation. Cells are
+/// symbols except `NULL`, integers, and `true`/`false`; quoted cells
+/// (RFC 4180) are unescaped. Used for golden files and CLI import.
+pub fn from_csv(text: &str) -> crate::Result<Relation> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or(crate::Error::Parse {
+        pos: 0,
+        msg: "empty CSV".into(),
+    })?;
+    let cols = split_csv_line(header, 1)?;
+    let mut rel = Relation::with_columns(cols.iter().map(|s| s.as_str()))?;
+    for (i, line) in lines.enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let cells = split_csv_line(line, i + 2)?;
+        let row: Vec<crate::Value> = cells
+            .iter()
+            .map(|c| parse_cell(c))
+            .collect();
+        rel.push_row(&row)?;
+    }
+    Ok(rel)
+}
+
+fn parse_cell(c: &str) -> crate::Value {
+    match c {
+        "NULL" => crate::Value::Null,
+        "true" => crate::Value::Bool(true),
+        "false" => crate::Value::Bool(false),
+        _ => match c.parse::<i64>() {
+            Ok(n) => crate::Value::Int(n),
+            Err(_) => crate::Value::sym(c),
+        },
+    }
+}
+
+/// Split one CSV line, honouring RFC-4180 quoting.
+fn split_csv_line(line: &str, lineno: usize) -> crate::Result<Vec<String>> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(ch) = chars.next() {
+        match (in_quotes, ch) {
+            (false, ',') => {
+                out.push(std::mem::take(&mut cur));
+            }
+            (false, '"') if cur.is_empty() => in_quotes = true,
+            (true, '"') => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            (_, c) => cur.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(crate::Error::Parse {
+            pos: lineno,
+            msg: "unterminated quoted CSV cell".into(),
+        });
+    }
+    out.push(cur);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn sample() -> Relation {
+        let mut r = Relation::with_columns(["inmsg", "dirst"]).unwrap();
+        r.push_row(&[Value::sym("readex"), Value::sym("SI")]).unwrap();
+        r.push_row(&[Value::sym("data"), Value::Null]).unwrap();
+        r
+    }
+
+    #[test]
+    fn ascii_table_has_all_cells() {
+        let t = ascii_table(&sample());
+        assert!(t.contains("inmsg"));
+        assert!(t.contains("readex"));
+        assert!(t.contains("NULL"));
+        // Header + 2 rows + 3 separators = 6 lines.
+        assert_eq!(t.trim_end().lines().count(), 6);
+    }
+
+    #[test]
+    fn markdown_table_shape() {
+        let t = markdown_table(&sample());
+        let lines: Vec<&str> = t.trim_end().lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].contains("---|---"));
+    }
+
+    #[test]
+    fn csv_escapes_special_cells() {
+        let mut r = Relation::with_columns(["a"]).unwrap();
+        r.push_row(&[Value::sym("x,y")]).unwrap();
+        r.push_row(&[Value::sym("he said \"hi\"")]).unwrap();
+        let t = csv(&r);
+        assert!(t.contains("\"x,y\""));
+        assert!(t.contains("\"he said \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn csv_plain() {
+        let t = csv(&sample());
+        assert_eq!(t, "inmsg,dirst\nreadex,SI\ndata,NULL\n");
+    }
+
+    #[test]
+    fn csv_round_trips() {
+        let orig = sample();
+        let back = from_csv(&csv(&orig)).unwrap();
+        assert!(back.set_eq(&orig));
+        // Typed cells survive.
+        let mut r = Relation::with_columns(["a", "b", "c"]).unwrap();
+        r.push_row(&[Value::Int(-3), Value::Bool(true), Value::sym("x,y")])
+            .unwrap();
+        let back = from_csv(&csv(&r)).unwrap();
+        assert_eq!(back.row(0), r.row(0));
+    }
+
+    #[test]
+    fn from_csv_errors() {
+        assert!(from_csv("").is_err());
+        assert!(from_csv("a,b\n\"unterminated").is_err());
+        // Ragged row → arity error.
+        assert!(from_csv("a,b\nonly-one-cell-no-comma-is-fine,x\nz").is_err());
+    }
+
+    #[test]
+    fn quoted_quotes_round_trip() {
+        let mut r = Relation::with_columns(["a"]).unwrap();
+        r.push_row(&[Value::sym("he said \"hi\"")]).unwrap();
+        let back = from_csv(&csv(&r)).unwrap();
+        assert_eq!(back.row(0)[0], Value::sym("he said \"hi\""));
+    }
+}

@@ -1,0 +1,204 @@
+//! Relation schemas: ordered, named columns with fast name lookup.
+
+use crate::error::{Error, Result};
+use crate::symbol::Sym;
+use std::collections::HashMap;
+use std::fmt;
+
+/// An ordered list of column names with O(1) name→index lookup.
+///
+/// Column names are interned [`Sym`]s; duplicate names are permitted only
+/// through explicit qualification (the engine qualifies join results as
+/// `alias.col` when needed), so plain schemas reject duplicates.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Schema {
+    cols: Vec<Sym>,
+    by_name: HashMap<Sym, usize>,
+}
+
+impl Schema {
+    /// Build a schema from column names. Errors on duplicates.
+    pub fn new<I, S>(names: I) -> Result<Schema>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut cols = Vec::new();
+        let mut by_name = HashMap::new();
+        for n in names {
+            let s = Sym::intern(n.as_ref());
+            if by_name.insert(s, cols.len()).is_some() {
+                return Err(Error::SchemaMismatch(format!(
+                    "duplicate column name: {}",
+                    s
+                )));
+            }
+            cols.push(s);
+        }
+        Ok(Schema { cols, by_name })
+    }
+
+    /// Schema from already-interned names. Errors on duplicates.
+    pub fn from_syms(names: &[Sym]) -> Result<Schema> {
+        let mut cols = Vec::with_capacity(names.len());
+        let mut by_name = HashMap::with_capacity(names.len());
+        for &s in names {
+            if by_name.insert(s, cols.len()).is_some() {
+                return Err(Error::SchemaMismatch(format!(
+                    "duplicate column name: {}",
+                    s
+                )));
+            }
+            cols.push(s);
+        }
+        Ok(Schema { cols, by_name })
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Column names in order.
+    pub fn columns(&self) -> &[Sym] {
+        &self.cols
+    }
+
+    /// Index of a column by name.
+    pub fn index_of(&self, name: Sym) -> Option<usize> {
+        self.by_name.get(&name).copied()
+    }
+
+    /// Index of a column by string name.
+    pub fn index_of_str(&self, name: &str) -> Option<usize> {
+        self.index_of(Sym::intern(name))
+    }
+
+    /// Like [`Self::index_of`] but with a contextual error.
+    pub fn require(&self, name: Sym, ctx: &str) -> Result<usize> {
+        self.index_of(name)
+            .ok_or_else(|| Error::NoSuchColumn(name.to_string(), ctx.to_string()))
+    }
+
+    /// True if `other` has the same column names in the same order.
+    pub fn same_as(&self, other: &Schema) -> bool {
+        self.cols == other.cols
+    }
+
+    /// Concatenate two schemas (for cross products / joins). On a name
+    /// clash, right-hand columns are prefixed with `prefix.`.
+    pub fn concat(&self, other: &Schema, prefix: &str) -> Result<Schema> {
+        let mut names: Vec<String> = self.cols.iter().map(|c| c.to_string()).collect();
+        for c in &other.cols {
+            if self.by_name.contains_key(c) {
+                names.push(format!("{prefix}.{c}"));
+            } else {
+                names.push(c.to_string());
+            }
+        }
+        Schema::new(names)
+    }
+
+    /// New schema that is a projection onto `indices`, preserving order
+    /// and permitting repeats (repeats are renamed `name#k`).
+    pub fn project(&self, indices: &[usize]) -> Result<Schema> {
+        let mut names: Vec<String> = Vec::with_capacity(indices.len());
+        let mut seen: HashMap<Sym, usize> = HashMap::new();
+        for &i in indices {
+            let base = self.cols[i];
+            let k = seen.entry(base).or_insert(0);
+            if *k == 0 {
+                names.push(base.to_string());
+            } else {
+                names.push(format!("{base}#{k}"));
+            }
+            *k += 1;
+        }
+        Schema::new(names)
+    }
+
+    /// Rename one column, returning the new schema.
+    pub fn rename(&self, from: Sym, to: &str) -> Result<Schema> {
+        let idx = self.require(from, "rename")?;
+        let names: Vec<String> = self
+            .cols
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                if i == idx {
+                    to.to_string()
+                } else {
+                    c.to_string()
+                }
+            })
+            .collect();
+        Schema::new(names)
+    }
+}
+
+impl fmt::Debug for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Schema(")?;
+        for (i, c) in self.cols.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_and_order() {
+        let s = Schema::new(["inmsg", "dirst", "dirpv"]).unwrap();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.index_of_str("dirst"), Some(1));
+        assert_eq!(s.index_of_str("nope"), None);
+        assert_eq!(s.columns()[2].as_str(), "dirpv");
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        assert!(Schema::new(["a", "b", "a"]).is_err());
+    }
+
+    #[test]
+    fn concat_prefixes_clashes() {
+        let a = Schema::new(["m", "s"]).unwrap();
+        let b = Schema::new(["s", "d"]).unwrap();
+        let c = a.concat(&b, "t2").unwrap();
+        let names: Vec<&str> = c.columns().iter().map(|s| s.as_str()).collect();
+        assert_eq!(names, ["m", "s", "t2.s", "d"]);
+    }
+
+    #[test]
+    fn project_handles_repeats() {
+        let s = Schema::new(["a", "b"]).unwrap();
+        let p = s.project(&[1, 1, 0]).unwrap();
+        let names: Vec<&str> = p.columns().iter().map(|s| s.as_str()).collect();
+        assert_eq!(names, ["b", "b#1", "a"]);
+    }
+
+    #[test]
+    fn rename_works() {
+        let s = Schema::new(["a", "b"]).unwrap();
+        let r = s.rename(Sym::intern("b"), "c").unwrap();
+        assert_eq!(r.index_of_str("c"), Some(1));
+        assert_eq!(r.index_of_str("b"), None);
+    }
+
+    #[test]
+    fn require_gives_contextual_error() {
+        let s = Schema::new(["a"]).unwrap();
+        let e = s.require(Sym::intern("zz"), "test-ctx").unwrap_err();
+        assert_eq!(
+            e,
+            Error::NoSuchColumn("zz".to_string(), "test-ctx".to_string())
+        );
+    }
+}

@@ -1,0 +1,267 @@
+//! The textual *database input* format.
+//!
+//! Section 1 of the paper: "The approach is used in a push-button
+//! manner by creating a database input comprised of three components —
+//! i) database table schema describing the individual controller table
+//! columns and their legal values, ii) SQL constraints specifying the
+//! behavior of the controllers, and iii) protocol static checks in
+//! terms of SQL constraints and table operations."
+//!
+//! This module parses exactly that input as a plain-text file:
+//!
+//! ```text
+//! # comment
+//! table Fig3
+//!
+//! input  inmsg = readex, data, idone
+//! input  dirst = I, SI, "Busy-sd", "Busy-s", "Busy-d"
+//! output remmsg = sinv, NULL
+//!
+//! constrain dirpv: dirst = I ? dirpv = zero : true
+//! constrain remmsg: inmsg = readex and dirst = SI ? remmsg = sinv : remmsg = NULL
+//!
+//! check pv-consistency: select dirst, dirpv from Fig3 where dirst = "I" and not dirpv = "zero"
+//! ```
+//!
+//! * `table NAME` — the table being specified (exactly one).
+//! * `input` / `output` — a column with its column table (legal values;
+//!   `NULL` is the don't-care/no-op marker).
+//! * `constrain COL: EXPR` — the column constraint (columns without one
+//!   are unconstrained, i.e. `true`).
+//! * `check NAME: SELECT …` — a static check: the query must return the
+//!   empty set once the table is generated.
+
+use crate::error::{Error, Result};
+use crate::expr::Expr;
+use crate::parser::parse_expr;
+use crate::solver::{ColumnDef, ColumnRole, TableSpec};
+use crate::value::Value;
+
+/// A parsed database input: the table specification plus its static
+/// checks.
+pub struct SpecFile {
+    /// The table specification (schema + column tables + constraints).
+    pub spec: TableSpec,
+    /// Static checks: `(name, sql)` pairs whose queries must be empty.
+    pub checks: Vec<(String, String)>,
+}
+
+/// Parse a database-input file.
+pub fn parse_specfile(text: &str) -> Result<SpecFile> {
+    let mut table_name: Option<String> = None;
+    // (name, values, role) in declaration order.
+    let mut columns: Vec<(String, Vec<Value>, ColumnRole)> = Vec::new();
+    let mut constraints: Vec<(String, Expr)> = Vec::new();
+    let mut checks: Vec<(String, String)> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |msg: String| Error::Parse {
+            pos: lineno + 1,
+            msg,
+        };
+        let (keyword, rest) = line
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| err(format!("expected a directive, found {line:?}")))?;
+        let rest = rest.trim();
+        match keyword {
+            "table" => {
+                if table_name.is_some() {
+                    return Err(err("duplicate `table` directive".into()));
+                }
+                table_name = Some(rest.to_string());
+            }
+            "input" | "output" => {
+                let (name, values) = rest
+                    .split_once('=')
+                    .ok_or_else(|| err(format!("expected `NAME = v1, v2, …`, found {rest:?}")))?;
+                let name = name.trim();
+                if name.is_empty() {
+                    return Err(err("empty column name".into()));
+                }
+                let role = if keyword == "input" {
+                    ColumnRole::Input
+                } else {
+                    ColumnRole::Output
+                };
+                let vals: Vec<Value> = values
+                    .split(',')
+                    .map(|v| parse_value(v.trim()))
+                    .collect::<Result<_>>()
+                    .map_err(|e| err(format!("bad value list: {e}")))?;
+                if vals.is_empty() {
+                    return Err(err(format!("column {name} has no values")));
+                }
+                columns.push((name.to_string(), vals, role));
+            }
+            "constrain" => {
+                let (col, expr) = rest
+                    .split_once(':')
+                    .ok_or_else(|| err("expected `constrain COL: EXPR`".into()))?;
+                let e = parse_expr(expr.trim())
+                    .map_err(|e| err(format!("bad constraint for {}: {e}", col.trim())))?;
+                constraints.push((col.trim().to_string(), e));
+            }
+            "check" => {
+                let (name, sql) = rest
+                    .split_once(':')
+                    .ok_or_else(|| err("expected `check NAME: SELECT …`".into()))?;
+                checks.push((name.trim().to_string(), sql.trim().to_string()));
+            }
+            other => return Err(err(format!("unknown directive {other:?}"))),
+        }
+    }
+
+    let name = table_name.ok_or(Error::Parse {
+        pos: 0,
+        msg: "missing `table NAME` directive".into(),
+    })?;
+    let mut spec = TableSpec::new(&name);
+    for (cname, values, role) in columns {
+        let constraint = constraints
+            .iter()
+            .find(|(c, _)| *c == cname)
+            .map(|(_, e)| e.clone())
+            .unwrap_or(Expr::True);
+        let def = match role {
+            ColumnRole::Input => ColumnDef::input(&cname, values, constraint),
+            ColumnRole::Output => ColumnDef::output(&cname, values, constraint),
+        };
+        spec.push(def);
+    }
+    // A constraint naming an undeclared column is a spec bug.
+    for (c, _) in &constraints {
+        if !spec.columns.iter().any(|col| col.name.as_str() == c) {
+            return Err(Error::BadSpec(format!(
+                "constraint for undeclared column {c}"
+            )));
+        }
+    }
+    Ok(SpecFile { spec, checks })
+}
+
+/// Parse one value token: `NULL`, a quoted string, an integer, or a
+/// bare symbol.
+fn parse_value(tok: &str) -> Result<Value> {
+    if tok.is_empty() {
+        return Err(Error::Parse {
+            pos: 0,
+            msg: "empty value".into(),
+        });
+    }
+    if tok.eq_ignore_ascii_case("null") {
+        return Ok(Value::Null);
+    }
+    if tok.eq_ignore_ascii_case("true") {
+        return Ok(Value::Bool(true));
+    }
+    if tok.eq_ignore_ascii_case("false") {
+        return Ok(Value::Bool(false));
+    }
+    if let Some(stripped) = tok.strip_prefix('"').and_then(|t| t.strip_suffix('"')) {
+        return Ok(Value::sym(stripped));
+    }
+    if let Ok(n) = tok.parse::<i64>() {
+        return Ok(Value::Int(n));
+    }
+    Ok(Value::sym(tok))
+}
+
+/// Generate the table from a database input and run its static checks
+/// against the result. Returns the generated relation and any failing
+/// checks with their witness relations.
+pub fn solve_specfile(
+    sf: &SpecFile,
+) -> Result<(crate::Relation, Vec<(String, crate::Relation)>)> {
+    let (rel, _) = sf
+        .spec
+        .generate(crate::GenMode::Incremental, &crate::expr::SetContext::new())?;
+    let mut db = crate::Database::new();
+    db.put_table(&sf.spec.name, rel.clone());
+    let mut failures = Vec::new();
+    for (name, sql) in &sf.checks {
+        let witnesses = db.query(sql)?;
+        if !witnesses.is_empty() {
+            failures.push((name.clone(), witnesses));
+        }
+    }
+    Ok((rel, failures))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG3_MINI: &str = r#"
+# The readex slice of the directory controller, as a database input.
+table Fig3
+
+input inmsg = readex, data, idone
+input dirst = I, SI, "Busy-sd", "Busy-s", "Busy-d"
+input dirpv = zero, one, gone
+
+output remmsg = sinv, NULL
+output memmsg = mread, NULL
+
+constrain dirst: inmsg = readex ? dirst in (I, SI) : (inmsg = data ? dirst in ("Busy-sd", "Busy-d") : dirst in ("Busy-sd", "Busy-s"))
+constrain dirpv: dirst = I ? dirpv = zero : (dirst = SI ? dirpv in (one, gone) : (inmsg = data and dirst = "Busy-d" ? dirpv = zero : dirpv in (zero, one, gone)))
+constrain remmsg: inmsg = readex and dirst = SI ? remmsg = sinv : remmsg = NULL
+constrain memmsg: inmsg = readex ? memmsg = mread : memmsg = NULL
+
+check sinv-only-on-shared-readex: select inmsg, dirst, remmsg from Fig3 where remmsg = "sinv" and not dirst = "SI"
+check readex-always-reads-memory: select inmsg, memmsg from Fig3 where inmsg = "readex" and memmsg = NULL
+"#;
+
+    #[test]
+    fn parses_and_solves_the_mini_input() {
+        let sf = parse_specfile(FIG3_MINI).unwrap();
+        assert_eq!(sf.spec.name, "Fig3");
+        assert_eq!(sf.spec.columns.len(), 5);
+        assert_eq!(sf.checks.len(), 2);
+        let (rel, failures) = solve_specfile(&sf).unwrap();
+        assert!(failures.is_empty(), "{failures:?}");
+        // readex: I + SI×2 = 3; data: Busy-sd×3 + Busy-d×1 = 4;
+        // idone: Busy-sd×3 + Busy-s×3 = 6 → 13 rows.
+        assert_eq!(rel.len(), 13);
+    }
+
+    #[test]
+    fn checks_fail_with_witnesses() {
+        let bad = FIG3_MINI.replace(
+            "check sinv-only-on-shared-readex: select inmsg, dirst, remmsg from Fig3 where remmsg = \"sinv\" and not dirst = \"SI\"",
+            "check impossible: select inmsg from Fig3 where inmsg = \"readex\"",
+        );
+        let sf = parse_specfile(&bad).unwrap();
+        let (_, failures) = solve_specfile(&sf).unwrap();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].0, "impossible");
+        assert_eq!(failures[0].1.len(), 3);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse_specfile("input a = x").is_err()); // no table
+        assert!(parse_specfile("table t\ntable u").is_err()); // duplicate
+        assert!(parse_specfile("table t\nbogus x").is_err()); // directive
+        assert!(parse_specfile("table t\ninput a x, y").is_err()); // no '='
+        assert!(parse_specfile("table t\ninput = x").is_err()); // no name
+        assert!(parse_specfile("table t\ninput a = x\nconstrain b: true").is_err()); // unknown col
+        assert!(parse_specfile("table t\ninput a = x\nconstrain a bad").is_err()); // no ':'
+        assert!(parse_specfile("table t\ninput a = x\nconstrain a: ? ?").is_err()); // bad expr
+    }
+
+    #[test]
+    fn value_token_forms() {
+        assert_eq!(parse_value("NULL").unwrap(), Value::Null);
+        assert_eq!(parse_value("null").unwrap(), Value::Null);
+        assert_eq!(parse_value("42").unwrap(), Value::Int(42));
+        assert_eq!(parse_value("-7").unwrap(), Value::Int(-7));
+        assert_eq!(parse_value("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse_value("\"Busy-sd\"").unwrap(), Value::sym("Busy-sd"));
+        assert_eq!(parse_value("readex").unwrap(), Value::sym("readex"));
+        assert!(parse_value("").is_err());
+    }
+}

@@ -1,0 +1,136 @@
+//! Process-global string interner.
+//!
+//! Every enumerated value in a protocol specification (message names,
+//! controller states, virtual channels, …) is interned once and then
+//! handled as a copyable 32-bit id. This keeps [`crate::Value`] `Copy`,
+//! makes row hashing and equality integer-speed, and lets tables be
+//! shared freely between databases.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{OnceLock, RwLock};
+
+/// An interned string. Two `Sym`s are equal iff their strings are equal.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Sym(u32);
+
+struct Interner {
+    map: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner {
+            map: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+impl Sym {
+    /// Intern `s`, returning its id. Idempotent.
+    pub fn intern(s: &str) -> Sym {
+        {
+            let g = interner().read().unwrap();
+            if let Some(&id) = g.map.get(s) {
+                return Sym(id);
+            }
+        }
+        let mut g = interner().write().unwrap();
+        if let Some(&id) = g.map.get(s) {
+            return Sym(id);
+        }
+        // Interned strings live for the process lifetime; the protocol
+        // vocabulary is small and fixed, so leaking is the right trade.
+        let leaked: &'static str = Box::leak(s.to_owned().into_boxed_str());
+        let id = g.strings.len() as u32;
+        g.strings.push(leaked);
+        g.map.insert(leaked, id);
+        Sym(id)
+    }
+
+    /// The interned string.
+    pub fn as_str(self) -> &'static str {
+        interner().read().unwrap().strings[self.0 as usize]
+    }
+
+    /// Raw id — stable within a process run only.
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sym({:?})", self.as_str())
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Sym {
+    fn from(s: &str) -> Sym {
+        Sym::intern(s)
+    }
+}
+
+/// Symbols sort by their string, so reports are deterministic and
+/// human-ordered regardless of interning order.
+impl Ord for Sym {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.0 == other.0 {
+            std::cmp::Ordering::Equal
+        } else {
+            self.as_str().cmp(other.as_str())
+        }
+    }
+}
+
+impl PartialOrd for Sym {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let a = Sym::intern("readex");
+        let b = Sym::intern("readex");
+        assert_eq!(a, b);
+        assert_eq!(a.id(), b.id());
+        assert_eq!(a.as_str(), "readex");
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_ids() {
+        assert_ne!(Sym::intern("sinv"), Sym::intern("mread"));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        // Intern in reverse lexicographic order to prove order is by string.
+        let z = Sym::intern("zzz-order-test");
+        let a = Sym::intern("aaa-order-test");
+        assert!(a < z);
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        let handles: Vec<_> = (0..8)
+            .map(|_| std::thread::spawn(|| Sym::intern("concurrent-test").id()))
+            .collect();
+        let ids: Vec<u32> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert!(ids.windows(2).all(|w| w[0] == w[1]));
+    }
+}

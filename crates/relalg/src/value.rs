@@ -1,0 +1,173 @@
+//! The value domain of the engine.
+
+use crate::symbol::Sym;
+use std::fmt;
+
+/// A single cell value.
+///
+/// The protocol tables of the paper range over small enumerated domains
+/// (message names, states, channel ids) plus the special `NULL` marker,
+/// so the engine supports interned symbols, small integers, booleans and
+/// `NULL`. All variants are `Copy`.
+///
+/// **NULL semantics.** Following the paper — where `NULL` denotes
+/// *don't-care* on input columns and *no-op* on output columns — `Null`
+/// is an ordinary value: `Null == Null` is **true** (unlike ANSI SQL
+/// three-valued logic). This is what makes the paper's generation and
+/// reconstruction checks work as set operations.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// The don't-care / no-op marker.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An interned symbolic constant (e.g. `readex`, `Busy-sd`, `VC2`).
+    Sym(Sym),
+}
+
+impl Value {
+    /// Shorthand for `Value::Sym(Sym::intern(s))`.
+    pub fn sym(s: &str) -> Value {
+        Value::Sym(Sym::intern(s))
+    }
+
+    /// True iff this is the `NULL` marker.
+    pub fn is_null(self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The symbol inside, if any.
+    pub fn as_sym(self) -> Option<Sym> {
+        match self {
+            Value::Sym(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer inside, if any.
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// The boolean inside, if any.
+    pub fn as_bool(self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Render for reports: `NULL` for the marker, bare text otherwise.
+    pub fn display(self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Sym(s) => f.write_str(s.as_str()),
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Sym(s) => write!(f, "{:?}", s.as_str()),
+        }
+    }
+}
+
+impl From<Sym> for Value {
+    fn from(s: Sym) -> Value {
+        Value::Sym(s)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Value {
+        Value::sym(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Value {
+        Value::Int(i)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Value {
+        Value::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_equals_null() {
+        // The paper's NULL is a marker value, not SQL unknown.
+        assert_eq!(Value::Null, Value::Null);
+        assert!(Value::Null.is_null());
+        assert!(!Value::sym("NULLish").is_null());
+    }
+
+    #[test]
+    fn value_is_small_and_copy() {
+        // Keep cells cheap to copy: rows are flat Vec<Value>.
+        assert!(std::mem::size_of::<Value>() <= 16);
+        let v = Value::sym("data");
+        let w = v; // Copy
+        assert_eq!(v, w);
+    }
+
+    #[test]
+    fn display_round_trip_shapes() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Int(42).to_string(), "42");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+        assert_eq!(Value::sym("Busy-sd").to_string(), "Busy-sd");
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::sym("x").as_sym(), Some(Sym::intern("x")));
+        assert_eq!(Value::Null.as_int(), None);
+        assert_eq!(Value::Null.as_sym(), None);
+        assert_eq!(Value::Int(1).as_bool(), None);
+    }
+
+    #[test]
+    fn ordering_groups_variants() {
+        // Null < Bool < Int < Sym, deterministic for sorted reports.
+        let mut vs = [
+            Value::sym("b"),
+            Value::Int(3),
+            Value::Null,
+            Value::Bool(true),
+            Value::sym("a"),
+        ];
+        vs.sort();
+        assert_eq!(vs[0], Value::Null);
+        assert_eq!(vs[1], Value::Bool(true));
+        assert_eq!(vs[2], Value::Int(3));
+        assert_eq!(vs[3], Value::sym("a"));
+        assert_eq!(vs[4], Value::sym("b"));
+    }
+}

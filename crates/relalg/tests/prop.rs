@@ -1,0 +1,229 @@
+//! Property-based tests for the relational engine: algebraic laws of
+//! the operators, solver consistency, and expression semantics.
+
+use ccsql_relalg::expr::{NoContext, SetContext};
+use ccsql_relalg::solver::ColumnDef;
+use ccsql_relalg::{ops, parse_expr, report, Expr, GenMode, Relation, TableSpec, Value};
+use proptest::prelude::*;
+
+const SYMS: &[&str] = &["a", "b", "c", "d", "readex", "idone", "NULLX"];
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        (0..SYMS.len()).prop_map(|i| Value::sym(SYMS[i])),
+        (-3i64..10).prop_map(Value::Int),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+fn relation_strategy(cols: usize, max_rows: usize) -> impl Strategy<Value = Relation> {
+    prop::collection::vec(
+        prop::collection::vec(value_strategy(), cols),
+        0..max_rows,
+    )
+    .prop_map(move |rows| {
+        let names: Vec<String> = (0..cols).map(|i| format!("c{i}")).collect();
+        let mut rel = Relation::with_columns(names).unwrap();
+        for r in rows {
+            rel.push_row(&r).unwrap();
+        }
+        rel
+    })
+}
+
+/// Parser-shaped random expressions (comparison operands are identifiers
+/// and literals, as the grammar produces).
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let ident = (0..4usize).prop_map(|i| Expr::Ident(ccsql_relalg::Sym::intern(["c0", "c1", "xx", "busy_q"][i])));
+    let lit = prop_oneof![
+        (0..SYMS.len()).prop_map(|i| Expr::Lit(Value::sym(SYMS[i]))),
+        (-5i64..20).prop_map(|n| Expr::Lit(Value::Int(n))),
+        Just(Expr::Lit(Value::Null)),
+    ];
+    let leaf = prop_oneof![
+        (ident.clone(), lit.clone()).prop_map(|(a, b)| Expr::Eq(Box::new(a), Box::new(b))),
+        (ident.clone(), lit).prop_map(|(a, b)| Expr::Ne(Box::new(a), Box::new(b))),
+        (
+            ident,
+            prop::collection::vec((0..SYMS.len()).prop_map(|i| Value::sym(SYMS[i])), 1..4)
+        )
+            .prop_map(|(a, vs)| Expr::In(Box::new(a), vs)),
+        Just(Expr::True),
+        Just(Expr::False),
+    ];
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.clone().prop_map(|e| e.negate()),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(c, t, f)| c.ternary(t, f)),
+            inner.prop_map(|e| Expr::Call(ccsql_relalg::Sym::intern("isrequest"), Box::new(e))),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn display_parse_round_trip(e in expr_strategy()) {
+        let printed = e.to_string();
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("unparseable {printed:?}: {err}"));
+        prop_assert_eq!(&reparsed, &e, "printed: {}", printed);
+    }
+
+    #[test]
+    fn distinct_is_idempotent(rel in relation_strategy(3, 30)) {
+        let once = rel.distinct();
+        let twice = once.distinct();
+        prop_assert!(once.set_eq(&twice));
+        prop_assert_eq!(once.len(), twice.len());
+    }
+
+    #[test]
+    fn distinct_preserves_membership(rel in relation_strategy(2, 30)) {
+        let d = rel.distinct();
+        for r in rel.rows() {
+            prop_assert!(d.contains_row(r));
+        }
+        prop_assert!(d.len() <= rel.len());
+    }
+
+    #[test]
+    fn sorted_is_a_permutation(rel in relation_strategy(2, 30)) {
+        let s = rel.sorted();
+        prop_assert_eq!(s.len(), rel.len());
+        prop_assert!(s.set_eq(&rel) || rel.is_empty());
+        // And sorting is stable under repetition.
+        let s2 = s.sorted();
+        prop_assert!(s.rows().eq(s2.rows()));
+    }
+
+    #[test]
+    fn union_is_commutative_as_sets(a in relation_strategy(2, 20), b in relation_strategy(2, 20)) {
+        let ab = ops::union(&a, &b).unwrap();
+        let ba = ops::union(&b, &a).unwrap();
+        prop_assert!(ab.set_eq(&ba));
+        prop_assert_eq!(ab.len(), a.len() + b.len());
+    }
+
+    #[test]
+    fn difference_and_intersection_partition(a in relation_strategy(2, 25), b in relation_strategy(2, 25)) {
+        let diff = ops::difference(&a, &b).unwrap();
+        let inter = ops::intersect(&a, &b).unwrap();
+        // diff ∪ inter ≡ a (as sets).
+        let rejoined = ops::union(&diff, &inter).unwrap();
+        prop_assert!(rejoined.distinct().set_eq(&a.distinct()));
+        // diff ∩ b = ∅.
+        prop_assert!(ops::intersect(&diff, &b).unwrap().is_empty());
+    }
+
+    #[test]
+    fn select_partitions_rows(rel in relation_strategy(2, 30)) {
+        let p = Expr::col_eq("c0", "a");
+        let yes = ops::select(&rel, &p, &NoContext).unwrap();
+        let no = ops::select(&rel, &p.clone().negate(), &NoContext).unwrap();
+        prop_assert_eq!(yes.len() + no.len(), rel.len());
+        for r in yes.rows() {
+            prop_assert_eq!(r[0], Value::sym("a"));
+        }
+    }
+
+    #[test]
+    fn projection_keeps_row_count(rel in relation_strategy(3, 25)) {
+        let p = ops::project_str(&rel, &["c2", "c0"]).unwrap();
+        prop_assert_eq!(p.len(), rel.len());
+        prop_assert_eq!(p.arity(), 2);
+        for (orig, proj) in rel.rows().zip(p.rows()) {
+            prop_assert_eq!(orig[2], proj[0]);
+            prop_assert_eq!(orig[0], proj[1]);
+        }
+    }
+
+    #[test]
+    fn cross_product_cardinality(a in relation_strategy(1, 12), b in relation_strategy(2, 12)) {
+        let c = ops::cross(&a, &b, "r").unwrap();
+        prop_assert_eq!(c.len(), a.len() * b.len());
+        prop_assert_eq!(c.arity(), 3);
+    }
+
+    #[test]
+    fn equi_join_subset_of_cross(a in relation_strategy(2, 15), b in relation_strategy(2, 15)) {
+        let j = ops::equi_join(&a, &b, &[("c0", "c0")], "r").unwrap();
+        for r in j.rows() {
+            // Join key matched (left c0 == right c0 at position 2).
+            prop_assert_eq!(r[0], r[2]);
+        }
+        prop_assert!(j.len() <= a.len() * b.len());
+    }
+
+    #[test]
+    fn ternary_desugars_correctly(
+        c in any::<bool>(),
+        t in any::<bool>(),
+        f in any::<bool>(),
+    ) {
+        // c ? t : f  ≡  (c ∧ t) ∨ (¬c ∧ f) for all boolean assignments.
+        let schema = ccsql_relalg::Schema::new(["x", "y", "z"]).unwrap();
+        let e = Expr::col_eq("x", "T")
+            .ternary(Expr::col_eq("y", "T"), Expr::col_eq("z", "T"));
+        let row = |b: bool| Value::sym(if b { "T" } else { "F" });
+        let bound = e.bind(&schema).unwrap();
+        let got = bound.eval_bool(&[row(c), row(t), row(f)], &NoContext).unwrap();
+        prop_assert_eq!(got, if c { t } else { f });
+    }
+
+    #[test]
+    fn csv_row_count_round_trips(rel in relation_strategy(2, 20)) {
+        let csv = report::csv(&rel);
+        prop_assert_eq!(csv.trim_end().lines().count(), rel.len() + 1);
+        let md = report::markdown_table(&rel);
+        prop_assert_eq!(md.trim_end().lines().count(), rel.len() + 2);
+    }
+
+    #[test]
+    fn solver_modes_agree_on_random_specs(
+        vals_a in prop::collection::vec(0usize..4, 1..4),
+        vals_b in prop::collection::vec(0usize..4, 1..4),
+        pin in 0usize..4,
+    ) {
+        // Two columns over random sub-domains with a coupling constraint.
+        let dom = ["p", "q", "r", "s"];
+        let mk = |ix: &[usize]| -> Vec<Value> {
+            let mut v: Vec<Value> = ix.iter().map(|&i| Value::sym(dom[i])).collect();
+            v.sort();
+            v.dedup();
+            v
+        };
+        let mut spec = TableSpec::new("t");
+        spec.push(ColumnDef::input("a", mk(&vals_a), Expr::True));
+        spec.push(ColumnDef::input(
+            "b",
+            mk(&vals_b),
+            parse_expr(&format!("a = \"{}\" ? b = \"{}\" : true", dom[pin], dom[pin])).unwrap(),
+        ));
+        let ctx = SetContext::new();
+        let (mono, _) = spec.generate(GenMode::Monolithic, &ctx).unwrap();
+        let (inc, _) = spec.generate(GenMode::Incremental, &ctx).unwrap();
+        let (par, _) = spec.generate(GenMode::IncrementalParallel { threads: 3 }, &ctx).unwrap();
+        prop_assert!(mono.set_eq(&inc));
+        prop_assert!(inc.set_eq(&par));
+    }
+
+    #[test]
+    fn parser_handles_arbitrary_in_lists(items in prop::collection::vec(0usize..SYMS.len(), 1..5)) {
+        let list: Vec<String> = items.iter().map(|&i| format!("\"{}\"", SYMS[i])).collect();
+        let sql = format!("c0 in ({})", list.join(", "));
+        let e = parse_expr(&sql).unwrap();
+        let schema = ccsql_relalg::Schema::new(["c0"]).unwrap();
+        let b = e.bind(&schema).unwrap();
+        for (i, s) in SYMS.iter().enumerate() {
+            let expect = items.contains(&i);
+            prop_assert_eq!(
+                b.eval_bool(&[Value::sym(s)], &NoContext).unwrap(),
+                expect
+            );
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Finite virtual-channel buffers.
+//!
+//! Buffers live at the *receiving* quad, one FIFO per virtual channel,
+//! with a fixed capacity. All traffic terminating in a quad shares that
+//! quad's buffer for its channel — this is exactly the channel sharing
+//! the paper's quad-placement relaxation models statically (a response
+//! from a remote node in the home quad and a response from home memory
+//! compete for the same VC2 slots).
+//!
+//! The dedicated directory→memory path of the fixed assignment `V2` is a
+//! separate, always-available queue: it never back-pressures, so it
+//! induces no dependencies.
+
+use crate::msg::SimMsg;
+use std::collections::VecDeque;
+
+/// Identifier of a transport resource.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum VcId {
+    /// A shared virtual channel (index 0..=4 for VC0..VC4).
+    Vc(u8),
+    /// The dedicated directory→memory hardware path.
+    Path,
+}
+
+impl std::fmt::Display for VcId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VcId::Vc(i) => write!(f, "VC{i}"),
+            VcId::Path => write!(f, "PATH"),
+        }
+    }
+}
+
+/// Number of shared virtual channels.
+pub const NUM_VCS: usize = 5;
+
+/// All receive buffers of the machine.
+pub struct Channels {
+    cap: usize,
+    /// `bufs[quad][vc]`.
+    bufs: Vec<[VecDeque<SimMsg>; NUM_VCS]>,
+    /// Dedicated path queue per quad (unbounded).
+    path: Vec<VecDeque<SimMsg>>,
+}
+
+impl Channels {
+    /// Create buffers for `quads` quads with per-channel capacity `cap`.
+    pub fn new(quads: usize, cap: usize) -> Channels {
+        assert!(cap >= 1, "capacity must be at least 1");
+        Channels {
+            cap,
+            bufs: (0..quads).map(|_| Default::default()).collect(),
+            path: vec![VecDeque::new(); quads],
+        }
+    }
+
+    /// Free slots in `(quad, vc)`. The dedicated path is never full.
+    pub fn free(&self, quad: u8, vc: VcId) -> usize {
+        match vc {
+            VcId::Vc(i) => self.cap - self.bufs[quad as usize][i as usize].len(),
+            VcId::Path => usize::MAX,
+        }
+    }
+
+    /// Enqueue; panics if full (callers must check [`Self::free`]).
+    pub fn send(&mut self, quad: u8, vc: VcId, msg: SimMsg) {
+        match vc {
+            VcId::Vc(i) => {
+                let q = &mut self.bufs[quad as usize][i as usize];
+                assert!(q.len() < self.cap, "send into full {vc} at quad {quad}");
+                q.push_back(msg);
+            }
+            VcId::Path => self.path[quad as usize].push_back(msg),
+        }
+    }
+
+    /// Peek the head of `(quad, vc)`.
+    pub fn head(&self, quad: u8, vc: VcId) -> Option<&SimMsg> {
+        match vc {
+            VcId::Vc(i) => self.bufs[quad as usize][i as usize].front(),
+            VcId::Path => self.path[quad as usize].front(),
+        }
+    }
+
+    /// Pop the head of `(quad, vc)`.
+    pub fn pop(&mut self, quad: u8, vc: VcId) -> Option<SimMsg> {
+        match vc {
+            VcId::Vc(i) => self.bufs[quad as usize][i as usize].pop_front(),
+            VcId::Path => self.path[quad as usize].pop_front(),
+        }
+    }
+
+    /// Total queued messages (shared channels + path).
+    pub fn in_flight(&self) -> usize {
+        self.bufs
+            .iter()
+            .map(|b| b.iter().map(|q| q.len()).sum::<usize>())
+            .sum::<usize>()
+            + self.path.iter().map(|q| q.len()).sum::<usize>()
+    }
+
+    /// Snapshot of all non-empty buffers (for deadlock reports).
+    pub fn snapshot(&self) -> Vec<(u8, VcId, Vec<String>)> {
+        let mut out = Vec::new();
+        for (q, bufs) in self.bufs.iter().enumerate() {
+            for (i, buf) in bufs.iter().enumerate() {
+                if !buf.is_empty() {
+                    out.push((
+                        q as u8,
+                        VcId::Vc(i as u8),
+                        buf.iter().map(|m| m.to_string()).collect(),
+                    ));
+                }
+            }
+        }
+        for (q, buf) in self.path.iter().enumerate() {
+            if !buf.is_empty() {
+                out.push((
+                    q as u8,
+                    VcId::Path,
+                    buf.iter().map(|m| m.to_string()).collect(),
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::Endpoint;
+    use ccsql_protocol::topology::NodeId;
+
+    fn m(name: &str) -> SimMsg {
+        SimMsg::new(name, 0, Endpoint::Node(NodeId::new(0, 0)), Endpoint::Dir(1))
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut ch = Channels::new(2, 1);
+        assert_eq!(ch.free(1, VcId::Vc(0)), 1);
+        ch.send(1, VcId::Vc(0), m("readex"));
+        assert_eq!(ch.free(1, VcId::Vc(0)), 0);
+        assert_eq!(ch.in_flight(), 1);
+        assert_eq!(ch.head(1, VcId::Vc(0)).unwrap().name.as_str(), "readex");
+        let popped = ch.pop(1, VcId::Vc(0)).unwrap();
+        assert_eq!(popped.name.as_str(), "readex");
+        assert_eq!(ch.in_flight(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn overfull_send_panics() {
+        let mut ch = Channels::new(1, 1);
+        ch.send(0, VcId::Vc(2), m("idone"));
+        ch.send(0, VcId::Vc(2), m("idone"));
+    }
+
+    #[test]
+    fn path_is_unbounded() {
+        let mut ch = Channels::new(1, 1);
+        for _ in 0..10 {
+            ch.send(0, VcId::Path, m("mread"));
+        }
+        assert_eq!(ch.free(0, VcId::Path), usize::MAX);
+        assert_eq!(ch.in_flight(), 10);
+    }
+
+    #[test]
+    fn snapshot_lists_queues() {
+        let mut ch = Channels::new(2, 2);
+        ch.send(0, VcId::Vc(2), m("idone"));
+        ch.send(1, VcId::Vc(4), m("wb"));
+        let snap = ch.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].0, 0);
+        assert_eq!(snap[0].1, VcId::Vc(2));
+    }
+}

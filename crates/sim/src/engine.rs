@@ -1,0 +1,1277 @@
+//! The discrete-event engine: executes the *generated controller
+//! tables* over finite virtual-channel buffers.
+//!
+//! Every controller decision is a row lookup in the corresponding table
+//! (`D`, `N`, `R`, `M`); a missing row is surfaced as
+//! [`SimError::NoRow`] — the dynamic analogue of the paper's "table is
+//! specified only for the legal input combinations".
+//!
+//! Deadlock is detected operationally: a step in which no controller
+//! can make progress while messages remain queued (or transactions
+//! remain pending) is a deadlock, and the report lists who is blocked
+//! on which channel — the dynamic counterpart of a cycle in the
+//! statically-computed virtual channel dependency graph.
+
+use crate::channel::{Channels, VcId};
+use crate::msg::{Addr, Endpoint, SimMsg};
+use crate::state::{BusyEntry, DirEntry, NodeState, PendTxn, QuadState};
+use crate::tables::ExecTable;
+use crate::workload::{CpuOp, Workload};
+use ccsql::gen::GeneratedProtocol;
+use ccsql_protocol::messages;
+use ccsql_protocol::topology::{NodeId, PresenceVector};
+use ccsql_relalg::{Sym, Value};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Addresses with this bit set live in I/O space (never cached).
+pub const IO_SPACE: Addr = 0x8000_0000;
+
+/// Controller scheduling policy.
+#[derive(Clone, Copy, Debug)]
+pub enum Schedule {
+    /// Fixed round-robin order each step.
+    Fixed,
+    /// Seeded random shuffle each step (exposes race-dependent
+    /// deadlocks such as Figure 4).
+    Random(u64),
+}
+
+/// Simulator configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Number of quads (1–4).
+    pub quads: usize,
+    /// Nodes per quad (1–4).
+    pub nodes_per_quad: usize,
+    /// Capacity of each shared virtual-channel buffer.
+    ///
+    /// Structural sizing rule: a read-exclusive may snoop every node of
+    /// a quad at once, so `vc_capacity` must be ≥ `nodes_per_quad` or
+    /// the machine can starve on the snoop channel regardless of the
+    /// channel assignment.
+    pub vc_capacity: usize,
+    /// Route the directory's memory operations over the dedicated path
+    /// (the paper's Figure-4 fix / assignment `V2`). `false` models the
+    /// pre-fix assignment `V1` (everything on VC4).
+    pub dedicated_mem_path: bool,
+    /// Scheduling policy.
+    pub schedule: Schedule,
+    /// Step budget for [`Sim::run`].
+    pub max_steps: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig {
+            quads: 2,
+            nodes_per_quad: 2,
+            vc_capacity: 2,
+            dedicated_mem_path: true,
+            schedule: Schedule::Fixed,
+            max_steps: 1_000_000,
+        }
+    }
+}
+
+/// Simulation statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimStats {
+    /// Engine steps executed.
+    pub steps: u64,
+    /// Processor operations issued to the network.
+    pub issued: u64,
+    /// Processor operations satisfied locally (cache hits).
+    pub hits: u64,
+    /// Transactions completed at the directory.
+    pub completed: u64,
+    /// Retry responses observed by nodes.
+    pub retries: u64,
+    /// Messages sent.
+    pub msgs: u64,
+    /// Read-return values checked against the serialisation order.
+    pub read_checks: u64,
+}
+
+/// Why a simulation run ended.
+#[derive(Debug)]
+pub enum Outcome {
+    /// All work drained; every queue empty, no pending transactions.
+    Quiescent,
+    /// No controller can progress but work remains.
+    Deadlock(DeadlockInfo),
+    /// Step budget exhausted.
+    StepLimit,
+}
+
+impl Outcome {
+    /// Is this a deadlock?
+    pub fn is_deadlock(&self) -> bool {
+        matches!(self, Outcome::Deadlock(_))
+    }
+}
+
+/// Description of a dynamic deadlock.
+#[derive(Debug)]
+pub struct DeadlockInfo {
+    /// Blocked controllers and what they wait for.
+    pub blocked: Vec<String>,
+    /// Channels involved (needed-but-full plus stuck non-empty).
+    pub channels: Vec<String>,
+    /// Snapshot of all non-empty buffers.
+    pub queues: Vec<(u8, VcId, Vec<String>)>,
+}
+
+impl fmt::Display for DeadlockInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DEADLOCK involving {}", self.channels.join(", "))?;
+        for b in &self.blocked {
+            writeln!(f, "  blocked: {b}")?;
+        }
+        for (q, vc, msgs) in &self.queues {
+            writeln!(f, "  quad {q} {vc}: {}", msgs.join(" | "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Simulation errors: protocol specification holes or coherence
+/// violations detected by the built-in checker.
+#[derive(Debug)]
+pub enum SimError {
+    /// No controller-table row matches the situation.
+    NoRow {
+        /// Controller table name.
+        controller: &'static str,
+        /// The lookup key.
+        key: String,
+    },
+    /// The value checker caught stale data.
+    Coherence(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NoRow { controller, key } => {
+                write!(f, "no row in table {controller} for inputs {key}")
+            }
+            SimError::Coherence(m) => write!(f, "coherence violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A blocked-controller description plus the `(quad, channel)` slots it
+/// needs.
+pub type BlockedReason = (String, Vec<(u8, VcId)>);
+
+enum Progress {
+    Worked,
+    Idle,
+    Blocked(String, Vec<(u8, VcId)>),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Ctrl {
+    Dir(u8),
+    Mem(u8),
+    NodeRsp(u8),
+    Rac(u8),
+    Held(usize),
+    Issue(usize),
+}
+
+/// The simulator.
+pub struct Sim {
+    /// Configuration.
+    pub cfg: SimConfig,
+    d: ExecTable,
+    n: ExecTable,
+    r: ExecTable,
+    m: ExecTable,
+    /// Transport buffers.
+    pub channels: Channels,
+    quads: Vec<QuadState>,
+    nodes: HashMap<NodeId, NodeState>,
+    node_list: Vec<NodeId>,
+    workload: Workload,
+    rng: Option<StdRng>,
+    /// Counters.
+    pub stats: SimStats,
+    /// Serialisation-order expected value per coherent address.
+    expected: HashMap<Addr, u64>,
+    expected_io: HashMap<Addr, u64>,
+    version: u64,
+    /// Optional event trace (enable with [`Sim::enable_trace`]).
+    pub trace: Vec<String>,
+    tracing: bool,
+    latency: HashMap<&'static str, LatAgg>,
+    /// Per-controller row hit counts: how often each specification row
+    /// was exercised (table coverage).
+    coverage: HashMap<(&'static str, usize), u64>,
+}
+
+/// Latency aggregate for one operation type (in engine steps).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LatAgg {
+    /// Completed operations.
+    pub count: u64,
+    /// Sum of latencies.
+    pub total: u64,
+    /// Maximum latency.
+    pub max: u64,
+}
+
+impl LatAgg {
+    /// Mean latency in steps.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.count as f64
+        }
+    }
+}
+
+impl Sim {
+    /// Build a simulator running the given generated tables.
+    pub fn new(gen: &GeneratedProtocol, cfg: SimConfig, workload: Workload) -> Sim {
+        let d = ExecTable::new(
+            gen.table("D").expect("D").clone(),
+            &["inmsg", "dirst", "dirpv", "bdirst", "bdirpv"],
+        )
+        .expect("D indexable");
+        let n = ExecTable::new(
+            gen.table("N").expect("N").clone(),
+            &["inmsg", "cachest", "pendst"],
+        )
+        .expect("N indexable");
+        let r = ExecTable::new(gen.table("R").expect("R").clone(), &["inmsg", "linest"])
+            .expect("R indexable");
+        let m = ExecTable::new(gen.table("M").expect("M").clone(), &["inmsg"])
+            .expect("M indexable");
+
+        let node_list: Vec<NodeId> = (0..cfg.quads)
+            .flat_map(|q| (0..cfg.nodes_per_quad).map(move |n| NodeId::new(q, n)))
+            .collect();
+        assert_eq!(
+            workload.queues.len(),
+            node_list.len(),
+            "workload must have one queue per node"
+        );
+        let nodes = node_list
+            .iter()
+            .map(|&n| (n, NodeState::default()))
+            .collect();
+        let rng = match cfg.schedule {
+            Schedule::Fixed => None,
+            Schedule::Random(seed) => Some(StdRng::seed_from_u64(seed)),
+        };
+        Sim {
+            cfg,
+            d,
+            n,
+            r,
+            m,
+            channels: Channels::new(cfg.quads, cfg.vc_capacity),
+            quads: (0..cfg.quads).map(|_| QuadState::default()).collect(),
+            nodes,
+            node_list,
+            workload,
+            rng,
+            stats: SimStats::default(),
+            expected: HashMap::new(),
+            expected_io: HashMap::new(),
+            version: 0,
+            trace: Vec::new(),
+            tracing: false,
+            latency: HashMap::new(),
+            coverage: HashMap::new(),
+        }
+    }
+
+    /// Record a textual event trace.
+    pub fn enable_trace(&mut self) {
+        self.tracing = true;
+    }
+
+    fn tracef(&mut self, s: String) {
+        if self.tracing {
+            self.trace.push(s);
+        }
+    }
+
+    /// Home quad of an address.
+    pub fn home_quad(&self, addr: Addr) -> u8 {
+        ((addr & !IO_SPACE) as usize % self.cfg.quads) as u8
+    }
+
+    /// The virtual channel carrying `msg` (mirrors
+    /// `ccsql::vc::VcAssignment`).
+    pub fn vc_for(&self, msg: &SimMsg) -> VcId {
+        let req = messages::is_request(msg.name.as_str());
+        match (msg.src, msg.dest) {
+            (Endpoint::Node(_), Endpoint::Dir(_)) if req => VcId::Vc(0),
+            (Endpoint::Dir(_), Endpoint::Node(_)) if req => VcId::Vc(1),
+            (Endpoint::Node(_), Endpoint::Dir(_)) => VcId::Vc(2),
+            (Endpoint::Mem(_), Endpoint::Dir(_)) => VcId::Vc(2),
+            (Endpoint::Dir(_), Endpoint::Node(_)) => VcId::Vc(3),
+            (Endpoint::Dir(_), Endpoint::Mem(_)) => {
+                let name = msg.name.as_str();
+                if self.cfg.dedicated_mem_path && (name == "mread" || name == "mwrite") {
+                    VcId::Path
+                } else {
+                    VcId::Vc(4)
+                }
+            }
+            other => panic!("no channel for {other:?}"),
+        }
+    }
+
+    /// Check that the sends in `plan` fit, treating one slot of
+    /// `freeing` as available (the input buffer being popped).
+    fn can_send_all(&self, plan: &[SimMsg], freeing: Option<(u8, VcId)>) -> Option<(u8, VcId)> {
+        let mut need: HashMap<(u8, VcId), usize> = HashMap::new();
+        for m in plan {
+            let vc = self.vc_for(m);
+            *need.entry((m.dest.quad(), vc)).or_insert(0) += 1;
+        }
+        for (&(q, vc), &n) in &need {
+            let mut free = self.channels.free(q, vc);
+            if freeing == Some((q, vc)) {
+                free = free.saturating_add(1);
+            }
+            if free < n {
+                return Some((q, vc));
+            }
+        }
+        None
+    }
+
+    fn send_all(&mut self, plan: Vec<SimMsg>) {
+        for m in plan {
+            let vc = self.vc_for(&m);
+            self.tracef(format!("send {m} on {vc}"));
+            self.channels.send(m.dest.quad(), vc, m);
+            self.stats.msgs += 1;
+        }
+    }
+
+    // ------------------------------------------------------------ setup
+    // (public so scripted scenarios can pre-establish machine state)
+
+    /// Install a cache line at a node.
+    pub fn set_cache(&mut self, node: NodeId, addr: Addr, st: &str, value: u64) {
+        let ns = self.nodes.get_mut(&node).expect("node");
+        if st == "I" {
+            ns.cache.remove(&addr);
+        } else {
+            ns.cache.insert(addr, (Sym::intern(st), value));
+        }
+    }
+
+    /// Install a directory entry at the home quad of `addr`.
+    pub fn set_dir(&mut self, addr: Addr, st: &str, sharers: &[NodeId]) {
+        let q = self.home_quad(addr) as usize;
+        let mut pv = PresenceVector::new();
+        for &n in sharers {
+            pv.set(n);
+        }
+        if st == "I" {
+            self.quads[q].dir.remove(&addr);
+        } else {
+            self.quads[q].dir.insert(
+                addr,
+                DirEntry {
+                    st: Sym::intern(st),
+                    pv,
+                },
+            );
+        }
+    }
+
+    /// Write home memory directly.
+    pub fn set_mem(&mut self, addr: Addr, value: u64) {
+        let q = self.home_quad(addr) as usize;
+        self.quads[q].mem.insert(addr, value);
+    }
+
+    /// Declare the serialisation-order value of `addr` (for scripted
+    /// scenarios that pre-install written lines).
+    pub fn set_expected(&mut self, addr: Addr, value: u64) {
+        self.expected.insert(addr, value);
+    }
+
+    /// Directory state (for assertions in tests).
+    pub fn dir_state(&self, addr: Addr) -> (String, u32) {
+        let q = &self.quads[self.home_quad(addr) as usize];
+        (q.dirst(addr).to_string(), q.dirpv(addr).count())
+    }
+
+    /// Cache state of a node (for assertions in tests).
+    pub fn cache_state(&self, node: NodeId, addr: Addr) -> (String, u64) {
+        let ns = &self.nodes[&node];
+        ns.cache
+            .get(&addr)
+            .map(|&(st, v)| (st.to_string(), v))
+            .unwrap_or(("I".to_string(), 0))
+    }
+
+    /// Memory contents at the home of `addr`.
+    pub fn mem_value(&self, addr: Addr) -> u64 {
+        let q = &self.quads[self.home_quad(addr) as usize];
+        *q.mem.get(&addr).unwrap_or(&0)
+    }
+
+    // -------------------------------------------------------- directory
+
+    /// One directory-controller attempt at quad `q` (responses first).
+    pub fn try_dir(&mut self, q: u8) -> Result<CtrlStep, SimError> {
+        for vc in [VcId::Vc(2), VcId::Vc(0)] {
+            match self.dir_process(q, vc)? {
+                Progress::Idle => continue,
+                p => return Ok(CtrlStep(p)),
+            }
+        }
+        Ok(CtrlStep(Progress::Idle))
+    }
+
+    fn dir_process(&mut self, q: u8, vc: VcId) -> Result<Progress, SimError> {
+        let Some(msg) = self.channels.head(q, vc).copied() else {
+            return Ok(Progress::Idle);
+        };
+        let addr = msg.addr;
+        let qs = &self.quads[q as usize];
+        let dirst = qs.dirst(addr);
+        let dirpv = qs.dirpv(addr);
+        let bdirst = qs.bdirst(addr);
+        let busy = qs.busy.get(&addr).copied();
+        let key = [
+            Value::Sym(msg.name),
+            Value::Sym(dirst),
+            Value::sym(dirpv.encoding()),
+            Value::Sym(bdirst),
+            Value::sym(qs.bdirpv_encoding(addr)),
+        ];
+        let row = match self.d.row(&key) {
+            Some(r) => r,
+            None => {
+                // Retry rows use the NULL don't-care busy presence vector.
+                let mut k2 = key;
+                k2[4] = Value::Null;
+                self.d.row(&k2).ok_or_else(|| SimError::NoRow {
+                    controller: "D",
+                    key: format!("{key:?}"),
+                })?
+            }
+        };
+
+        // -------- plan outputs
+        let sender = match msg.src {
+            Endpoint::Node(n) => Some(n),
+            _ => None,
+        };
+        let requester = busy.map(|b| b.requester).or(sender);
+        let locmsg = row.get_sym("locmsg");
+        let remmsg = row.get_sym("remmsg");
+        let memmsg = row.get_sym("memmsg");
+        let nxtdirst = row.get_sym("nxtdirst");
+        let nxtdirpv = row.get_sym("nxtdirpv");
+        let nxtbdirst = row.get_sym("nxtbdirst");
+        let nxtbdirpv = row.get_sym("nxtbdirpv");
+        let dirupd = row.get_sym("dirupd");
+        let bdirupd = row.get_sym("bdirupd");
+        let cmpl = row.get("cmpl") == Value::sym("yes");
+
+        let mut plan: Vec<SimMsg> = Vec::new();
+        if let Some(l) = locmsg {
+            let target = if l.as_str() == "retry" {
+                sender.expect("retry goes to the sender")
+            } else {
+                requester.expect("local response needs a requester")
+            };
+            let mut out = SimMsg::new(l.as_str(), addr, Endpoint::Dir(q), Endpoint::Node(target));
+            // Data-bearing responses forward the incoming payload.
+            if matches!(l.as_str(), "data" | "edata" | "swapdata" | "iodata") {
+                out.payload = msg.payload;
+            }
+            plan.push(out);
+        }
+        let mut snoop_targets: Vec<NodeId> = Vec::new();
+        if let Some(r) = remmsg {
+            // Snoops go to the current sharers; an upgrading requester
+            // keeps its copy and is not snooped.
+            let exclude_requester = msg.name.as_str() == "upgrade";
+            snoop_targets = dirpv
+                .nodes()
+                .into_iter()
+                .filter(|n| !(exclude_requester && Some(*n) == requester))
+                .collect();
+            for &t in &snoop_targets {
+                plan.push(SimMsg::new(
+                    r.as_str(),
+                    addr,
+                    Endpoint::Dir(q),
+                    Endpoint::Node(t),
+                ));
+            }
+        }
+        if let Some(mm) = memmsg {
+            let mut out = SimMsg::new(mm.as_str(), addr, Endpoint::Dir(q), Endpoint::Mem(q));
+            if matches!(mm.as_str(), "mwrite" | "wb" | "iowrite") {
+                out.payload = msg.payload;
+            }
+            plan.push(out);
+        }
+
+        if let Some((bq, bvc)) = self.can_send_all(&plan, Some((q, vc))) {
+            return Ok(Progress::Blocked(
+                format!("D{q} processing {msg} needs a slot on quad {bq} {bvc}"),
+                vec![(bq, bvc)],
+            ));
+        }
+
+        // -------- commit
+        let row_idx = row.idx;
+        self.channels.pop(q, vc);
+        *self.coverage.entry(("D", row_idx)).or_default() += 1;
+        self.tracef(format!("D{q} row {row_idx} handles {msg}"));
+        let qs = &mut self.quads[q as usize];
+
+        // Busy-directory update.
+        match bdirupd.map(|s| s.as_str()) {
+            Some("alloc") => {
+                let st = nxtbdirst.expect("alloc names a busy state");
+                // The busy presence vector counts outstanding snoop
+                // responses when snoops were sent; for non-snooping
+                // transactions `repl` copies the sharer count so the
+                // completion row can distinguish shared from unshared
+                // lines (read@SI vs read@I).
+                let pending = if !snoop_targets.is_empty() {
+                    snoop_targets.len() as u32
+                } else if nxtbdirpv.map(|s| s.as_str()) == Some("repl") {
+                    dirpv.count()
+                } else {
+                    0
+                };
+                qs.busy.insert(
+                    addr,
+                    BusyEntry {
+                        st,
+                        pending,
+                        requester: sender.expect("requests come from nodes"),
+                        req: msg.name,
+                        saved_pv: dirpv,
+                    },
+                );
+            }
+            Some("write") => {
+                let e = qs.busy.get_mut(&addr).expect("busy entry");
+                if let Some(st) = nxtbdirst {
+                    e.st = st;
+                }
+                if nxtbdirpv.map(|s| s.as_str()) == Some("dec") {
+                    e.pending = e.pending.saturating_sub(1);
+                }
+            }
+            Some("dealloc") => {
+                qs.busy.remove(&addr);
+            }
+            _ => {}
+        }
+
+        // Directory update. Presence-vector operations use the sharer
+        // set saved at transaction start (or the live one when no
+        // transaction is involved) with the requester as operand.
+        match dirupd.map(|s| s.as_str()) {
+            Some("dealloc") => {
+                qs.dir.remove(&addr);
+            }
+            Some(op @ ("alloc" | "write")) => {
+                let base = busy.map(|b| b.saved_pv).unwrap_or(dirpv);
+                let operand = requester.expect("directory update needs a requester");
+                let pv = match nxtdirpv.map(|s| s.as_str()) {
+                    Some("inc") => {
+                        let mut p = base;
+                        p.set(operand);
+                        p
+                    }
+                    Some("repl") => {
+                        let mut p = PresenceVector::new();
+                        p.set(operand);
+                        p
+                    }
+                    Some("dec") => {
+                        let mut p = base;
+                        p.clear(operand);
+                        p
+                    }
+                    Some("drepl") => {
+                        let mut p = base;
+                        p.clear(operand);
+                        if p.count() == 0 {
+                            let mut r2 = PresenceVector::new();
+                            r2.set(operand);
+                            r2
+                        } else {
+                            p
+                        }
+                    }
+                    _ => base,
+                };
+                let st = nxtdirst.unwrap_or(dirst);
+                let _ = op;
+                qs.dir.insert(addr, DirEntry { st, pv });
+            }
+            _ => {}
+        }
+
+        if cmpl {
+            self.stats.completed += 1;
+        }
+        self.send_all(plan);
+        Ok(Progress::Worked)
+    }
+
+    // ----------------------------------------------------------- memory
+
+    /// One home-memory-controller attempt at quad `q`.
+    pub fn try_mem(&mut self, q: u8) -> Result<CtrlStep, SimError> {
+        for vc in [VcId::Path, VcId::Vc(4)] {
+            let Some(msg) = self.channels.head(q, vc).copied() else {
+                continue;
+            };
+            let key = [Value::Sym(msg.name)];
+            let row = self.m.row(&key).ok_or_else(|| SimError::NoRow {
+                controller: "M",
+                key: format!("{key:?}"),
+            })?;
+            let row_idx = row.idx;
+            let out = row.get_sym("outmsg");
+            let mut plan = Vec::new();
+            if let Some(o) = out {
+                let mut reply =
+                    SimMsg::new(o.as_str(), msg.addr, Endpoint::Mem(q), Endpoint::Dir(q));
+                match o.as_str() {
+                    "data" => {
+                        reply.payload =
+                            Some(*self.quads[q as usize].mem.get(&msg.addr).unwrap_or(&0));
+                    }
+                    "iodata" => {
+                        reply.payload =
+                            Some(*self.quads[q as usize].io.get(&msg.addr).unwrap_or(&0));
+                    }
+                    _ => {}
+                }
+                plan.push(reply);
+            }
+            if let Some((bq, bvc)) = self.can_send_all(&plan, Some((q, vc))) {
+                return Ok(CtrlStep(Progress::Blocked(
+                    format!("M{q} processing {msg} needs a slot on quad {bq} {bvc}"),
+                    vec![(bq, bvc)],
+                )));
+            }
+            self.channels.pop(q, vc);
+            *self.coverage.entry(("M", row_idx)).or_default() += 1;
+            self.tracef(format!("M{q} handles {msg}"));
+            match msg.name.as_str() {
+                "wb" | "mwrite" => {
+                    if let Some(v) = msg.payload {
+                        self.quads[q as usize].mem.insert(msg.addr, v);
+                    }
+                }
+                "iowrite" => {
+                    if let Some(v) = msg.payload {
+                        self.quads[q as usize].io.insert(msg.addr, v);
+                    }
+                }
+                _ => {}
+            }
+            self.send_all(plan);
+            return Ok(CtrlStep(Progress::Worked));
+        }
+        Ok(CtrlStep(Progress::Idle))
+    }
+
+    // ------------------------------------------------- node (responses)
+
+    /// Process the head of quad `q`'s VC3 buffer at its destination
+    /// node. Response processing emits no messages, so VC3 always
+    /// drains.
+    pub fn try_node_rsp(&mut self, q: u8) -> Result<CtrlStep, SimError> {
+        let Some(msg) = self.channels.head(q, VcId::Vc(3)).copied() else {
+            return Ok(CtrlStep(Progress::Idle));
+        };
+        let Endpoint::Node(node) = msg.dest else {
+            panic!("VC3 carries node responses");
+        };
+        let ns = self.nodes.get_mut(&node).expect("node");
+        let addr = msg.addr;
+        let pend = ns.pend.expect("response without pending transaction");
+        assert_eq!(
+            pend.addr, addr,
+            "response for a different address than the pending op"
+        );
+        let key = [
+            Value::Sym(msg.name),
+            Value::Sym(ns.cachest(addr)), // I/O addresses are never cached → "I"
+            Value::Sym(ns.pendst()),
+        ];
+        let row = self.n.row(&key).ok_or_else(|| SimError::NoRow {
+            controller: "N",
+            key: format!("{key:?}"),
+        })?;
+        debug_assert!(row.get_sym("outmsg").is_none(), "responses emit nothing");
+        let nxtcachest = row.get_sym("nxtcachest");
+        let nxtpendst = row.get_sym("nxtpendst");
+        let cpures = row.get_sym("cpures").expect("cpures is total");
+        let row_idx = row.idx;
+
+        self.channels.pop(q, VcId::Vc(3));
+        *self.coverage.entry(("N", row_idx)).or_default() += 1;
+        let ns = self.nodes.get_mut(&node).expect("node");
+
+        // Cache update: the new value is the response payload for reads,
+        // the pending written value for writes.
+        if let Some(st) = nxtcachest {
+            if st.as_str() == "I" {
+                ns.cache.remove(&addr);
+            } else {
+                let value = match pend.st.as_str() {
+                    "p_write" => pend.value,
+                    _ => msg.payload.unwrap_or(0),
+                };
+                ns.cache.insert(addr, (st, value));
+            }
+        }
+        match nxtpendst.map(|s| s.as_str()) {
+            Some("none") => ns.pend = None,
+            Some(_) => {}
+            None => {}
+        }
+
+        // Checker + bookkeeping.
+        let mut err = None;
+        match cpures.as_str() {
+            "done" => {
+                let lat = self.stats.steps.saturating_sub(pend.issued_at);
+                let agg = self.latency.entry(pend.op.inmsg()).or_default();
+                agg.count += 1;
+                agg.total += lat;
+                agg.max = agg.max.max(lat);
+                match (pend.st.as_str(), msg.name.as_str()) {
+                    ("p_read", "data" | "edata") => {
+                        self.stats.read_checks += 1;
+                        let want = *self.expected.get(&addr).unwrap_or(&0);
+                        let got = msg.payload.unwrap_or(0);
+                        if want != got {
+                            err = Some(format!(
+                                "{node} read 0x{addr:x}: got {got}, serialisation order says {want}"
+                            ));
+                        }
+                    }
+                    ("p_write", _) => {
+                        self.expected.insert(addr, pend.value);
+                    }
+                    ("p_io", "iodata") => {
+                        self.stats.read_checks += 1;
+                        let want = *self.expected_io.get(&addr).unwrap_or(&0);
+                        let got = msg.payload.unwrap_or(0);
+                        if want != got {
+                            err = Some(format!(
+                                "{node} ioread 0x{addr:x}: got {got}, expected {want}"
+                            ));
+                        }
+                    }
+                    ("p_io", "iocompl") => {
+                        self.expected_io.insert(addr, pend.value);
+                    }
+                    _ => {}
+                }
+            }
+            "redo" => {
+                // Retried: re-issue the processor op from the front.
+                self.stats.retries += 1;
+                let idx = self
+                    .node_list
+                    .iter()
+                    .position(|&x| x == node)
+                    .expect("node index");
+                self.workload.queues[idx].push_front(pend.op);
+            }
+            _ => {}
+        }
+        self.tracef(format!("N {node} row {row_idx} handles {msg}"));
+        if let Some(e) = err {
+            return Err(SimError::Coherence(e));
+        }
+        Ok(CtrlStep(Progress::Worked))
+    }
+
+    // -------------------------------------------------------------- RAC
+
+    /// Process the head of quad `q`'s VC1 buffer (a snoop) at its
+    /// destination node's remote access cache.
+    ///
+    /// A snoop colliding with the destination node's own pending
+    /// transaction on the same line is parked in the node's snoop-hold
+    /// register (real RACs implement this with transient states), so
+    /// the snoop channel always drains. Exception: a pending *flush*
+    /// snoops its own already-invalidated line — answered immediately,
+    /// as the flush completion depends on this very response.
+    pub fn try_rac(&mut self, q: u8) -> Result<CtrlStep, SimError> {
+        let Some(msg) = self.channels.head(q, VcId::Vc(1)).copied() else {
+            return Ok(CtrlStep(Progress::Idle));
+        };
+        let Endpoint::Node(node) = msg.dest else {
+            panic!("VC1 carries snoops to nodes");
+        };
+        if self.snoop_collides(node, &msg) {
+            let ns = self.nodes.get_mut(&node).expect("node");
+            assert!(
+                ns.held_snoop.is_none(),
+                "second held snoop at {node} — the directory must serialise per address"
+            );
+            self.channels.pop(q, VcId::Vc(1));
+            let ns = self.nodes.get_mut(&node).expect("node");
+            ns.held_snoop = Some(msg);
+            self.tracef(format!("RAC {node} holds {msg}"));
+            return Ok(CtrlStep(Progress::Worked));
+        }
+        self.rac_answer(msg, Some((q, VcId::Vc(1))))
+    }
+
+    /// Replay the held snoop of node-list entry `idx`, if its pending
+    /// collision has cleared.
+    pub fn try_held_snoop(&mut self, idx: usize) -> Result<CtrlStep, SimError> {
+        let node = self.node_list[idx];
+        let Some(msg) = self.nodes[&node].held_snoop else {
+            return Ok(CtrlStep(Progress::Idle));
+        };
+        if self.snoop_collides(node, &msg) {
+            return Ok(CtrlStep(Progress::Idle));
+        }
+        let p = self.rac_answer(msg, None)?;
+        if p.worked() {
+            self.nodes.get_mut(&node).expect("node").held_snoop = None;
+        }
+        Ok(p)
+    }
+
+    fn snoop_collides(&self, node: NodeId, msg: &SimMsg) -> bool {
+        match self.nodes[&node].pend {
+            Some(p) => p.addr == msg.addr && p.st.as_str() != "p_flush",
+            None => false,
+        }
+    }
+
+    /// Answer a snoop at its destination RAC. `pop_from` names the
+    /// buffer the snoop is consumed from (None when replaying a held
+    /// snoop).
+    fn rac_answer(
+        &mut self,
+        msg: SimMsg,
+        pop_from: Option<(u8, VcId)>,
+    ) -> Result<CtrlStep, SimError> {
+        let Endpoint::Node(node) = msg.dest else {
+            panic!("snoops target nodes");
+        };
+        let addr = msg.addr;
+        let linest = self.nodes[&node].cachest(addr);
+        let key = [Value::Sym(msg.name), Value::Sym(linest)];
+        let row = self.r.row(&key).ok_or_else(|| SimError::NoRow {
+            controller: "R",
+            key: format!("{key:?}"),
+        })?;
+        let row_idx = row.idx;
+        let rsp = row.get_sym("rspmsg").expect("snoops are answered");
+        let nxt = row.get_sym("nxtlinest");
+        let home = match msg.src {
+            Endpoint::Dir(h) => h,
+            _ => panic!("snoops come from a directory"),
+        };
+        let cache_value = self.nodes[&node].cache.get(&addr).map(|&(_, v)| v);
+        let mut reply = SimMsg::new(rsp.as_str(), addr, Endpoint::Node(node), Endpoint::Dir(home));
+        if matches!(rsp.as_str(), "sdata" | "fdone" | "xferdone") {
+            reply.payload = cache_value;
+        }
+        let plan = vec![reply];
+        if let Some((bq, bvc)) = self.can_send_all(&plan, pop_from) {
+            return Ok(CtrlStep(Progress::Blocked(
+                format!("RAC {node} processing {msg} needs a slot on quad {bq} {bvc}"),
+                vec![(bq, bvc)],
+            )));
+        }
+        if let Some((q, vc)) = pop_from {
+            self.channels.pop(q, vc);
+        }
+        *self.coverage.entry(("R", row_idx)).or_default() += 1;
+        // The owner's modified data is written back over the dedicated
+        // writeback datapath before the invalidation completes (the
+        // Figure-4 narrative: "the remote node writes back its modified
+        // line A to memory before receiving sinv(A)").
+        if msg.name.as_str() == "sinv" && linest.as_str() == "M" {
+            if let Some(v) = cache_value {
+                let h = self.home_quad(addr) as usize;
+                self.quads[h].mem.insert(addr, v);
+            }
+        }
+        let ns = self.nodes.get_mut(&node).expect("node");
+        if let Some(st) = nxt {
+            if st.as_str() == "I" {
+                ns.cache.remove(&addr);
+            } else if let Some(e) = ns.cache.get_mut(&addr) {
+                e.0 = st;
+            }
+        }
+        self.tracef(format!("RAC {node} answers {msg}"));
+        self.send_all(plan);
+        Ok(CtrlStep(Progress::Worked))
+    }
+
+    // ------------------------------------------------------------ issue
+
+    /// Let node `idx` (in node-list order) issue its next processor op.
+    pub fn try_issue(&mut self, idx: usize) -> Result<CtrlStep, SimError> {
+        let node = self.node_list[idx];
+        if self.nodes[&node].pend.is_some() {
+            return Ok(CtrlStep(Progress::Idle));
+        }
+        let Some(&op) = self.workload.queues[idx].front() else {
+            return Ok(CtrlStep(Progress::Idle));
+        };
+        let addr = if op.is_io() {
+            op.addr() | IO_SPACE
+        } else {
+            op.addr()
+        };
+        let cachest = self.nodes[&node].cachest(addr);
+        let key = [
+            Value::sym(op.inmsg()),
+            Value::Sym(cachest),
+            Value::sym("none"),
+        ];
+        let row = self.n.row(&key).ok_or_else(|| SimError::NoRow {
+            controller: "N",
+            key: format!("{key:?}"),
+        })?;
+        let issue_row_idx = row.idx;
+        let outmsg = row.get_sym("outmsg");
+        let nxtcachest = row.get_sym("nxtcachest");
+        let nxtpendst = row.get_sym("nxtpendst");
+
+        let home = self.home_quad(addr);
+        let mut plan = Vec::new();
+        let mut value = 0;
+        if let Some(o) = outmsg {
+            let mut m = SimMsg::new(o.as_str(), addr, Endpoint::Node(node), Endpoint::Dir(home));
+            match o.as_str() {
+                "wb" => {
+                    m.payload = self.nodes[&node].cache.get(&addr).map(|&(_, v)| v);
+                }
+                "iowrite" => {
+                    self.version += 1;
+                    value = self.version;
+                    m.payload = Some(value);
+                }
+                "readex" | "upgrade" => {
+                    self.version += 1;
+                    value = self.version;
+                }
+                _ => {}
+            }
+            plan.push(m);
+            if let Some((bq, bvc)) = self.can_send_all(&plan, None) {
+                return Ok(CtrlStep(Progress::Blocked(
+                    format!("{node} issuing {op:?} needs a slot on quad {bq} {bvc}"),
+                    vec![(bq, bvc)],
+                )));
+            }
+        }
+
+        // Commit the issue.
+        self.workload.queues[idx].pop_front();
+        *self.coverage.entry(("N", issue_row_idx)).or_default() += 1;
+        // A flushed modified line is written back over the dedicated
+        // datapath before the system-wide flush proceeds.
+        if matches!(op, CpuOp::Flush(_)) && cachest.as_str() == "M" {
+            if let Some(&(_, v)) = self.nodes[&node].cache.get(&addr) {
+                let h = self.home_quad(addr) as usize;
+                self.quads[h].mem.insert(addr, v);
+            }
+        }
+        let ns = self.nodes.get_mut(&node).expect("node");
+        if let Some(st) = nxtcachest {
+            if st.as_str() == "I" {
+                ns.cache.remove(&addr);
+            } else {
+                // Write hit on an exclusive line: new value, new version.
+                self.version += 1;
+                let v = self.version;
+                ns.cache.insert(addr, (st, v));
+                self.expected.insert(addr, v);
+            }
+        }
+        if outmsg.is_some() {
+            let pendst = nxtpendst.expect("a sent request has a pending state");
+            let issued_at = self.stats.steps;
+            let ns = self.nodes.get_mut(&node).expect("node");
+            ns.pend = Some(PendTxn {
+                st: pendst,
+                addr,
+                op,
+                value,
+                issued_at,
+            });
+            self.stats.issued += 1;
+            self.tracef(format!("{node} issues {op:?}"));
+            self.send_all(plan);
+        } else {
+            self.stats.hits += 1;
+        }
+        Ok(CtrlStep(Progress::Worked))
+    }
+
+    // ------------------------------------------------------------- loop
+
+    fn controllers(&self) -> Vec<Ctrl> {
+        let mut out = Vec::new();
+        for q in 0..self.cfg.quads as u8 {
+            out.push(Ctrl::Dir(q));
+            out.push(Ctrl::Mem(q));
+            out.push(Ctrl::NodeRsp(q));
+            out.push(Ctrl::Rac(q));
+        }
+        for i in 0..self.node_list.len() {
+            out.push(Ctrl::Held(i));
+            out.push(Ctrl::Issue(i));
+        }
+        out
+    }
+
+    /// One engine step: every controller gets one attempt. Returns the
+    /// number that made progress plus the blocked descriptions.
+    pub fn step(&mut self) -> Result<(usize, Vec<BlockedReason>), SimError> {
+        let mut order = self.controllers();
+        if let Some(rng) = &mut self.rng {
+            order.shuffle(rng);
+        }
+        let mut worked = 0;
+        let mut blocked = Vec::new();
+        for c in order {
+            let p = match c {
+                Ctrl::Dir(q) => self.try_dir(q)?,
+                Ctrl::Mem(q) => self.try_mem(q)?,
+                Ctrl::NodeRsp(q) => self.try_node_rsp(q)?,
+                Ctrl::Rac(q) => self.try_rac(q)?,
+                Ctrl::Held(i) => self.try_held_snoop(i)?,
+                Ctrl::Issue(i) => self.try_issue(i)?,
+            };
+            match p.0 {
+                Progress::Worked => worked += 1,
+                Progress::Idle => {}
+                Progress::Blocked(why, needs) => blocked.push((why, needs)),
+            }
+        }
+        self.stats.steps += 1;
+        Ok((worked, blocked))
+    }
+
+    /// Is all work drained?
+    pub fn quiescent(&self) -> bool {
+        self.channels.in_flight() == 0
+            && self
+                .nodes
+                .values()
+                .all(|n| n.pend.is_none() && n.held_snoop.is_none())
+            && self.workload.remaining() == 0
+    }
+
+    /// Run until quiescence, deadlock, or the step budget.
+    pub fn run(&mut self) -> Result<Outcome, SimError> {
+        loop {
+            if self.stats.steps as usize >= self.cfg.max_steps {
+                return Ok(Outcome::StepLimit);
+            }
+            let (worked, blocked) = self.step()?;
+            if worked == 0 {
+                if self.quiescent() {
+                    return Ok(Outcome::Quiescent);
+                }
+                // No progress but work remains: deadlock.
+                let mut channels: Vec<String> = blocked
+                    .iter()
+                    .flat_map(|(_, needs)| needs.iter().map(|(_, vc)| vc.to_string()))
+                    .collect();
+                for (_, vc, _) in self.channels.snapshot() {
+                    channels.push(vc.to_string());
+                }
+                channels.sort();
+                channels.dedup();
+                return Ok(Outcome::Deadlock(DeadlockInfo {
+                    blocked: blocked.into_iter().map(|(w, _)| w).collect(),
+                    channels,
+                    queues: self.channels.snapshot(),
+                }));
+            }
+        }
+    }
+
+    /// Final coherence audit at quiescence: at most one exclusive owner
+    /// per line; every valid cache copy and home memory agree with the
+    /// serialisation order for lines with no dirty owner.
+    pub fn audit(&self) -> Result<(), SimError> {
+        let mut owners: HashMap<Addr, Vec<NodeId>> = HashMap::new();
+        let mut sharers: HashMap<Addr, Vec<(NodeId, u64)>> = HashMap::new();
+        for (&node, ns) in &self.nodes {
+            for (&addr, &(st, v)) in &ns.cache {
+                match st.as_str() {
+                    "M" | "E" => owners.entry(addr).or_default().push(node),
+                    "S" => sharers.entry(addr).or_default().push((node, v)),
+                    _ => {}
+                }
+            }
+        }
+        for (addr, os) in &owners {
+            if os.len() > 1 {
+                return Err(SimError::Coherence(format!(
+                    "0x{addr:x} has multiple exclusive owners: {os:?}"
+                )));
+            }
+            if let Some(sh) = sharers.get(addr) {
+                if !sh.is_empty() {
+                    return Err(SimError::Coherence(format!(
+                        "0x{addr:x} owned by {os:?} but also shared by {sh:?}"
+                    )));
+                }
+            }
+        }
+        for (&addr, want) in &self.expected {
+            // The authoritative copy: the dirty owner's cache, else memory.
+            let dirty = owners.get(&addr).and_then(|os| {
+                os.first()
+                    .and_then(|n| self.nodes[n].cache.get(&addr).map(|&(_, v)| v))
+            });
+            let have = dirty.unwrap_or_else(|| self.mem_value(addr));
+            if have != *want {
+                return Err(SimError::Coherence(format!(
+                    "0x{addr:x}: authoritative value {have}, serialisation order says {want}"
+                )));
+            }
+            for (node, v) in sharers.get(&addr).into_iter().flatten() {
+                if *v != *want {
+                    return Err(SimError::Coherence(format!(
+                        "0x{addr:x}: stale shared copy {v} at {node}, expected {want}"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of one controller attempt (opaque: inspect with
+/// [`CtrlStep::worked`] / [`CtrlStep::blocked`]).
+pub struct CtrlStep(Progress);
+
+impl CtrlStep {
+    /// Did the controller do something?
+    pub fn worked(&self) -> bool {
+        matches!(self.0, Progress::Worked)
+    }
+
+    /// Was it blocked on a full channel?
+    pub fn blocked(&self) -> bool {
+        matches!(self.0, Progress::Blocked(..))
+    }
+
+    /// The blocked description, if any.
+    pub fn block_reason(&self) -> Option<&str> {
+        match &self.0 {
+            Progress::Blocked(w, _) => Some(w),
+            _ => None,
+        }
+    }
+}
+
+impl Sim {
+    /// Debug helper: a node's pending transaction, rendered.
+    pub fn debug_pend(&self, node: NodeId) -> Option<String> {
+        self.nodes[&node].pend.map(|p| format!("{:?}@{:x} {:?}", p.st.as_str(), p.addr, p.op))
+    }
+
+    /// Debug helper: a node's held snoop, rendered.
+    pub fn debug_held(&self, node: NodeId) -> Option<String> {
+        self.nodes[&node].held_snoop.map(|m| m.to_string())
+    }
+
+    /// Specification-row coverage: for each controller table, how many
+    /// of its rows were exercised by this run (rows hit, rows total).
+    /// The paper's late-phase "protocol testing" measured exactly this
+    /// kind of coverage against the specification.
+    pub fn coverage_report(&self) -> Vec<(&'static str, usize, usize)> {
+        let totals = [
+            ("D", self.d.rel.len()),
+            ("M", self.m.rel.len()),
+            ("N", self.n.rel.len()),
+            ("R", self.r.rel.len()),
+        ];
+        totals
+            .into_iter()
+            .map(|(name, total)| {
+                let hit = self
+                    .coverage
+                    .keys()
+                    .filter(|(c, _)| *c == name)
+                    .count();
+                (name, hit, total)
+            })
+            .collect()
+    }
+
+    /// Row indices of `controller` never exercised by this run.
+    pub fn uncovered_rows(&self, controller: &'static str) -> Vec<usize> {
+        let total = match controller {
+            "D" => self.d.rel.len(),
+            "M" => self.m.rel.len(),
+            "N" => self.n.rel.len(),
+            "R" => self.r.rel.len(),
+            _ => 0,
+        };
+        (0..total)
+            .filter(|i| !self.coverage.contains_key(&(controller, *i)))
+            .collect()
+    }
+
+    /// Per-operation-type latency aggregates (engine steps from issue
+    /// to completion), sorted by operation name.
+    pub fn latency_report(&self) -> Vec<(&'static str, LatAgg)> {
+        let mut v: Vec<(&'static str, LatAgg)> = self
+            .latency
+            .iter()
+            .map(|(k, a)| (*k, *a))
+            .collect();
+        v.sort_by_key(|(k, _)| *k);
+        v
+    }
+
+    /// Debug helper: all busy-directory entries, rendered.
+    pub fn debug_busy(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (q, qs) in self.quads.iter().enumerate() {
+            for (addr, b) in &qs.busy {
+                out.push(format!(
+                    "q{q} addr {addr:x}: {} pending={} req={} by {}",
+                    b.st, b.pending, b.req, b.requester
+                ));
+            }
+        }
+        out.sort();
+        out
+    }
+}

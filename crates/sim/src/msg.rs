@@ -1,0 +1,112 @@
+//! Messages and endpoints of the simulated machine.
+
+use ccsql_protocol::topology::NodeId;
+use ccsql_relalg::Sym;
+use std::fmt;
+
+/// A cache-line (or I/O) address. The home quad is `addr % quads`.
+pub type Addr = u32;
+
+/// A message endpoint: a node's controller complex, or the per-quad
+/// directory / memory controller.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Endpoint {
+    /// A node (its node controller + RAC + caches).
+    Node(NodeId),
+    /// The directory controller (protocol engine) of a quad.
+    Dir(u8),
+    /// The home memory controller of a quad.
+    Mem(u8),
+}
+
+impl Endpoint {
+    /// The quad this endpoint lives in.
+    pub fn quad(self) -> u8 {
+        match self {
+            Endpoint::Node(n) => n.quad,
+            Endpoint::Dir(q) | Endpoint::Mem(q) => q,
+        }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Node(n) => write!(f, "{n}"),
+            Endpoint::Dir(q) => write!(f, "D{q}"),
+            Endpoint::Mem(q) => write!(f, "M{q}"),
+        }
+    }
+}
+
+/// One in-flight protocol message.
+#[derive(Clone, Copy, Debug)]
+pub struct SimMsg {
+    /// Protocol message name (from the catalogue).
+    pub name: Sym,
+    /// Line / I/O address.
+    pub addr: Addr,
+    /// Sender.
+    pub src: Endpoint,
+    /// Receiver.
+    pub dest: Endpoint,
+    /// Data payload, when the message carries data.
+    pub payload: Option<u64>,
+}
+
+impl SimMsg {
+    /// Construct a message.
+    pub fn new(name: &str, addr: Addr, src: Endpoint, dest: Endpoint) -> SimMsg {
+        SimMsg {
+            name: Sym::intern(name),
+            addr,
+            src,
+            dest,
+            payload: None,
+        }
+    }
+
+    /// Attach a data payload.
+    pub fn with_payload(mut self, v: u64) -> SimMsg {
+        self.payload = Some(v);
+        self
+    }
+}
+
+impl fmt::Display for SimMsg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(0x{:x}) {}→{}", self.name, self.addr, self.src, self.dest)?;
+        if let Some(p) = self.payload {
+            write!(f, " [{p}]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_quads() {
+        assert_eq!(Endpoint::Node(NodeId::new(2, 1)).quad(), 2);
+        assert_eq!(Endpoint::Dir(3).quad(), 3);
+        assert_eq!(Endpoint::Mem(0).quad(), 0);
+    }
+
+    #[test]
+    fn message_display() {
+        let m = SimMsg::new(
+            "readex",
+            0x10,
+            Endpoint::Node(NodeId::new(0, 0)),
+            Endpoint::Dir(1),
+        )
+        .with_payload(7);
+        let s = m.to_string();
+        assert!(s.contains("readex"));
+        assert!(s.contains("q0n0"));
+        assert!(s.contains("D1"));
+        assert!(s.contains("[7]"));
+    }
+}

@@ -1,0 +1,141 @@
+//! Table-driven execution support: indexed row lookup over the
+//! generated controller tables.
+//!
+//! This is the point of the paper's flow where "code is automatically
+//! generated from these tables": the simulator executes the *debugged
+//! tables themselves* — every controller decision is a row lookup, and a
+//! missing row is a specification hole surfaced as an error.
+
+use ccsql_relalg::{Relation, Sym, Value};
+use std::collections::HashMap;
+
+/// A hash index over selected key columns of a controller table,
+/// asserting that the key functionally determines the row.
+pub struct RowIndex {
+    key_cols: Vec<usize>,
+    map: HashMap<Vec<Value>, usize>,
+}
+
+impl RowIndex {
+    /// Build over `keys`; errors if a key combination repeats (the
+    /// controller table would be nondeterministic).
+    pub fn build(rel: &Relation, keys: &[&str]) -> Result<RowIndex, String> {
+        let key_cols: Vec<usize> = keys
+            .iter()
+            .map(|k| {
+                rel.schema()
+                    .index_of_str(k)
+                    .ok_or_else(|| format!("no key column {k}"))
+            })
+            .collect::<Result<_, _>>()?;
+        let mut map = HashMap::with_capacity(rel.len());
+        for (i, r) in rel.rows().enumerate() {
+            let key: Vec<Value> = key_cols.iter().map(|&c| r[c]).collect();
+            if let Some(prev) = map.insert(key.clone(), i) {
+                return Err(format!(
+                    "nondeterministic table: rows {prev} and {i} share key {key:?}"
+                ));
+            }
+        }
+        Ok(RowIndex { key_cols, map })
+    }
+
+    /// Row index for `key`, if present.
+    pub fn lookup(&self, key: &[Value]) -> Option<usize> {
+        debug_assert_eq!(key.len(), self.key_cols.len());
+        self.map.get(key).copied()
+    }
+}
+
+/// A controller table plus its row index and named column accessors.
+pub struct ExecTable {
+    /// The generated relation.
+    pub rel: Relation,
+    index: RowIndex,
+    cols: HashMap<Sym, usize>,
+}
+
+impl ExecTable {
+    /// Wrap a generated controller table with the given key columns.
+    pub fn new(rel: Relation, keys: &[&str]) -> Result<ExecTable, String> {
+        let index = RowIndex::build(&rel, keys)?;
+        let cols = rel
+            .schema()
+            .columns()
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (c, i))
+            .collect();
+        Ok(ExecTable { rel, index, cols })
+    }
+
+    /// Look up the row for `key`.
+    pub fn row(&self, key: &[Value]) -> Option<RowView<'_>> {
+        self.index.lookup(key).map(|i| RowView {
+            table: self,
+            row: self.rel.row(i),
+            idx: i,
+        })
+    }
+}
+
+/// A borrowed row with by-name cell access.
+pub struct RowView<'a> {
+    table: &'a ExecTable,
+    row: &'a [Value],
+    /// Row index in the table (for traces).
+    pub idx: usize,
+}
+
+impl RowView<'_> {
+    /// Cell by column name (panics on unknown columns — table schemas
+    /// are fixed by the protocol crate).
+    pub fn get(&self, col: &str) -> Value {
+        let i = self.table.cols[&Sym::intern(col)];
+        self.row[i]
+    }
+
+    /// Cell as a string, treating `NULL` as `None`.
+    pub fn get_sym(&self, col: &str) -> Option<Sym> {
+        self.get(col).as_sym()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(s: &str) -> Value {
+        Value::sym(s)
+    }
+
+    fn table() -> Relation {
+        let mut r = Relation::with_columns(["inmsg", "st", "out"]).unwrap();
+        r.push_row(&[v("ping"), v("idle"), v("pong")]).unwrap();
+        r.push_row(&[v("ping"), v("busy"), Value::Null]).unwrap();
+        r
+    }
+
+    #[test]
+    fn lookup_finds_rows() {
+        let t = ExecTable::new(table(), &["inmsg", "st"]).unwrap();
+        let row = t.row(&[v("ping"), v("idle")]).unwrap();
+        assert_eq!(row.get_sym("out").unwrap().as_str(), "pong");
+        assert_eq!(row.idx, 0);
+        let row = t.row(&[v("ping"), v("busy")]).unwrap();
+        assert!(row.get("out").is_null());
+        assert!(t.row(&[v("poke"), v("idle")]).is_none());
+    }
+
+    #[test]
+    fn duplicate_keys_rejected() {
+        let mut r = table();
+        r.push_row(&[v("ping"), v("idle"), v("other")]).unwrap();
+        assert!(ExecTable::new(r, &["inmsg", "st"]).is_err());
+    }
+
+    #[test]
+    fn unknown_key_column_rejected() {
+        assert!(ExecTable::new(table(), &["nope"]).is_err());
+    }
+}

@@ -1,0 +1,310 @@
+//! Workload generation: per-node streams of processor operations.
+
+use crate::msg::Addr;
+use ccsql_protocol::topology::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// One processor operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CpuOp {
+    /// Load from a coherent address.
+    Read(Addr),
+    /// Store to a coherent address.
+    Write(Addr),
+    /// Evict the line (capacity/conflict victim).
+    Evict(Addr),
+    /// Flush the line system-wide.
+    Flush(Addr),
+    /// Load from I/O space.
+    IoRead(Addr),
+    /// Store to I/O space.
+    IoWrite(Addr),
+}
+
+impl CpuOp {
+    /// The address the operation touches.
+    pub fn addr(self) -> Addr {
+        match self {
+            CpuOp::Read(a)
+            | CpuOp::Write(a)
+            | CpuOp::Evict(a)
+            | CpuOp::Flush(a)
+            | CpuOp::IoRead(a)
+            | CpuOp::IoWrite(a) => a,
+        }
+    }
+
+    /// The node-table input message name.
+    pub fn inmsg(self) -> &'static str {
+        match self {
+            CpuOp::Read(_) => "cpu_read",
+            CpuOp::Write(_) => "cpu_write",
+            CpuOp::Evict(_) => "cpu_evict",
+            CpuOp::Flush(_) => "cpu_flush",
+            CpuOp::IoRead(_) => "cpu_ioread",
+            CpuOp::IoWrite(_) => "cpu_iowrite",
+        }
+    }
+
+    /// Is this an I/O-space operation?
+    pub fn is_io(self) -> bool {
+        matches!(self, CpuOp::IoRead(_) | CpuOp::IoWrite(_))
+    }
+}
+
+/// Mix weights for the random generator (percentages, summing ≤ 100;
+/// the remainder becomes reads).
+#[derive(Clone, Copy, Debug)]
+pub struct Mix {
+    /// % stores.
+    pub write: u32,
+    /// % evictions.
+    pub evict: u32,
+    /// % flushes.
+    pub flush: u32,
+    /// % I/O operations (split evenly read/write).
+    pub io: u32,
+}
+
+impl Default for Mix {
+    fn default() -> Mix {
+        Mix {
+            write: 30,
+            evict: 10,
+            flush: 5,
+            io: 5,
+        }
+    }
+}
+
+/// A named sharing pattern.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Pattern {
+    /// All nodes read/write one line.
+    HotSpot,
+    /// Node 0 writes, everyone else reads.
+    ProducerConsumer,
+    /// Ownership of a line migrates (read, write, evict).
+    Migratory,
+    /// Each node touches only its own line.
+    Private,
+    /// Nodes stride across a small set of lines.
+    RoundRobin,
+}
+
+/// All named patterns.
+pub const PATTERNS: &[Pattern] = &[
+    Pattern::HotSpot,
+    Pattern::ProducerConsumer,
+    Pattern::Migratory,
+    Pattern::Private,
+    Pattern::RoundRobin,
+];
+
+/// A seeded random workload: `ops_per_node` operations per node over a
+/// hot set of `addrs` coherent addresses (plus a small I/O space).
+pub struct Workload {
+    /// Queues of operations, indexed like the engine's node list.
+    pub queues: Vec<VecDeque<CpuOp>>,
+}
+
+impl Workload {
+    /// Generate.
+    pub fn random(
+        nodes: &[NodeId],
+        ops_per_node: usize,
+        addrs: u32,
+        mix: Mix,
+        seed: u64,
+    ) -> Workload {
+        assert!(addrs >= 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let queues = nodes
+            .iter()
+            .map(|_| {
+                (0..ops_per_node)
+                    .map(|_| {
+                        let a: Addr = rng.gen_range(0..addrs);
+                        let p: u32 = rng.gen_range(0..100);
+                        if p < mix.write {
+                            CpuOp::Write(a)
+                        } else if p < mix.write + mix.evict {
+                            CpuOp::Evict(a)
+                        } else if p < mix.write + mix.evict + mix.flush {
+                            CpuOp::Flush(a)
+                        } else if p < mix.write + mix.evict + mix.flush + mix.io {
+                            let ioa: Addr = rng.gen_range(0..4);
+                            if p.is_multiple_of(2) {
+                                CpuOp::IoRead(ioa)
+                            } else {
+                                CpuOp::IoWrite(ioa)
+                            }
+                        } else {
+                            CpuOp::Read(a)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        Workload { queues }
+    }
+
+    /// An explicit scripted workload (scenario replay).
+    pub fn scripted(per_node: Vec<Vec<CpuOp>>) -> Workload {
+        Workload {
+            queues: per_node.into_iter().map(VecDeque::from).collect(),
+        }
+    }
+
+    /// A named sharing pattern (the classic workload taxonomies used to
+    /// exercise coherence protocols).
+    pub fn pattern(
+        nodes: &[NodeId],
+        kind: Pattern,
+        ops_per_node: usize,
+        seed: u64,
+    ) -> Workload {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = nodes.len().max(1) as u32;
+        let queues = nodes
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                (0..ops_per_node)
+                    .map(|k| match kind {
+                        // Every node hammers one line: maximal invalidation
+                        // traffic and retry serialisation.
+                        Pattern::HotSpot => {
+                            if rng.gen_bool(0.5) {
+                                CpuOp::Write(0)
+                            } else {
+                                CpuOp::Read(0)
+                            }
+                        }
+                        // One writer, many readers on a shared line.
+                        Pattern::ProducerConsumer => {
+                            if i == 0 {
+                                CpuOp::Write(0)
+                            } else {
+                                CpuOp::Read(0)
+                            }
+                        }
+                        // Ownership of one line migrates node to node:
+                        // read-modify-write then release.
+                        Pattern::Migratory => match k % 3 {
+                            0 => CpuOp::Read(0),
+                            1 => CpuOp::Write(0),
+                            _ => CpuOp::Evict(0),
+                        },
+                        // Each node works a private line: hits after the
+                        // first miss, no coherence traffic at all.
+                        Pattern::Private => {
+                            let a = i as Addr + 1;
+                            if rng.gen_bool(0.3) {
+                                CpuOp::Write(a)
+                            } else {
+                                CpuOp::Read(a)
+                            }
+                        }
+                        // False-sharing style round-robin across n lines.
+                        Pattern::RoundRobin => {
+                            let a = ((i as u32 + k as u32) % n) as Addr;
+                            if rng.gen_bool(0.4) {
+                                CpuOp::Write(a)
+                            } else {
+                                CpuOp::Read(a)
+                            }
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        Workload { queues }
+    }
+
+    /// Total operations remaining.
+    pub fn remaining(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes() -> Vec<NodeId> {
+        vec![NodeId::new(0, 0), NodeId::new(0, 1), NodeId::new(1, 0)]
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = Workload::random(&nodes(), 50, 8, Mix::default(), 42);
+        let b = Workload::random(&nodes(), 50, 8, Mix::default(), 42);
+        assert_eq!(a.queues, b.queues);
+        let c = Workload::random(&nodes(), 50, 8, Mix::default(), 43);
+        assert_ne!(a.queues, c.queues);
+    }
+
+    #[test]
+    fn respects_sizes_and_addr_range() {
+        let w = Workload::random(&nodes(), 25, 4, Mix::default(), 1);
+        assert_eq!(w.remaining(), 75);
+        for q in &w.queues {
+            for op in q {
+                if !op.is_io() {
+                    assert!(op.addr() < 4);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mix_zero_yields_only_reads() {
+        let w = Workload::random(
+            &nodes(),
+            20,
+            4,
+            Mix {
+                write: 0,
+                evict: 0,
+                flush: 0,
+                io: 0,
+            },
+            7,
+        );
+        for q in &w.queues {
+            assert!(q.iter().all(|op| matches!(op, CpuOp::Read(_))));
+        }
+    }
+
+    #[test]
+    fn patterns_have_expected_shapes() {
+        let ns = nodes();
+        let hot = Workload::pattern(&ns, Pattern::HotSpot, 20, 1);
+        assert!(hot
+            .queues
+            .iter()
+            .all(|q| q.iter().all(|op| op.addr() == 0)));
+        let pc = Workload::pattern(&ns, Pattern::ProducerConsumer, 10, 1);
+        assert!(pc.queues[0].iter().all(|op| matches!(op, CpuOp::Write(0))));
+        assert!(pc.queues[1].iter().all(|op| matches!(op, CpuOp::Read(0))));
+        let prv = Workload::pattern(&ns, Pattern::Private, 10, 1);
+        for (i, q) in prv.queues.iter().enumerate() {
+            assert!(q.iter().all(|op| op.addr() == i as Addr + 1));
+        }
+        let mig = Workload::pattern(&ns, Pattern::Migratory, 9, 1);
+        assert!(mig.queues[0].iter().any(|op| matches!(op, CpuOp::Evict(_))));
+        let rr = Workload::pattern(&ns, Pattern::RoundRobin, 12, 1);
+        assert_eq!(rr.remaining(), 36);
+    }
+
+    #[test]
+    fn op_metadata() {
+        assert_eq!(CpuOp::Write(3).inmsg(), "cpu_write");
+        assert_eq!(CpuOp::Write(3).addr(), 3);
+        assert!(CpuOp::IoRead(0).is_io());
+        assert!(!CpuOp::Flush(0).is_io());
+    }
+}

@@ -1,0 +1,56 @@
+//! The full Figure-4 story: hunt deadlocks across the three historical
+//! virtual-channel assignments.
+//!
+//! * `V0` — four channels; directory↔memory traffic shares VC0/VC2 and
+//!   "several cycles leading to deadlocks were found. Most of these
+//!   deadlocks involved the directory controller and the memory
+//!   controller at the home node."
+//! * `V1` — VC4 added for directory→memory requests; the analysis then
+//!   finds the Figure-4 deadlock (cycle VC2 ↔ VC4).
+//! * `V2` — the fix: a dedicated hardware path for the directory's
+//!   memory operations; the graph is acyclic.
+//!
+//! Run with: `cargo run --example deadlock_hunt`
+
+use ccsql_suite::core::depend::{protocol_dependency_table, AnalysisConfig};
+use ccsql_suite::core::gen::GeneratedProtocol;
+use ccsql_suite::core::report::deadlock_report;
+use ccsql_suite::core::vc::VcAssignment;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let gen = GeneratedProtocol::generate_default()?;
+    let cfg = AnalysisConfig::default();
+
+    for v in [VcAssignment::v0(), VcAssignment::v1(), VcAssignment::v2()] {
+        let name = v.name;
+        let deps = protocol_dependency_table(&gen, &v, &cfg)?;
+        let rep = deadlock_report(&gen, name, &deps);
+        println!("{}", rep.render());
+        match name {
+            "V0" => assert!(
+                rep.simple_cycles > 1,
+                "V0 must exhibit several deadlock cycles (got {})",
+                rep.simple_cycles
+            ),
+            "V1" => {
+                assert!(!rep.cycles.is_empty());
+                let channels: Vec<String> = rep
+                    .cycles
+                    .iter()
+                    .flat_map(|c| c.channels.iter().map(|s| s.to_string()))
+                    .collect();
+                assert!(
+                    channels.contains(&"VC2".to_string())
+                        && channels.contains(&"VC4".to_string()),
+                    "V1's cycle is the paper's VC2/VC4 deadlock"
+                );
+            }
+            _ => assert!(
+                rep.cycles.is_empty(),
+                "the dedicated path must remove every cycle"
+            ),
+        }
+    }
+    println!("History reproduced: V0 = many cycles, V1 = the Figure-4 VC2/VC4 cycle, V2 = clean.");
+    Ok(())
+}
