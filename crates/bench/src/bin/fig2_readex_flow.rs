@@ -35,7 +35,7 @@ fn main() {
     sim.audit().expect("coherent");
 
     println!("message/transition sequence (trace of the generated tables):");
-    for (i, line) in sim.trace.iter().enumerate() {
+    for (i, line) in sim.trace().iter().enumerate() {
         println!("  {:>2}. {line}", i + 1);
     }
     let (dirst, sharers) = sim.dir_state(addr);

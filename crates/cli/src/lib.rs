@@ -9,12 +9,20 @@
 //! ccsql deadlock [--assignment v0|v1|v2] [--exact-only] [--closure]
 //! ccsql map [--emit verilog|rust] [--table NAME]
 //! ccsql sim [--seed N] [--quads N] [--nodes N] [--ops N] [--shared-vc4]
+//! ccsql mc [--nodes N] [--quota N] [--resp-depth N] [--budget N]
 //! ccsql fig4 [--fixed]
 //! ccsql query "SELECT …"
 //! ccsql solve FILE.ccsql [--format ascii|csv|md]
 //! ccsql walk [--request MSG --dirst ST --sharers N]
 //! ccsql export [--table NAME] [--invariants]
+//! ccsql stats [<command> …]
 //! ```
+//!
+//! The global `--metrics=FILE.jsonl` and `--trace[=N]` flags (accepted
+//! anywhere on the command line) switch on the `ccsql-obs` layer:
+//! every stage then records stage-prefixed counters, gauges and
+//! histograms (`solver.rows_pruned`, `mc.states_per_sec`, …) which are
+//! exported as JSON lines after the command finishes.
 //!
 //! The library entry point [`run`] returns the rendered output, so the
 //! whole surface is unit-testable.
@@ -26,6 +34,7 @@ use ccsql::liveness::BusyGraph;
 use ccsql::report::deadlock_report;
 use ccsql::vc::VcAssignment;
 use ccsql::{codegen, invariants};
+use ccsql_mc::{explore, McOutcome, Model};
 use ccsql_protocol::states;
 use ccsql_protocol::topology::NodeId;
 use ccsql_relalg::report;
@@ -37,16 +46,24 @@ pub const USAGE: &str = "\
 ccsql — table-driven cache coherence design & early error detection (IPPS 2003)
 
 USAGE:
+    ccsql [--metrics=FILE.jsonl] [--trace[=N]] <command> ...
+
     ccsql gen      [--table NAME] [--format ascii|csv|md] [--stats]
     ccsql check    [--liveness]
     ccsql deadlock [--assignment v0|v1|v2] [--exact-only] [--closure]
     ccsql map      [--emit verilog|rust] [--table NAME]
     ccsql sim      [--seed N] [--quads N] [--nodes N] [--ops N] [--shared-vc4]
+    ccsql mc       [--nodes N] [--quota N] [--resp-depth N] [--budget N]
     ccsql fig4     [--fixed]
     ccsql query    \"SELECT ... FROM D ...\"
     ccsql solve    FILE.ccsql [--format ascii|csv|md]
     ccsql walk     [--request MSG --dirst ST --sharers N]
     ccsql export   [--table NAME] [--invariants]
+    ccsql stats    [<command> ...]
+
+GLOBAL FLAGS (accepted anywhere):
+    --metrics=FILE.jsonl  record stage metrics and export them as JSON lines
+    --trace[=N]           also record structured events (ring capacity N, default 4096)
 ";
 
 /// Parsed `--flag value` options.
@@ -83,7 +100,54 @@ impl<'a> Opts<'a> {
 
 /// Run the CLI on `args` (without the program name); returns the
 /// rendered output or an error message.
+///
+/// Global observability flags (`--metrics=FILE.jsonl`, `--trace[=N]`)
+/// are stripped before the command dispatch; when `--metrics` is given
+/// the global registry and event ring are exported as JSON lines to
+/// the file after the command finishes — on the error path too, so a
+/// failing check still leaves its metrics behind.
 pub fn run(args: &[String]) -> Result<String, String> {
+    let (rest, metrics_path) = strip_obs_flags(args)?;
+    let result = dispatch(&rest);
+    if let Some(path) = &metrics_path {
+        let jsonl = ccsql_obs::json::export_jsonl(ccsql_obs::global(), &[ccsql_obs::global_ring()]);
+        std::fs::write(path, jsonl).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    result
+}
+
+/// Strip and apply the global `--metrics=PATH` / `--trace[=N]` flags;
+/// returns the remaining arguments and the metrics export path.
+fn strip_obs_flags(args: &[String]) -> Result<(Vec<String>, Option<String>), String> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut metrics_path = None;
+    for a in args {
+        if let Some(path) = a.strip_prefix("--metrics=") {
+            if path.is_empty() {
+                return Err("--metrics expects --metrics=FILE.jsonl".into());
+            }
+            metrics_path = Some(path.to_string());
+        } else if a == "--metrics" {
+            return Err("--metrics expects --metrics=FILE.jsonl (use `=`)".into());
+        } else if a == "--trace" {
+            ccsql_obs::set_trace_enabled(true);
+        } else if let Some(n) = a.strip_prefix("--trace=") {
+            let cap: usize = n
+                .parse()
+                .map_err(|_| format!("--trace expects a number, got {n:?}"))?;
+            ccsql_obs::set_trace_cap(cap);
+            ccsql_obs::set_trace_enabled(true);
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    if metrics_path.is_some() || ccsql_obs::trace_enabled() {
+        ccsql_obs::set_enabled(true);
+    }
+    Ok((rest, metrics_path))
+}
+
+fn dispatch(args: &[String]) -> Result<String, String> {
     let Some(cmd) = args.first() else {
         return Err(USAGE.to_string());
     };
@@ -94,11 +158,13 @@ pub fn run(args: &[String]) -> Result<String, String> {
         "deadlock" => cmd_deadlock(&opts),
         "map" => cmd_map(&opts),
         "sim" => cmd_sim(&opts),
+        "mc" => cmd_mc(&opts),
         "fig4" => cmd_fig4(&opts),
         "query" => cmd_query(&opts),
         "solve" => cmd_solve(&opts),
         "walk" => cmd_walk(&opts),
         "export" => cmd_export(&opts),
+        "stats" => cmd_stats(&args[1..]),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
     }
@@ -124,8 +190,14 @@ fn cmd_gen(opts: &Opts) -> Result<String, String> {
         None => {
             for c in &gen.spec.controllers {
                 let t = gen.table(c.name).map_err(|e| e.to_string())?;
-                writeln!(out, "{:<4} {:>5} rows x {:>2} columns", c.name, t.len(), t.arity())
-                    .unwrap();
+                writeln!(
+                    out,
+                    "{:<4} {:>5} rows x {:>2} columns",
+                    c.name,
+                    t.len(),
+                    t.arity()
+                )
+                .unwrap();
             }
         }
     }
@@ -162,8 +234,11 @@ fn cmd_check(opts: &Opts) -> Result<String, String> {
         }
     }
     if opts.flag("--liveness") {
-        let graph = BusyGraph::build(gen.table("D").map_err(|e| e.to_string())?, &states::busy_states())
-            .map_err(|e| e.to_string())?;
+        let graph = BusyGraph::build(
+            gen.table("D").map_err(|e| e.to_string())?,
+            &states::busy_states(),
+        )
+        .map_err(|e| e.to_string())?;
         out.push_str(&graph.render());
         if !graph.ok() {
             return Err(out);
@@ -262,7 +337,17 @@ fn cmd_sim(opts: &Opts) -> Result<String, String> {
         .collect();
     let wl = Workload::random(&nodes, ops, 16, Mix::default(), seed);
     let mut sim = Sim::new(&gen, cfg, wl);
+    if ccsql_obs::trace_enabled() {
+        sim.enable_trace();
+    }
     let out = sim.run().map_err(|e| e.to_string())?;
+    // Forward the simulator's local event ring to the global ring so a
+    // `--metrics` export carries the sim events alongside the rest.
+    if let Some(ring) = sim.ring() {
+        for e in ring.snapshot() {
+            ccsql_obs::global_ring().push(e.stage, e.name, e.fields);
+        }
+    }
     let s = sim.stats;
     let mut text = String::new();
     writeln!(
@@ -289,6 +374,90 @@ fn cmd_sim(opts: &Opts) -> Result<String, String> {
     }
 }
 
+fn cmd_mc(opts: &Opts) -> Result<String, String> {
+    let nodes = opts.num("--nodes", 2)? as usize;
+    let quota = opts.num("--quota", 1)? as u8;
+    let resp_depth = opts.num("--resp-depth", 2)? as usize;
+    let budget = opts.num("--budget", 1_000_000)? as usize;
+    if !(2..=4).contains(&nodes) {
+        return Err("nodes must be 2..=4".into());
+    }
+    if !(1..=3).contains(&quota) {
+        return Err("quota must be 1..=3".into());
+    }
+    let m = Model {
+        nodes,
+        quota,
+        resp_depth,
+    };
+    let (out, stats) = explore(&m, budget);
+    let mut text = String::new();
+    writeln!(
+        text,
+        "{} distinct states, {} transitions ({} dedup hits), depth {}, frontier peak {}, {:?}",
+        stats.states,
+        stats.transitions,
+        stats.dedup_hits,
+        stats.depth,
+        stats.frontier_peak,
+        stats.elapsed
+    )
+    .unwrap();
+    match out {
+        McOutcome::Verified => {
+            writeln!(text, "verified — all safety properties hold").unwrap();
+            Ok(text)
+        }
+        McOutcome::Violation(prop) => {
+            writeln!(text, "VIOLATION: {prop}").unwrap();
+            Err(text)
+        }
+        McOutcome::Stuck => {
+            writeln!(text, "stuck non-quiescent state reached").unwrap();
+            Err(text)
+        }
+        McOutcome::BudgetExceeded => {
+            writeln!(text, "state budget ({budget}) exceeded").unwrap();
+            Err(text)
+        }
+    }
+}
+
+/// `ccsql stats [<command> …]` — run a command (or, with no arguments,
+/// a representative pipeline touching the solver, the deadlock
+/// analysis, the simulator and the model checker) with metrics
+/// recording on, then pretty-print the global registry.
+fn cmd_stats(inner: &[String]) -> Result<String, String> {
+    ccsql_obs::set_enabled(true);
+    let mut out = String::new();
+    let mut inner_failed = false;
+    if inner.is_empty() {
+        let argv =
+            |s: &str| -> Vec<String> { s.split_whitespace().map(|x| x.to_string()).collect() };
+        out.push_str(&dispatch(&argv("gen"))?);
+        // V1 has cycles by design: the Err path still records the
+        // depend/vcg/report metrics we are after.
+        let _ = dispatch(&argv("deadlock --assignment v1"));
+        out.push_str(&dispatch(&argv("sim --seed 1 --ops 40"))?);
+        out.push_str(&dispatch(&argv("mc --nodes 2 --quota 1"))?);
+    } else {
+        match dispatch(inner) {
+            Ok(o) => out.push_str(&o),
+            Err(e) => {
+                out.push_str(&e);
+                inner_failed = true;
+            }
+        }
+    }
+    out.push_str("\n=== metrics ===\n");
+    out.push_str(&ccsql_obs::global().snapshot().render());
+    if inner_failed {
+        Err(out)
+    } else {
+        Ok(out)
+    }
+}
+
 fn cmd_fig4(opts: &Opts) -> Result<String, String> {
     let gen = generate()?;
     let dedicated = opts.flag("--fixed");
@@ -305,8 +474,10 @@ fn cmd_fig4(opts: &Opts) -> Result<String, String> {
         }
         Outcome::Quiescent => {
             if dedicated {
-                Ok("quiescent — the dedicated directory→memory path removes the deadlock\n"
-                    .to_string())
+                Ok(
+                    "quiescent — the dedicated directory→memory path removes the deadlock\n"
+                        .to_string(),
+                )
             } else {
                 Err("expected the Figure-4 deadlock".to_string())
             }
@@ -336,8 +507,7 @@ fn cmd_solve(opts: &Opts) -> Result<String, String> {
         .ok_or_else(|| "solve expects a .ccsql database-input file".to_string())?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let sf = ccsql_relalg::specfile::parse_specfile(&text).map_err(|e| e.to_string())?;
-    let (rel, failures) =
-        ccsql_relalg::specfile::solve_specfile(&sf).map_err(|e| e.to_string())?;
+    let (rel, failures) = ccsql_relalg::specfile::solve_specfile(&sf).map_err(|e| e.to_string())?;
     let mut out = String::new();
     writeln!(
         out,
@@ -382,8 +552,8 @@ fn cmd_walk(opts: &Opts) -> Result<String, String> {
         None => {
             let starts = ccsql::walker::all_starts(&gen).map_err(|e| e.to_string())?;
             for (req, dirst, sharers) in starts {
-                let w = ccsql::walker::walk(&gen, &req, &dirst, sharers)
-                    .map_err(|e| e.to_string())?;
+                let w =
+                    ccsql::walker::walk(&gen, &req, &dirst, sharers).map_err(|e| e.to_string())?;
                 out.push_str(&w.render());
                 out.push('\n');
                 if !w.completed {
@@ -420,7 +590,9 @@ mod tests {
     fn help_and_unknown() {
         assert!(run(&argv("help")).unwrap().contains("USAGE"));
         assert!(run(&[]).is_err());
-        assert!(run(&argv("frobnicate")).unwrap_err().contains("unknown command"));
+        assert!(run(&argv("frobnicate"))
+            .unwrap_err()
+            .contains("unknown command"));
     }
 
     #[test]
@@ -508,6 +680,49 @@ mod tests {
         let inv = run(&argv("export --invariants")).unwrap();
         assert!(inv.contains("invariant \"D-retry-on-busy\""));
         assert!(run(&argv("export --table NOPE")).is_err());
+    }
+
+    #[test]
+    fn mc_explores_and_reports() {
+        let out = run(&argv("mc --nodes 2 --quota 1")).unwrap();
+        assert!(out.contains("verified"), "{out}");
+        assert!(out.contains("distinct states"), "{out}");
+        let err = run(&argv("mc --budget 10")).unwrap_err();
+        assert!(err.contains("budget"), "{err}");
+        assert!(run(&argv("mc --nodes 9")).is_err());
+        assert!(run(&argv("mc --quota 0")).is_err());
+    }
+
+    #[test]
+    fn metrics_flag_exports_jsonl() {
+        let path = std::env::temp_dir().join("ccsql_cli_metrics_test.jsonl");
+        let arg = format!("--metrics={}", path.display());
+        let out = run(&[
+            "sim".into(),
+            arg,
+            "--seed".into(),
+            "3".into(),
+            "--ops".into(),
+            "20".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("quiescent"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.lines().next().unwrap().contains("\"meta\""), "{text}");
+        assert!(text.contains("\"sim.steps\""), "{text}");
+        let _ = std::fs::remove_file(&path);
+        // Malformed flag forms are rejected up front.
+        assert!(run(&argv("sim --metrics")).is_err());
+        assert!(run(&argv("sim --metrics=")).is_err());
+        assert!(run(&argv("sim --trace=abc")).is_err());
+    }
+
+    #[test]
+    fn stats_renders_registry() {
+        let out = run(&argv("stats mc --nodes 2 --quota 1")).unwrap();
+        assert!(out.contains("=== metrics ==="), "{out}");
+        assert!(out.contains("mc.states"), "{out}");
+        assert!(out.contains("mc.states_per_sec"), "{out}");
     }
 
     #[test]

@@ -43,7 +43,10 @@ pub fn verilog_case(name: &str, table: &Relation, n_inputs: usize) -> String {
     )
     .unwrap();
     for r in table.rows() {
-        let sel: Vec<String> = r[..n_inputs].iter().map(|v| format!("`{}", ident(*v))).collect();
+        let sel: Vec<String> = r[..n_inputs]
+            .iter()
+            .map(|v| format!("`{}", ident(*v)))
+            .collect();
         let mut assigns = String::new();
         for (c, v) in cols[n_inputs..].iter().zip(&r[n_inputs..]) {
             write!(assigns, "{} = `{}; ", ident(Value::Sym(*c)), ident(*v)).unwrap();

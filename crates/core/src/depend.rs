@@ -209,8 +209,10 @@ pub fn protocol_dependency_table(
     v: &VcAssignment,
     cfg: &AnalysisConfig,
 ) -> ccsql_relalg::Result<DependencyTable> {
+    let _span = ccsql_obs::span("depend", "build");
     let mut rows: Vec<DepRow> = Vec::new();
     let mut seen: HashMap<(Assignment, Assignment, u8), usize> = HashMap::new();
+    let mut dedup_hits: u64 = 0;
     let placement_id = |p: QuadPlacement| PLACEMENTS.iter().position(|&q| q == p).unwrap() as u8;
 
     let mut push = |rows: &mut Vec<DepRow>, r: DepRow| -> bool {
@@ -227,15 +229,30 @@ pub fn protocol_dependency_table(
 
     // Individual controller dependency tables, per placement.
     for &placement in &cfg.placements {
+        let before = rows.len();
         for ctrl in &gen.spec.controllers {
             let table = gen.table(ctrl.name)?;
             for r in controller_dependency_rows(ctrl, table, v, placement) {
-                push(&mut rows, r);
+                if !push(&mut rows, r) {
+                    dedup_hits += 1;
+                }
             }
         }
+        if ccsql_obs::trace_enabled() {
+            ccsql_obs::emit(
+                "depend",
+                "placement",
+                vec![
+                    ("placement", placement.notation().into()),
+                    ("rows", (rows.len() - before).into()),
+                ],
+            );
+        }
     }
+    let direct = rows.len();
 
     if !cfg.compose {
+        record_depend_metrics(direct, rows.len(), dedup_hits);
         return Ok(DependencyTable { rows });
     }
 
@@ -279,13 +296,32 @@ pub fn protocol_dependency_table(
         }
         let mut added = false;
         for r in new_rows {
-            added |= push(&mut rows, r);
+            if push(&mut rows, r) {
+                added = true;
+            } else {
+                dedup_hits += 1;
+            }
         }
         if !cfg.transitive_closure || !added {
             break;
         }
     }
+    record_depend_metrics(direct, rows.len(), dedup_hits);
     Ok(DependencyTable { rows })
+}
+
+/// Record one dependency-table construction into the global `ccsql_obs`
+/// registry (no-op when metrics are disabled).
+fn record_depend_metrics(direct: usize, total: usize, dedup_hits: u64) {
+    if !ccsql_obs::enabled() {
+        return;
+    }
+    let reg = ccsql_obs::global();
+    reg.counter("depend.tables").inc();
+    reg.counter("depend.rows_direct").add(direct as u64);
+    reg.counter("depend.rows_composed")
+        .add(total.saturating_sub(direct) as u64);
+    reg.counter("depend.dedup_hits").add(dedup_hits);
 }
 
 impl DependencyTable {
@@ -293,10 +329,9 @@ impl DependencyTable {
     /// 8-column database table `m1,s1,d1,v1,m2,s2,d2,v2`, plus the
     /// placement relation).
     pub fn as_relation(&self) -> Relation {
-        let mut rel = Relation::with_columns([
-            "m1", "s1", "d1", "v1", "m2", "s2", "d2", "v2", "placement",
-        ])
-        .expect("static schema");
+        let mut rel =
+            Relation::with_columns(["m1", "s1", "d1", "v1", "m2", "s2", "d2", "v2", "placement"])
+                .expect("static schema");
         for r in &self.rows {
             rel.push_row(&[
                 Value::Sym(r.input.msg),

@@ -35,7 +35,11 @@ pub struct TableDiff {
 impl TableDiff {
     /// Diff `old` against `new`, keying rows on `key_cols` (the input
     /// columns — a candidate key of a deterministic controller table).
-    pub fn diff(old: &Relation, new: &Relation, key_cols: &[Sym]) -> ccsql_relalg::Result<TableDiff> {
+    pub fn diff(
+        old: &Relation,
+        new: &Relation,
+        key_cols: &[Sym],
+    ) -> ccsql_relalg::Result<TableDiff> {
         if !old.schema().same_as(new.schema()) {
             return Err(ccsql_relalg::Error::SchemaMismatch(
                 "diff requires identical schemas".into(),
@@ -165,7 +169,9 @@ mod tests {
         let a = table(&[("readex", "I", "NULL1"), ("data", "Busy-d", "edata")]);
         let d = TableDiff::diff(&a, &a, &keys()).unwrap();
         assert!(d.is_empty());
-        assert!(d.render(a.schema()).contains("0 added, 0 removed, 0 changed"));
+        assert!(d
+            .render(a.schema())
+            .contains("0 added, 0 removed, 0 changed"));
     }
 
     #[test]
@@ -230,7 +236,11 @@ mod tests {
         for r in rows {
             new_rel.push_row(&r).unwrap();
         }
-        let keys = [Sym::intern("inmsg"), Sym::intern("dirst"), Sym::intern("dirpv")];
+        let keys = [
+            Sym::intern("inmsg"),
+            Sym::intern("dirst"),
+            Sym::intern("dirpv"),
+        ];
         let d = TableDiff::diff(&old, &new_rel, &keys).unwrap();
         assert_eq!(d.changed.len(), 1);
         assert!(d.added.is_empty() && d.removed.is_empty());

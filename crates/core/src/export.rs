@@ -32,8 +32,18 @@ pub fn to_murphi(ctrl: &ControllerSpec, table: &Relation) -> String {
     let inputs = ctrl.spec.input_names();
     let outputs = ctrl.spec.output_names();
     let mut s = String::new();
-    writeln!(s, "-- Murphi-style export of controller table {}", ctrl.name).unwrap();
-    writeln!(s, "-- generated from SQL column constraints; {} rules\n", table.len()).unwrap();
+    writeln!(
+        s,
+        "-- Murphi-style export of controller table {}",
+        ctrl.name
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "-- generated from SQL column constraints; {} rules\n",
+        table.len()
+    )
+    .unwrap();
 
     // Type declarations from the column tables.
     writeln!(s, "type").unwrap();

@@ -107,10 +107,9 @@ mod tests {
     #[test]
     fn database_queries_work_on_generated_tables() {
         let mut g = GeneratedProtocol::generate_default().unwrap();
-        let r = g
-            .db
-            .query("select distinct inmsg from D where isrequest(inmsg)")
-            .unwrap();
+        let r =
+            g.db.query("select distinct inmsg from D where isrequest(inmsg)")
+                .unwrap();
         assert_eq!(r.len(), ccsql_protocol::directory::D_REQUESTS.len());
     }
 }

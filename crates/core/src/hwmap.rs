@@ -54,11 +54,7 @@ pub const IMPL_TABLES: &[(&str, bool, &[&str])] = &[
         true,
         &["dirupd", "nxtdirst", "nxtdirpv", "Fdback"],
     ),
-    (
-        "Request_bdir",
-        true,
-        &["bdirupd", "nxtbdirst", "nxtbdirpv"],
-    ),
+    ("Request_bdir", true, &["bdirupd", "nxtbdirst", "nxtbdirpv"]),
     (
         "Response_locmsg",
         false,
@@ -248,12 +244,7 @@ pub fn reconstruct(db: &Database) -> ccsql_relalg::Result<Relation> {
             .map(|c| c.to_string())
             .collect()
     };
-    let ed_cols: Vec<&str> = ed
-        .schema()
-        .columns()
-        .iter()
-        .map(|c| c.as_str())
-        .collect();
+    let ed_cols: Vec<&str> = ed.schema().columns().iter().map(|c| c.as_str()).collect();
 
     let side = |is_request: bool| -> ccsql_relalg::Result<Relation> {
         let mut joined: Option<Relation> = None;
@@ -290,8 +281,12 @@ pub fn reconstruct(db: &Database) -> ccsql_relalg::Result<Relation> {
         // Add the missing columns as NULL so both sides have ED's shape.
         for col in &ed_cols {
             if rel.schema().index_of_str(col).is_none() {
-                let mut cols: Vec<String> =
-                    rel.schema().columns().iter().map(|c| c.to_string()).collect();
+                let mut cols: Vec<String> = rel
+                    .schema()
+                    .columns()
+                    .iter()
+                    .map(|c| c.to_string())
+                    .collect();
                 cols.push(col.to_string());
                 let mut wider = Relation::new(Schema::new(cols)?);
                 for r in rel.rows() {
@@ -347,10 +342,7 @@ impl HwMapping {
         let q = es.index_of_str("Qstatus").unwrap();
         let dq = es.index_of_str("Dqstatus").unwrap();
         let inmsg = es.index_of_str("inmsg").unwrap();
-        let proj: Vec<usize> = d_cols
-            .iter()
-            .map(|c| es.index_of_str(c).unwrap())
-            .collect();
+        let proj: Vec<usize> = d_cols.iter().map(|c| es.index_of_str(c).unwrap()).collect();
         for r in self.ed.rows() {
             if r[inmsg] == Value::sym("Dfdback") {
                 continue;

@@ -48,8 +48,8 @@ pub mod invariants;
 pub mod liveness;
 pub mod report;
 pub mod vc;
-pub mod walker;
 pub mod vcg;
+pub mod walker;
 
 pub use depend::{protocol_dependency_table, AnalysisConfig, DependencyTable};
 pub use gen::GeneratedProtocol;

@@ -95,7 +95,12 @@ impl BusyGraph {
                 "dealloc" => i_sym,
                 _ => continue,
             };
-            edges.push(BusyEdge { from, to, on, row: ri });
+            edges.push(BusyEdge {
+                from,
+                to,
+                on,
+                row: ri,
+            });
         }
 
         // Forward reachability from I.
@@ -140,11 +145,10 @@ impl BusyGraph {
             .filter(|s| *s != i_sym)
             .collect();
         let used: HashSet<Sym> = entered.union(&active).copied().collect();
-        let sorted =
-            |mut v: Vec<Sym>| -> Vec<Sym> {
-                v.sort();
-                v
-            };
+        let sorted = |mut v: Vec<Sym>| -> Vec<Sym> {
+            v.sort();
+            v
+        };
         let declared_unused = sorted(
             declared
                 .iter()
@@ -248,8 +252,14 @@ mod tests {
             .iter()
             .map(|e| format!("{}→{} on {}", e.from, e.to, e.on))
             .collect();
-        assert!(from_sd.iter().any(|e| e.contains("Busy-s on data")), "{from_sd:?}");
-        assert!(from_sd.iter().any(|e| e.contains("Busy-d on idone")), "{from_sd:?}");
+        assert!(
+            from_sd.iter().any(|e| e.contains("Busy-s on data")),
+            "{from_sd:?}"
+        );
+        assert!(
+            from_sd.iter().any(|e| e.contains("Busy-d on idone")),
+            "{from_sd:?}"
+        );
     }
 
     #[test]
@@ -260,7 +270,12 @@ mod tests {
         // families; the other 23 are spare encodings that only carry
         // the defensive retry-interleaving rows.
         assert_eq!(graph.used.len(), 17, "{:?}", graph.used);
-        assert_eq!(graph.declared_unused.len(), 23, "{:?}", graph.declared_unused);
+        assert_eq!(
+            graph.declared_unused.len(),
+            23,
+            "{:?}",
+            graph.declared_unused
+        );
     }
 
     #[test]
@@ -270,7 +285,8 @@ mod tests {
         // Busy-trap with no dealloc.
         let mut d = Relation::with_columns(["inmsg", "bdirst", "nxtbdirst", "bdirupd"]).unwrap();
         let v = Value::sym;
-        d.push_row(&[v("req"), v("I"), v("Busy-x"), v("alloc")]).unwrap();
+        d.push_row(&[v("req"), v("I"), v("Busy-x"), v("alloc")])
+            .unwrap();
         d.push_row(&[v("rsp"), v("Busy-x"), v("Busy-trap"), v("write")])
             .unwrap();
         // Busy-trap has a self-transition but never deallocs.
@@ -278,7 +294,12 @@ mod tests {
             .unwrap();
         let graph = BusyGraph::build(
             &d,
-            &["I".into(), "Busy-x".into(), "Busy-trap".into(), "Busy-free".into()],
+            &[
+                "I".into(),
+                "Busy-x".into(),
+                "Busy-trap".into(),
+                "Busy-free".into(),
+            ],
         )
         .unwrap();
         assert!(!graph.ok());

@@ -21,6 +21,9 @@ pub struct DeadlockReport {
     /// Distinct *simple* cycles (enumerated up to a cap of 32) — the
     /// paper's "several cycles leading to deadlocks".
     pub simple_cycles: usize,
+    /// True when the simple-cycle enumeration hit its cap, i.e. the
+    /// count above is a lower bound rather than an exact figure.
+    pub simple_cycles_truncated: bool,
     /// Rendered narratives, one per cycle.
     pub narratives: Vec<String>,
 }
@@ -31,15 +34,26 @@ pub fn deadlock_report(
     assignment: &'static str,
     table: &DependencyTable,
 ) -> DeadlockReport {
+    const SIMPLE_CYCLE_CAP: usize = 32;
     let vcg = Vcg::build(table);
     let cycles = vcg.cycles();
     let narratives = cycles
         .iter()
         .map(|c| narrate_cycle(gen, table, c))
         .collect();
+    // Probe one past the cap so truncation is detectable rather than
+    // silently reported as an exact count.
+    let enumerated = vcg.simple_cycles(SIMPLE_CYCLE_CAP + 1).len();
+    let simple_cycles_truncated = enumerated > SIMPLE_CYCLE_CAP;
+    if simple_cycles_truncated && ccsql_obs::enabled() {
+        ccsql_obs::global()
+            .counter("report.simple_cycles_truncated")
+            .inc();
+    }
     DeadlockReport {
         assignment,
-        simple_cycles: vcg.simple_cycles(32).len(),
+        simple_cycles: enumerated.min(SIMPLE_CYCLE_CAP),
+        simple_cycles_truncated,
         dependency_rows: table.rows.len(),
         channels: vcg.channels().iter().map(|c| c.to_string()).collect(),
         edges: vcg
@@ -85,7 +99,11 @@ pub fn narrate_cycle(gen: &GeneratedProtocol, table: &DependencyTable, cycle: &C
         .unwrap();
         match row.provenance {
             Provenance::Direct { controller, row: r } => {
-                writeln!(s, "      direct from controller table {controller}, row {r}").unwrap();
+                writeln!(
+                    s,
+                    "      direct from controller table {controller}, row {r}"
+                )
+                .unwrap();
                 if let Some(desc) = describe_controller_row(gen, controller, r) {
                     writeln!(s, "        {desc}").unwrap();
                 }
@@ -109,7 +127,11 @@ pub fn narrate_cycle(gen: &GeneratedProtocol, table: &DependencyTable, cycle: &C
 }
 
 /// One-line description of a controller-table row (its message flow).
-fn describe_controller_row(gen: &GeneratedProtocol, controller: &str, row: usize) -> Option<String> {
+fn describe_controller_row(
+    gen: &GeneratedProtocol,
+    controller: &str,
+    row: usize,
+) -> Option<String> {
     let ctrl = gen.controller(controller)?;
     let table = gen.table(controller).ok()?;
     if row >= table.len() {
@@ -148,7 +170,12 @@ impl DeadlockReport {
     pub fn render(&self) -> String {
         use std::fmt::Write;
         let mut s = String::new();
-        writeln!(s, "=== Deadlock analysis for assignment {} ===", self.assignment).unwrap();
+        writeln!(
+            s,
+            "=== Deadlock analysis for assignment {} ===",
+            self.assignment
+        )
+        .unwrap();
         writeln!(
             s,
             "protocol dependency table: {} rows; VCG: {} channels, {} edges",
@@ -162,8 +189,13 @@ impl DeadlockReport {
         } else {
             writeln!(
                 s,
-                "{} cyclic component(s), {} distinct simple cycle(s):",
+                "{} cyclic component(s), {}{} distinct simple cycle(s):",
                 self.cycles.len(),
+                if self.simple_cycles_truncated {
+                    "≥"
+                } else {
+                    ""
+                },
                 self.simple_cycles
             )
             .unwrap();
@@ -190,8 +222,8 @@ mod tests {
     #[test]
     fn v1_report_mentions_vc2_vc4() {
         let g = generated();
-        let t = protocol_dependency_table(g, &VcAssignment::v1(), &AnalysisConfig::default())
-            .unwrap();
+        let t =
+            protocol_dependency_table(g, &VcAssignment::v1(), &AnalysisConfig::default()).unwrap();
         let rep = deadlock_report(g, "V1", &t);
         assert!(!rep.cycles.is_empty());
         let rendered = rep.render();
@@ -203,8 +235,8 @@ mod tests {
     #[test]
     fn v2_report_is_clean() {
         let g = generated();
-        let t = protocol_dependency_table(g, &VcAssignment::v2(), &AnalysisConfig::default())
-            .unwrap();
+        let t =
+            protocol_dependency_table(g, &VcAssignment::v2(), &AnalysisConfig::default()).unwrap();
         let rep = deadlock_report(g, "V2", &t);
         assert!(rep.cycles.is_empty(), "cycles: {:?}", rep.render());
         assert!(rep.render().contains("absence of deadlocks"));

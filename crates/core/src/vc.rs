@@ -18,9 +18,9 @@
 //!   responses, so the dedicated path carries the directory's memory
 //!   operations `mread`/`mwrite` — see DESIGN.md.)
 
-use ccsql_relalg::{Relation, Value};
 use ccsql_protocol::messages;
 use ccsql_protocol::topology::Role;
+use ccsql_relalg::{Relation, Value};
 use std::collections::HashMap;
 use std::collections::HashSet;
 
@@ -70,12 +70,7 @@ impl VcAssignment {
         let mut out: Vec<VcEntry> = self
             .entries
             .iter()
-            .map(|(&(msg, src, dest), &vc)| VcEntry {
-                msg,
-                src,
-                dest,
-                vc,
-            })
+            .map(|(&(msg, src, dest), &vc)| VcEntry { msg, src, dest, vc })
             .collect();
         out.sort_by_key(|e| (e.vc, e.msg, e.src, e.dest));
         out

@@ -30,7 +30,11 @@ pub struct Arc {
 
 impl std::fmt::Display for Arc {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}. {} → {} : {}", self.step, self.from, self.to, self.msg)
+        write!(
+            f,
+            "{}. {} → {} : {}",
+            self.step, self.from, self.to, self.msg
+        )
     }
 }
 
@@ -67,7 +71,11 @@ impl Walk {
         writeln!(
             s,
             "  ⇒ {} (final dirst {})",
-            if self.completed { "completed" } else { "INCOMPLETE" },
+            if self.completed {
+                "completed"
+            } else {
+                "INCOMPLETE"
+            },
             self.final_dirst
         )
         .unwrap();

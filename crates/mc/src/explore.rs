@@ -26,6 +26,10 @@ pub struct McStats {
     pub states: usize,
     /// Transitions fired.
     pub transitions: u64,
+    /// Transitions whose target state had already been seen.
+    pub dedup_hits: u64,
+    /// Largest frontier (BFS queue) observed.
+    pub frontier_peak: usize,
     /// Maximum BFS depth reached.
     pub depth: usize,
     /// Wall-clock time.
@@ -41,47 +45,83 @@ pub fn explore(model: &Model, budget: usize) -> (McOutcome, McStats) {
     seen.insert(init.clone());
     frontier.push_back((init, 0));
     let mut transitions = 0u64;
+    let mut dedup_hits = 0u64;
+    let mut frontier_peak = 1usize;
     let mut depth = 0usize;
 
-    let finish = |outcome, seen: &HashSet<State>, transitions, depth, start: Instant| {
-        (
-            outcome,
-            McStats {
+    macro_rules! finish {
+        ($outcome:expr) => {{
+            let stats = McStats {
                 states: seen.len(),
                 transitions,
+                dedup_hits,
+                frontier_peak,
                 depth,
                 elapsed: start.elapsed(),
-            },
-        )
-    };
+            };
+            record_mc_metrics(&stats);
+            return ($outcome, stats);
+        }};
+    }
 
     while let Some((s, d)) = frontier.pop_front() {
         depth = depth.max(d);
         if let Some(prop) = model.check(&s) {
-            return finish(McOutcome::Violation(prop), &seen, transitions, depth, start);
+            finish!(McOutcome::Violation(prop));
         }
         let succ = model.successors(&s);
         if succ.is_empty() && !s.quiescent() {
-            return finish(McOutcome::Stuck, &seen, transitions, depth, start);
+            finish!(McOutcome::Stuck);
         }
         for t in succ {
             transitions += 1;
             if !seen.contains(&t) {
                 if seen.len() >= budget {
-                    return finish(
-                        McOutcome::BudgetExceeded,
-                        &seen,
-                        transitions,
-                        depth,
-                        start,
-                    );
+                    finish!(McOutcome::BudgetExceeded);
                 }
                 seen.insert(t.clone());
                 frontier.push_back((t, d + 1));
+                frontier_peak = frontier_peak.max(frontier.len());
+            } else {
+                dedup_hits += 1;
             }
         }
     }
-    finish(McOutcome::Verified, &seen, transitions, depth, start)
+    finish!(McOutcome::Verified)
+}
+
+/// Record one exploration's aggregates into the global obs registry.
+fn record_mc_metrics(stats: &McStats) {
+    if !ccsql_obs::enabled() {
+        return;
+    }
+    let reg = ccsql_obs::global();
+    reg.counter("mc.runs").inc();
+    reg.counter("mc.states").add(stats.states as u64);
+    reg.counter("mc.transitions").add(stats.transitions);
+    reg.counter("mc.dedup_hits").add(stats.dedup_hits);
+    reg.gauge("mc.frontier_peak")
+        .set(stats.frontier_peak as f64);
+    reg.gauge("mc.depth").set(stats.depth as f64);
+    let secs = stats.elapsed.as_secs_f64();
+    if secs > 0.0 {
+        reg.gauge("mc.states_per_sec")
+            .set(stats.states as f64 / secs);
+    }
+    reg.histogram("mc.explore_us")
+        .record(stats.elapsed.as_micros() as u64);
+    ccsql_obs::emit(
+        "mc",
+        "explore",
+        vec![
+            ("states", (stats.states as u64).into()),
+            ("transitions", stats.transitions.into()),
+            ("dedup_hits", stats.dedup_hits.into()),
+            ("frontier_peak", (stats.frontier_peak as u64).into()),
+            ("depth", (stats.depth as u64).into()),
+            ("elapsed_us", (stats.elapsed.as_micros() as u64).into()),
+        ],
+    );
 }
 
 #[cfg(test)]

@@ -318,8 +318,7 @@ impl Model {
         // A node whose write back / replacement has been accepted by the
         // directory but not yet acknowledged still holds its (logically
         // dead) copy; it no longer counts as a writer.
-        let leaving =
-            |i: usize| matches!(s.pend[i], Some(Req::Wb) | Some(Req::Replace));
+        let leaving = |i: usize| matches!(s.pend[i], Some(Req::Wb) | Some(Req::Replace));
         let owners = (0..self.nodes)
             .filter(|&i| matches!(s.cache[i], Cache::M | Cache::E) && !leaving(i))
             .count();

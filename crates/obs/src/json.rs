@@ -1,0 +1,237 @@
+//! Hand-rolled JSON writing (no serde) and the JSONL exporters.
+//!
+//! Output is line-delimited JSON: one object per metric and per event,
+//! prefixed by a `meta` line. Example:
+//!
+//! ```text
+//! {"type":"meta","dropped_events":0,"events":12}
+//! {"type":"counter","name":"solver.rows_pruned","value":93960}
+//! {"type":"histogram","name":"solver.generate_us","count":8,"sum":4120,...}
+//! {"type":"event","seq":0,"t_us":17,"stage":"solver","name":"column","fields":{...}}
+//! ```
+
+use crate::metrics::{MetricValue, Registry, Snapshot};
+use crate::trace::{Event, FieldValue, Ring};
+
+/// Append `s` to `out` as a JSON string literal (quoted, escaped).
+pub fn write_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        // `Display` for finite f64 is valid JSON.
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Incremental JSON object writer.
+pub struct JsonObj {
+    buf: String,
+    first: bool,
+}
+
+impl JsonObj {
+    /// Start an object.
+    pub fn new() -> JsonObj {
+        JsonObj {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        write_json_str(&mut self.buf, k);
+        self.buf.push(':');
+    }
+
+    /// Add a string field.
+    pub fn str(mut self, k: &str, v: &str) -> JsonObj {
+        self.key(k);
+        write_json_str(&mut self.buf, v);
+        self
+    }
+
+    /// Add an unsigned integer field.
+    pub fn u64(mut self, k: &str, v: u64) -> JsonObj {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Add a signed integer field.
+    pub fn i64(mut self, k: &str, v: i64) -> JsonObj {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Add a float field (`null` when non-finite).
+    pub fn f64(mut self, k: &str, v: f64) -> JsonObj {
+        self.key(k);
+        write_f64(&mut self.buf, v);
+        self
+    }
+
+    /// Add a pre-rendered JSON value (e.g. a nested object).
+    pub fn raw(mut self, k: &str, v: &str) -> JsonObj {
+        self.key(k);
+        self.buf.push_str(v);
+        self
+    }
+
+    /// Close the object.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for JsonObj {
+    fn default() -> JsonObj {
+        JsonObj::new()
+    }
+}
+
+/// One JSON line per metric in the snapshot.
+pub fn metrics_jsonl(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for m in &snap.metrics {
+        let line = match m.value {
+            MetricValue::Counter(v) => JsonObj::new()
+                .str("type", "counter")
+                .str("name", &m.name)
+                .u64("value", v)
+                .finish(),
+            MetricValue::Gauge(v) => JsonObj::new()
+                .str("type", "gauge")
+                .str("name", &m.name)
+                .f64("value", v)
+                .finish(),
+            MetricValue::Histogram(h) => JsonObj::new()
+                .str("type", "histogram")
+                .str("name", &m.name)
+                .u64("count", h.count)
+                .u64("sum", h.sum)
+                .u64("min", h.min)
+                .u64("p50", h.p50)
+                .u64("p90", h.p90)
+                .u64("p99", h.p99)
+                .u64("max", h.max)
+                .finish(),
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+fn fields_json(fields: &[(&'static str, FieldValue)]) -> String {
+    let mut o = JsonObj::new();
+    for (k, v) in fields {
+        o = match v {
+            FieldValue::U64(v) => o.u64(k, *v),
+            FieldValue::I64(v) => o.i64(k, *v),
+            FieldValue::F64(v) => o.f64(k, *v),
+            FieldValue::Str(v) => o.str(k, v),
+        };
+    }
+    o.finish()
+}
+
+/// One JSON line per event.
+pub fn events_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        let line = JsonObj::new()
+            .str("type", "event")
+            .u64("seq", e.seq)
+            .u64("t_us", e.t_us)
+            .str("stage", e.stage)
+            .str("name", e.name)
+            .raw("fields", &fields_json(&e.fields))
+            .finish();
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out
+}
+
+/// Full export: meta line, then metrics, then the retained events of
+/// every ring (in order).
+pub fn export_jsonl(reg: &Registry, rings: &[&Ring]) -> String {
+    let mut events: Vec<Event> = Vec::new();
+    let mut dropped = 0u64;
+    for r in rings {
+        events.extend(r.snapshot());
+        dropped += r.dropped();
+    }
+    let mut out = JsonObj::new()
+        .str("type", "meta")
+        .u64("dropped_events", dropped)
+        .u64("events", events.len() as u64)
+        .finish();
+    out.push('\n');
+    out.push_str(&metrics_jsonl(&reg.snapshot()));
+    out.push_str(&events_jsonl(&events));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut s = String::new();
+        write_json_str(&mut s, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(s, r#""a\"b\\c\nd\te\u0001""#);
+    }
+
+    #[test]
+    fn object_builder_shapes() {
+        let o = JsonObj::new()
+            .str("type", "x")
+            .u64("n", 3)
+            .i64("i", -4)
+            .f64("f", 0.5)
+            .f64("bad", f64::NAN)
+            .finish();
+        assert_eq!(o, r#"{"type":"x","n":3,"i":-4,"f":0.5,"bad":null}"#);
+        assert_eq!(JsonObj::new().finish(), "{}");
+    }
+
+    #[test]
+    fn export_has_meta_then_metrics_then_events() {
+        let reg = Registry::new();
+        reg.counter("s.c").add(2);
+        let ring = Ring::new(4);
+        ring.push("s", "e", vec![("k", "v".into())]);
+        let out = export_jsonl(&reg, &[&ring]);
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains(r#""type":"meta""#));
+        assert!(lines[1].contains(r#""name":"s.c""#));
+        assert!(lines[2].contains(r#""fields":{"k":"v"}"#));
+    }
+}

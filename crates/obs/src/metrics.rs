@@ -1,0 +1,502 @@
+//! The metrics registry: counters, gauges, and log-scale histograms.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap `Arc`s
+//! onto atomic cells; fetch them once outside a hot loop and every
+//! recording is a relaxed atomic op. A [`Registry`] can be process-wide
+//! ([`crate::global`]) or local (e.g. one per simulator instance), and
+//! local registries can be [merged][Registry::merge_from] into the
+//! global one at end of run — that keeps per-step costs off the global
+//! lock entirely.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+const R: Ordering = Ordering::Relaxed;
+
+/// Number of histogram buckets: bucket 0 holds zeros, bucket `i > 0`
+/// holds values in `[2^(i-1), 2^i)`.
+pub const BUCKETS: usize = 65;
+
+/// A monotonically increasing counter.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, R);
+    }
+
+    /// Add 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(R)
+    }
+}
+
+/// A last-value-wins gauge (stored as `f64` bits).
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), R);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(R))
+    }
+}
+
+/// Shared histogram cell: power-of-two buckets plus count/sum/min/max.
+pub struct HistCell {
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl HistCell {
+    fn new() -> HistCell {
+        HistCell {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// A log-scale histogram of `u64` samples (typically microseconds or
+/// row counts). Quantiles are estimated by linear interpolation inside
+/// the matching power-of-two bucket, so they carry at most a 2× bucket
+/// error — plenty for "where did the time go".
+#[derive(Clone)]
+pub struct Histogram(Arc<HistCell>);
+
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros()) as usize
+    }
+}
+
+/// Inclusive value range covered by bucket `i`.
+fn bucket_bounds(i: usize) -> (u64, u64) {
+    if i == 0 {
+        (0, 0)
+    } else {
+        let lo = 1u64 << (i - 1);
+        let hi = if i >= 64 { u64::MAX } else { (1u64 << i) - 1 };
+        (lo, hi)
+    }
+}
+
+impl Histogram {
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let c = &self.0;
+        c.count.fetch_add(1, R);
+        c.sum.fetch_add(v, R);
+        c.min.fetch_min(v, R);
+        c.max.fetch_max(v, R);
+        c.buckets[bucket_of(v)].fetch_add(1, R);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(R)
+    }
+
+    /// Summarise (count, sum, min, max, p50/p90/p99).
+    pub fn summary(&self) -> HistSummary {
+        let c = &self.0;
+        let count = c.count.load(R);
+        let buckets: Vec<u64> = c.buckets.iter().map(|b| b.load(R)).collect();
+        let q = |p: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let target = ((p * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (i, &n) in buckets.iter().enumerate() {
+                if n == 0 {
+                    continue;
+                }
+                if seen + n >= target {
+                    let (lo, hi) = bucket_bounds(i);
+                    let frac = (target - seen) as f64 / n as f64;
+                    return lo + ((hi - lo) as f64 * frac) as u64;
+                }
+                seen += n;
+            }
+            c.max.load(R)
+        };
+        HistSummary {
+            count,
+            sum: c.sum.load(R),
+            min: if count == 0 { 0 } else { c.min.load(R) },
+            max: c.max.load(R),
+            p50: q(0.50),
+            p90: q(0.90),
+            p99: q(0.99),
+        }
+    }
+}
+
+/// Exported histogram summary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Estimated median.
+    pub p50: u64,
+    /// Estimated 90th percentile.
+    pub p90: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
+}
+
+impl HistSummary {
+    /// Mean sample value.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A named collection of metrics.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// New empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter `name`, created on first use.
+    ///
+    /// Panics if `name` is already registered as a different kind — a
+    /// programming error in the metric schema.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut m = self.inner.lock().unwrap();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Counter(Arc::new(AtomicU64::new(0)))))
+        {
+            Metric::Counter(c) => c.clone(),
+            _ => panic!("metric {name:?} is not a counter"),
+        }
+    }
+
+    /// The gauge `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut m = self.inner.lock().unwrap();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))))
+        {
+            Metric::Gauge(g) => g.clone(),
+            _ => panic!("metric {name:?} is not a gauge"),
+        }
+    }
+
+    /// The histogram `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut m = self.inner.lock().unwrap();
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram(Arc::new(HistCell::new()))))
+        {
+            Metric::Histogram(h) => h.clone(),
+            _ => panic!("metric {name:?} is not a histogram"),
+        }
+    }
+
+    /// Drop every metric (tests, or between CLI pipeline phases).
+    pub fn reset(&self) {
+        self.inner.lock().unwrap().clear();
+    }
+
+    /// Fold every metric of `other` into `self`: counters add, gauges
+    /// overwrite, histograms merge bucket-wise.
+    pub fn merge_from(&self, other: &Registry) {
+        let theirs = other.inner.lock().unwrap();
+        for (name, m) in theirs.iter() {
+            match m {
+                Metric::Counter(c) => self.counter(name).add(c.get()),
+                Metric::Gauge(g) => self.gauge(name).set(g.get()),
+                Metric::Histogram(h) => {
+                    let mine = self.histogram(name);
+                    let src = &h.0;
+                    let dst = &mine.0;
+                    dst.count.fetch_add(src.count.load(R), R);
+                    dst.sum.fetch_add(src.sum.load(R), R);
+                    if src.count.load(R) > 0 {
+                        dst.min.fetch_min(src.min.load(R), R);
+                        dst.max.fetch_max(src.max.load(R), R);
+                    }
+                    for (d, s) in dst.buckets.iter().zip(src.buckets.iter()) {
+                        d.fetch_add(s.load(R), R);
+                    }
+                }
+            }
+        }
+    }
+
+    /// A point-in-time snapshot of every metric, sorted by name.
+    pub fn snapshot(&self) -> Snapshot {
+        let m = self.inner.lock().unwrap();
+        let metrics = m
+            .iter()
+            .map(|(name, metric)| MetricSnapshot {
+                name: name.clone(),
+                value: match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.summary()),
+                },
+            })
+            .collect();
+        Snapshot { metrics }
+    }
+
+    /// Human-readable rendering of the whole registry.
+    pub fn render(&self) -> String {
+        self.snapshot().render()
+    }
+}
+
+/// One exported metric.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricSnapshot {
+    /// Stage-prefixed metric name.
+    pub name: String,
+    /// The value at snapshot time.
+    pub value: MetricValue,
+}
+
+/// Exported value of a metric.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic count.
+    Counter(u64),
+    /// Last set value.
+    Gauge(f64),
+    /// Distribution summary.
+    Histogram(HistSummary),
+}
+
+/// A sorted snapshot of a registry.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Snapshot {
+    /// All metrics, sorted by name.
+    pub metrics: Vec<MetricSnapshot>,
+}
+
+impl Snapshot {
+    /// Look a metric up by name.
+    pub fn get(&self, name: &str) -> Option<MetricValue> {
+        self.metrics
+            .iter()
+            .find(|m| m.name == name)
+            .map(|m| m.value)
+    }
+
+    /// Only the counters (the deterministic subset: no wall-clock).
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.metrics
+            .iter()
+            .filter_map(|m| match m.value {
+                MetricValue::Counter(v) => Some((m.name.clone(), v)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Human-readable table of the snapshot.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let width = self.metrics.iter().map(|m| m.name.len()).max().unwrap_or(0);
+        for m in &self.metrics {
+            match m.value {
+                MetricValue::Counter(v) => {
+                    writeln!(s, "{:<width$}  {v}", m.name).unwrap();
+                }
+                MetricValue::Gauge(v) => {
+                    writeln!(s, "{:<width$}  {v:.2}", m.name).unwrap();
+                }
+                MetricValue::Histogram(h) => {
+                    writeln!(
+                        s,
+                        "{:<width$}  count={} sum={} min={} p50={} p90={} p99={} max={}",
+                        m.name, h.count, h.sum, h.min, h.p50, h.p90, h.p99, h.max
+                    )
+                    .unwrap();
+                }
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_roundtrip() {
+        let r = Registry::new();
+        let c = r.counter("a.count");
+        c.inc();
+        c.add(9);
+        r.gauge("a.gauge").set(-1.5);
+        let snap = r.snapshot();
+        assert_eq!(snap.get("a.count"), Some(MetricValue::Counter(10)));
+        assert_eq!(snap.get("a.gauge"), Some(MetricValue::Gauge(-1.5)));
+        // Handles alias the same cell.
+        r.counter("a.count").inc();
+        assert_eq!(c.get(), 11);
+    }
+
+    #[test]
+    fn histogram_constant_distribution() {
+        let r = Registry::new();
+        let h = r.histogram("h");
+        for _ in 0..1000 {
+            h.record(100);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.sum, 100_000);
+        assert_eq!((s.min, s.max), (100, 100));
+        // All quantiles land in the bucket containing 100: [64, 127].
+        for q in [s.p50, s.p90, s.p99] {
+            assert!((64..=127).contains(&q), "quantile {q} outside bucket");
+        }
+    }
+
+    #[test]
+    fn histogram_uniform_distribution_quantiles() {
+        let r = Registry::new();
+        let h = r.histogram("h");
+        for v in 1..=1024u64 {
+            h.record(v);
+        }
+        let s = h.summary();
+        // True quantiles: p50=512, p90=922, p99=1014. Log-bucket
+        // estimates must stay within one bucket (2×).
+        assert!((256..=1024).contains(&s.p50), "p50={}", s.p50);
+        assert!((512..=1024).contains(&s.p90), "p90={}", s.p90);
+        assert!((512..=1024).contains(&s.p99), "p99={}", s.p99);
+        assert!(s.p50 <= s.p90 && s.p90 <= s.p99, "{s:?}");
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 1024);
+    }
+
+    #[test]
+    fn histogram_two_point_distribution() {
+        let r = Registry::new();
+        let h = r.histogram("h");
+        // 90 small samples, 10 large: p50 small, p99 large.
+        for _ in 0..90 {
+            h.record(10);
+        }
+        for _ in 0..10 {
+            h.record(100_000);
+        }
+        let s = h.summary();
+        assert!((8..=15).contains(&s.p50), "p50={}", s.p50);
+        assert!(s.p99 >= 65_536, "p99={}", s.p99);
+    }
+
+    #[test]
+    fn empty_and_zero_samples() {
+        let r = Registry::new();
+        let h = r.histogram("h");
+        assert_eq!(
+            h.summary(),
+            HistSummary {
+                count: 0,
+                sum: 0,
+                min: 0,
+                max: 0,
+                p50: 0,
+                p90: 0,
+                p99: 0
+            }
+        );
+        h.record(0);
+        let s = h.summary();
+        assert_eq!((s.count, s.min, s.max, s.p50), (1, 0, 0, 0));
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let a = Registry::new();
+        let b = Registry::new();
+        a.counter("c").add(3);
+        b.counter("c").add(4);
+        b.gauge("g").set(7.0);
+        for v in [1u64, 2, 4] {
+            b.histogram("h").record(v);
+        }
+        a.merge_from(&b);
+        let snap = a.snapshot();
+        assert_eq!(snap.get("c"), Some(MetricValue::Counter(7)));
+        assert_eq!(snap.get("g"), Some(MetricValue::Gauge(7.0)));
+        match snap.get("h") {
+            Some(MetricValue::Histogram(h)) => {
+                assert_eq!(h.count, 3);
+                assert_eq!(h.sum, 7);
+                assert_eq!((h.min, h.max), (1, 4));
+            }
+            other => panic!("expected histogram, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn render_is_stable_and_sorted() {
+        let r = Registry::new();
+        r.counter("z.last").inc();
+        r.counter("a.first").inc();
+        let out = r.render();
+        let a = out.find("a.first").unwrap();
+        let z = out.find("z.last").unwrap();
+        assert!(a < z, "snapshot not sorted:\n{out}");
+    }
+}

@@ -1,0 +1,127 @@
+//! Deterministic PRNG (splitmix64) — the internal replacement for the
+//! external `rand` crate, which cannot be resolved in the offline build
+//! environment.
+//!
+//! Splitmix64 passes BigCrush, is seedable from any `u64`, and its
+//! whole state is one word, so seeded workloads and schedules stay
+//! byte-for-byte reproducible across platforms (a property the
+//! determinism tests in `ccsql-sim` rely on).
+
+/// A splitmix64 generator.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeded generator.
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)` (n must be nonzero). Uses Lemire's
+    /// multiply-shift reduction; the modulo bias at `n ≪ 2^64` is
+    /// immaterial for workload generation.
+    #[inline]
+    pub fn gen_range_u64(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "gen_range_u64(0)");
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform value in `[0, n)` as `u32`.
+    #[inline]
+    pub fn gen_range_u32(&mut self, n: u32) -> u32 {
+        self.gen_range_u64(n as u64) as u32
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.gen_range_u64(i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference outputs for seed 1234567 (from the public-domain
+        // splitmix64.c by Vigna).
+        let mut r = SplitMix64::new(1234567);
+        assert_eq!(r.next_u64(), 6457827717110365317);
+        assert_eq!(r.next_u64(), 3203168211198807973);
+        assert_eq!(r.next_u64(), 9817491932198370423);
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            assert!(r.gen_range_u64(10) < 10);
+            assert!(r.gen_range_u32(3) < 3);
+        }
+        // All residues are reachable.
+        let mut seen = [false; 10];
+        let mut r = SplitMix64::new(8);
+        for _ in 0..1000 {
+            seen[r.gen_range_u64(10) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn bool_probabilities_roughly_hold() {
+        let mut r = SplitMix64::new(9);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2500..3500).contains(&hits), "p=0.3 gave {hits}/10000");
+        assert!((0..10).all(|_| !r.gen_bool(0.0)));
+        assert!((0..10).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_deterministic() {
+        let mut a: Vec<u32> = (0..20).collect();
+        let mut b: Vec<u32> = (0..20).collect();
+        SplitMix64::new(5).shuffle(&mut a);
+        SplitMix64::new(5).shuffle(&mut b);
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+        let mut c: Vec<u32> = (0..20).collect();
+        SplitMix64::new(6).shuffle(&mut c);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,296 @@
+//! The JSONL export must be valid line-delimited JSON. Rather than
+//! trusting the writer, parse every line back with a minimal
+//! test-side JSON parser (objects, arrays, strings, numbers, literals).
+
+use ccsql_obs::json::export_jsonl;
+use ccsql_obs::{Registry, Ring};
+use std::collections::BTreeMap;
+
+// ----------------------------------------------------------- parser
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+struct P<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> P<'a> {
+    fn ws(&mut self) {
+        while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> u8 {
+        self.b[self.i]
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        self.ws();
+        if self.i < self.b.len() && self.b[self.i] == c {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at {}", c as char, self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.ws();
+        if self.i >= self.b.len() {
+            return Err("eof".into());
+        }
+        match self.peek() {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b't' => self.lit("true", Json::Bool(true)),
+            b'f' => self.lit("false", Json::Bool(false)),
+            b'n' => self.lit("null", Json::Null),
+            _ => self.number(),
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at {}", self.i))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        while self.i < self.b.len()
+            && matches!(
+                self.b[self.i],
+                b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'
+            )
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut s = String::new();
+        loop {
+            if self.i >= self.b.len() {
+                return Err("unterminated string".into());
+            }
+            match self.b[self.i] {
+                b'"' => {
+                    self.i += 1;
+                    return Ok(s);
+                }
+                b'\\' => {
+                    self.i += 1;
+                    let e = self.b[self.i];
+                    self.i += 1;
+                    match e {
+                        b'"' => s.push('"'),
+                        b'\\' => s.push('\\'),
+                        b'/' => s.push('/'),
+                        b'n' => s.push('\n'),
+                        b'r' => s.push('\r'),
+                        b't' => s.push('\t'),
+                        b'u' => {
+                            let hex = std::str::from_utf8(&self.b[self.i..self.i + 4])
+                                .map_err(|e| e.to_string())?;
+                            let cp = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                            s.push(char::from_u32(cp).ok_or("bad codepoint")?);
+                            self.i += 4;
+                        }
+                        other => return Err(format!("bad escape {:?}", other as char)),
+                    }
+                }
+                c if c < 0x20 => return Err("raw control char in string".into()),
+                _ => {
+                    // Multi-byte UTF-8 passes through byte-wise.
+                    let start = self.i;
+                    self.i += 1;
+                    while self.i < self.b.len() && self.b[self.i] & 0xC0 == 0x80 {
+                        self.i += 1;
+                    }
+                    s.push_str(std::str::from_utf8(&self.b[start..self.i]).unwrap());
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut v = Vec::new();
+        self.ws();
+        if self.peek() == b']' {
+            self.i += 1;
+            return Ok(Json::Arr(v));
+        }
+        loop {
+            v.push(self.value()?);
+            self.ws();
+            match self.peek() {
+                b',' => self.i += 1,
+                b']' => {
+                    self.i += 1;
+                    return Ok(Json::Arr(v));
+                }
+                _ => return Err(format!("bad array at {}", self.i)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut m = BTreeMap::new();
+        self.ws();
+        if self.peek() == b'}' {
+            self.i += 1;
+            return Ok(Json::Obj(m));
+        }
+        loop {
+            self.ws();
+            let k = self.string()?;
+            self.eat(b':')?;
+            m.insert(k, self.value()?);
+            self.ws();
+            match self.peek() {
+                b',' => self.i += 1,
+                b'}' => {
+                    self.i += 1;
+                    return Ok(Json::Obj(m));
+                }
+                _ => return Err(format!("bad object at {}", self.i)),
+            }
+        }
+    }
+}
+
+fn parse(line: &str) -> Result<Json, String> {
+    let mut p = P {
+        b: line.as_bytes(),
+        i: 0,
+    };
+    let v = p.value()?;
+    p.ws();
+    if p.i != p.b.len() {
+        return Err(format!("trailing garbage at {} in {line:?}", p.i));
+    }
+    Ok(v)
+}
+
+// ------------------------------------------------------------ tests
+
+fn get<'a>(v: &'a Json, k: &str) -> &'a Json {
+    match v {
+        Json::Obj(m) => m.get(k).unwrap_or_else(|| panic!("missing key {k}")),
+        _ => panic!("not an object"),
+    }
+}
+
+fn s(v: &Json) -> &str {
+    match v {
+        Json::Str(s) => s,
+        _ => panic!("not a string: {v:?}"),
+    }
+}
+
+fn n(v: &Json) -> f64 {
+    match v {
+        Json::Num(n) => *n,
+        _ => panic!("not a number: {v:?}"),
+    }
+}
+
+#[test]
+fn full_export_parses_line_by_line() {
+    let reg = Registry::new();
+    reg.counter("solver.rows_kept").add(498);
+    reg.counter("solver.rows_pruned").add(93_000);
+    reg.gauge("mc.states_per_sec").set(123456.75);
+    let h = reg.histogram("solver.generate_us");
+    for v in [100u64, 200, 400, 80_000] {
+        h.record(v);
+    }
+    let ring = Ring::new(8);
+    ring.push(
+        "solver",
+        "column",
+        vec![
+            ("table", "D".into()),
+            ("column", "nxtdirst \"quoted\"\n".into()),
+            ("rows", 498usize.into()),
+            ("mean", 0.5f64.into()),
+            ("delta", (-3i64).into()),
+        ],
+    );
+    let out = export_jsonl(&reg, &[&ring]);
+
+    let lines: Vec<&str> = out.lines().collect();
+    assert_eq!(lines.len(), 1 + 4 + 1, "meta + 4 metrics + 1 event");
+    let parsed: Vec<Json> = lines
+        .iter()
+        .map(|l| parse(l).unwrap_or_else(|e| panic!("invalid JSON line {l:?}: {e}")))
+        .collect();
+
+    assert_eq!(s(get(&parsed[0], "type")), "meta");
+    assert_eq!(n(get(&parsed[0], "events")), 1.0);
+
+    let counters: Vec<&Json> = parsed
+        .iter()
+        .filter(|v| matches!(v, Json::Obj(_)) && s(get(v, "type")) == "counter")
+        .collect();
+    assert_eq!(counters.len(), 2);
+    let kept = counters
+        .iter()
+        .find(|v| s(get(v, "name")) == "solver.rows_kept")
+        .unwrap();
+    assert_eq!(n(get(kept, "value")), 498.0);
+
+    let hist = parsed
+        .iter()
+        .find(|v| matches!(v, Json::Obj(_)) && s(get(v, "type")) == "histogram")
+        .unwrap();
+    assert_eq!(n(get(hist, "count")), 4.0);
+    assert!(n(get(hist, "p99")) >= n(get(hist, "p50")));
+
+    let ev = parsed.last().unwrap();
+    assert_eq!(s(get(ev, "type")), "event");
+    let fields = get(ev, "fields");
+    assert_eq!(s(get(fields, "table")), "D");
+    // The escaped quoted/newline value survives a round trip.
+    assert_eq!(s(get(fields, "column")), "nxtdirst \"quoted\"\n");
+    assert_eq!(n(get(fields, "rows")), 498.0);
+    assert_eq!(n(get(fields, "delta")), -3.0);
+}
+
+#[test]
+fn wraparound_export_still_valid() {
+    let reg = Registry::new();
+    let ring = Ring::new(3);
+    for i in 0..10u64 {
+        ring.push("t", "e", vec![("i", i.into())]);
+    }
+    let out = export_jsonl(&reg, &[&ring]);
+    for line in out.lines() {
+        parse(line).unwrap_or_else(|e| panic!("invalid line {line:?}: {e}"));
+    }
+    let meta = parse(out.lines().next().unwrap()).unwrap();
+    assert_eq!(n(get(&meta, "dropped_events")), 7.0);
+    assert_eq!(n(get(&meta, "events")), 3.0);
+}

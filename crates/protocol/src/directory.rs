@@ -26,7 +26,6 @@
 //! * directory/busy-directory mutual exclusion by construction
 //!   (invariant 2).
 
-
 use crate::spec::cols::{only, vals, vals_null};
 use crate::spec::{ControllerBuilder, ControllerSpec, MsgTriple, Rule};
 use crate::states;
@@ -40,8 +39,7 @@ pub const D_REQUESTS: &[&str] = &[
 
 /// Responses the directory controller receives.
 pub const D_RESPONSES: &[&str] = &[
-    "data", "sdata", "sdone", "fdone", "idone", "xferdone", "compl", "mcompl", "iodata",
-    "iocompl",
+    "data", "sdata", "sdone", "fdone", "idone", "xferdone", "compl", "mcompl", "iodata", "iocompl",
 ];
 
 /// How the directory serves a read-exclusive when the line is modified
@@ -690,7 +688,13 @@ fn add_rules(b: &mut ControllerBuilder, transfer: OwnerTransfer) {
     ));
     b.rule(Rule::new(
         "data@Busy-ft-d/restore",
-        guard("data", "I", &["zero"], &busy("fetch", "d"), &["one", "gone"]),
+        guard(
+            "data",
+            "I",
+            &["zero"],
+            &busy("fetch", "d"),
+            &["one", "gone"],
+        ),
         vec![
             ("locmsg", v("data")),
             ("dirupd", v("alloc")),
@@ -951,11 +955,7 @@ mod tests {
             .generate(GenMode::Incremental, &context())
             .unwrap();
         // "This table is made of 30 columns and 500 rows."
-        assert!(
-            (430..=570).contains(&rel.len()),
-            "D has {} rows",
-            rel.len()
-        );
+        assert!((430..=570).contains(&rel.len()), "D has {} rows", rel.len());
         assert_eq!(rel.arity(), 30);
         assert!(stats.candidates > 0);
     }
@@ -1004,8 +1004,7 @@ mod tests {
         let idone = rel
             .rows()
             .find(|r| {
-                r[col("inmsg")] == Value::sym("idone")
-                    && r[col("bdirst")] == Value::sym("Busy-m")
+                r[col("inmsg")] == Value::sym("idone") && r[col("bdirst")] == Value::sym("Busy-m")
             })
             .expect("idone@Busy-m row missing");
         assert_eq!(idone[col("memmsg")], Value::sym("mread"));

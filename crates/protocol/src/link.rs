@@ -21,11 +21,7 @@ fn v(s: &str) -> Value {
 /// Build the link controller specification.
 pub fn link_spec() -> ControllerSpec {
     let mut b = ControllerBuilder::new("L");
-    b.input(
-        "vc",
-        vals(&["VC0", "VC1", "VC2", "VC3", "VC4"]),
-        Expr::True,
-    );
+    b.input("vc", vals(&["VC0", "VC1", "VC2", "VC3", "VC4"]), Expr::True);
     b.input("bufst", vals(&["empty", "held"]), Expr::True);
     b.input("credit", vals(&["avail", "none"]), Expr::True);
 

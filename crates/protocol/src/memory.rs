@@ -18,7 +18,9 @@ pub fn memory_spec() -> ControllerSpec {
     let mut b = ControllerBuilder::new("M");
     b.input(
         "inmsg",
-        vals(&["mread", "mwrite", "wb", "ioread", "iowrite", "mupd", "mflush"]),
+        vals(&[
+            "mread", "mwrite", "wb", "ioread", "iowrite", "mupd", "mflush",
+        ]),
         Expr::True,
     );
     b.input("inmsgsrc", only("home"), Expr::col_eq("inmsgsrc", "home"));
@@ -50,10 +52,18 @@ pub fn memory_spec() -> ControllerSpec {
 
     let g = |m: &str| Expr::col_eq("inmsg", m).and(Expr::col_eq("memst", "ready"));
     b.rule(Rule::new("mread", g("mread"), vec![("outmsg", v("data"))]));
-    b.rule(Rule::new("mwrite", g("mwrite"), vec![("outmsg", v("mcompl"))]));
+    b.rule(Rule::new(
+        "mwrite",
+        g("mwrite"),
+        vec![("outmsg", v("mcompl"))],
+    ));
     // Figure-4 row R1: the forwarded write back is answered with compl.
     b.rule(Rule::new("wb", g("wb"), vec![("outmsg", v("compl"))]));
-    b.rule(Rule::new("ioread", g("ioread"), vec![("outmsg", v("iodata"))]));
+    b.rule(Rule::new(
+        "ioread",
+        g("ioread"),
+        vec![("outmsg", v("iodata"))],
+    ));
     b.rule(Rule::new(
         "iowrite",
         g("iowrite"),

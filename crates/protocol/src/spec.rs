@@ -66,10 +66,7 @@ impl Rule {
     }
 
     fn value_for(&self, col: &str) -> Option<Value> {
-        self.sets
-            .iter()
-            .find(|(c, _)| *c == col)
-            .map(|(_, v)| *v)
+        self.sets.iter().find(|(c, _)| *c == col).map(|(_, v)| *v)
     }
 }
 
@@ -205,7 +202,11 @@ impl ControllerBuilder {
         }
 
         for d in &self.derived_outputs {
-            spec.push(ColumnDef::output(d.name, d.values.clone(), d.constraint.clone()));
+            spec.push(ColumnDef::output(
+                d.name,
+                d.values.clone(),
+                d.constraint.clone(),
+            ));
         }
         spec
     }

@@ -300,7 +300,11 @@ impl Database {
                     .into_iter()
                     .map(|n| {
                         let k = seen.entry(n.clone()).or_insert(0);
-                        let out = if *k == 0 { n.clone() } else { format!("{n}#{k}") };
+                        let out = if *k == 0 {
+                            n.clone()
+                        } else {
+                            format!("{n}#{k}")
+                        };
                         *k += 1;
                         out
                     })
@@ -471,7 +475,9 @@ mod tests {
     fn distinct_dedups() {
         let mut db = sample_db();
         db.insert("D", &[v("readex"), v("SI"), v("one")]).unwrap();
-        let all = db.query("select inmsg from D where inmsg = readex").unwrap();
+        let all = db
+            .query("select inmsg from D where inmsg = readex")
+            .unwrap();
         assert_eq!(all.len(), 3);
         let d = db
             .query("select distinct inmsg from D where inmsg = readex")
@@ -522,7 +528,9 @@ mod tests {
             .query("select inmsg from D where isrequest(inmsg)")
             .unwrap();
         assert_eq!(r.len(), 2);
-        let err = db.query("select inmsg from D where nosuch(inmsg)").unwrap_err();
+        let err = db
+            .query("select inmsg from D where nosuch(inmsg)")
+            .unwrap_err();
         assert!(matches!(err, Error::NoSuchSet(_)));
     }
 
@@ -623,14 +631,14 @@ mod tests {
     #[test]
     fn order_by_sorts() {
         let mut db = sample_db();
-        let r = db.query("select inmsg, dirst from D order by inmsg").unwrap();
+        let r = db
+            .query("select inmsg, dirst from D order by inmsg")
+            .unwrap();
         let col: Vec<String> = r.rows().map(|row| row[0].to_string()).collect();
         let mut sorted = col.clone();
         sorted.sort();
         assert_eq!(col, sorted);
-        let r = db
-            .query("select inmsg from D order by inmsg desc")
-            .unwrap();
+        let r = db.query("select inmsg from D order by inmsg desc").unwrap();
         assert_eq!(r.row(0)[0], v("readex"));
         // Multi-key with mixed direction.
         let r = db

@@ -215,9 +215,7 @@ impl Expr {
         Ok(match self {
             Expr::Col(c) => match resolve(*c)? {
                 Some(i) => BoundExpr::Col(i),
-                None => {
-                    return Err(Error::NoSuchColumn(c.to_string(), "expression".to_string()))
-                }
+                None => return Err(Error::NoSuchColumn(c.to_string(), "expression".to_string())),
             },
             Expr::Ident(c) => match resolve(*c)? {
                 Some(i) => BoundExpr::Col(i),
@@ -405,14 +403,20 @@ mod tests {
     fn eq_and_ne() {
         let s = schema();
         let e = Expr::col_eq("inmsg", "readex").bind(&s).unwrap();
-        assert!(e.eval_bool(&row("readex", "SI", "one"), &NoContext).unwrap());
+        assert!(e
+            .eval_bool(&row("readex", "SI", "one"), &NoContext)
+            .unwrap());
         assert!(!e.eval_bool(&row("read", "SI", "one"), &NoContext).unwrap());
 
         let ne = Expr::Ne(Box::new(Expr::col("dirst")), Box::new(Expr::sym("I")))
             .bind(&s)
             .unwrap();
-        assert!(ne.eval_bool(&row("readex", "SI", "one"), &NoContext).unwrap());
-        assert!(!ne.eval_bool(&row("readex", "I", "one"), &NoContext).unwrap());
+        assert!(ne
+            .eval_bool(&row("readex", "SI", "one"), &NoContext)
+            .unwrap());
+        assert!(!ne
+            .eval_bool(&row("readex", "I", "one"), &NoContext)
+            .unwrap());
     }
 
     #[test]
@@ -425,11 +429,19 @@ mod tests {
             .bind(&s)
             .unwrap();
         // Condition holds: require zero.
-        assert!(e.eval_bool(&row("data", "Busy-d", "zero"), &NoContext).unwrap());
-        assert!(!e.eval_bool(&row("data", "Busy-d", "one"), &NoContext).unwrap());
+        assert!(e
+            .eval_bool(&row("data", "Busy-d", "zero"), &NoContext)
+            .unwrap());
+        assert!(!e
+            .eval_bool(&row("data", "Busy-d", "one"), &NoContext)
+            .unwrap());
         // Condition fails: require one.
-        assert!(e.eval_bool(&row("readex", "SI", "one"), &NoContext).unwrap());
-        assert!(!e.eval_bool(&row("readex", "SI", "zero"), &NoContext).unwrap());
+        assert!(e
+            .eval_bool(&row("readex", "SI", "one"), &NoContext)
+            .unwrap());
+        assert!(!e
+            .eval_bool(&row("readex", "SI", "zero"), &NoContext)
+            .unwrap());
     }
 
     #[test]
@@ -461,7 +473,9 @@ mod tests {
         assert!(e.eval_bool(&row("readex", "I", "zero"), &ctx).unwrap());
         assert!(!e.eval_bool(&row("data", "I", "zero"), &ctx).unwrap());
         // Unknown set errors.
-        assert!(e.eval_bool(&row("readex", "I", "zero"), &NoContext).is_err());
+        assert!(e
+            .eval_bool(&row("readex", "I", "zero"), &NoContext)
+            .is_err());
     }
 
     #[test]
@@ -474,7 +488,9 @@ mod tests {
     fn non_boolean_predicate_is_an_error() {
         let s = schema();
         let e = Expr::col("inmsg").bind(&s).unwrap();
-        assert!(e.eval_bool(&row("readex", "I", "zero"), &NoContext).is_err());
+        assert!(e
+            .eval_bool(&row("readex", "I", "zero"), &NoContext)
+            .is_err());
     }
 
     #[test]

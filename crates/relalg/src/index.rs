@@ -35,7 +35,11 @@ impl Index {
 
     /// Row indices of `rel` whose key columns equal `key` (exact check
     /// performed; hash collisions are filtered out).
-    pub fn probe<'a>(&'a self, rel: &'a Relation, key: &'a [Value]) -> impl Iterator<Item = usize> + 'a {
+    pub fn probe<'a>(
+        &'a self,
+        rel: &'a Relation,
+        key: &'a [Value],
+    ) -> impl Iterator<Item = usize> + 'a {
         debug_assert_eq!(key.len(), self.key_cols.len());
         let mut h = std::collections::hash_map::DefaultHasher::new();
         use std::hash::{Hash, Hasher};

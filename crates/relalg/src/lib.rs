@@ -57,6 +57,6 @@ pub use expr::{BoundExpr, EvalContext, Expr};
 pub use parser::{parse_expr, parse_query, Query};
 pub use relation::{Relation, RowRef};
 pub use schema::Schema;
-pub use solver::{ColumnDef, GenMode, GenStats, TableSpec};
+pub use solver::{ColumnDef, GenMode, GenStats, GenStep, TableSpec};
 pub use symbol::Sym;
 pub use value::Value;

@@ -19,11 +19,7 @@ pub fn select(rel: &Relation, pred: &Expr, ctx: &dyn EvalContext) -> Result<Rela
 }
 
 /// σ with a pre-bound predicate (hot path for the solver).
-pub fn select_bound(
-    rel: &Relation,
-    pred: &BoundExpr,
-    ctx: &dyn EvalContext,
-) -> Result<Relation> {
+pub fn select_bound(rel: &Relation, pred: &BoundExpr, ctx: &dyn EvalContext) -> Result<Relation> {
     let mut out = Relation::new(rel.schema().clone());
     for r in rel.rows() {
         if pred.eval_bool(r, ctx)? {
@@ -266,7 +262,10 @@ mod tests {
 
     #[test]
     fn equi_join_matches_keys() {
-        let a = mk(&["m", "d"], &[&["wb", "home"], &["readex", "home"], &["q", "rem"]]);
+        let a = mk(
+            &["m", "d"],
+            &[&["wb", "home"], &["readex", "home"], &["q", "rem"]],
+        );
         let b = mk(&["src", "m2"], &[&["home", "compl"], &["home", "mread"]]);
         let j = equi_join(&a, &b, &[("d", "src")], "r").unwrap();
         // Both "home" rows of a join both rows of b: 2*2 = 4.

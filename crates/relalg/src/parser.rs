@@ -634,30 +634,26 @@ mod tests {
     #[test]
     fn parses_paper_dirpv_constraint() {
         // Verbatim from the paper (section 3).
-        let e = parse_expr(
-            r#"inmsg = "data" and dirst = "Busy-d" ? dirpv = zero : dirpv = one"#,
-        )
-        .unwrap();
+        let e = parse_expr(r#"inmsg = "data" and dirst = "Busy-d" ? dirpv = zero : dirpv = one"#)
+            .unwrap();
         let s = Schema::new(["inmsg", "dirst", "dirpv"]).unwrap();
         let b = e.bind(&s).unwrap();
-        let row = |a: &str, b2: &str, c: &str| {
-            vec![Value::sym(a), Value::sym(b2), Value::sym(c)]
-        };
+        let row = |a: &str, b2: &str, c: &str| vec![Value::sym(a), Value::sym(b2), Value::sym(c)];
         assert!(b
             .eval_bool(&row("data", "Busy-d", "zero"), &NoContext)
             .unwrap());
         assert!(!b
             .eval_bool(&row("data", "Busy-d", "one"), &NoContext)
             .unwrap());
-        assert!(b.eval_bool(&row("readex", "SI", "one"), &NoContext).unwrap());
+        assert!(b
+            .eval_bool(&row("readex", "SI", "one"), &NoContext)
+            .unwrap());
     }
 
     #[test]
     fn parses_paper_remmsg_constraint() {
-        let e = parse_expr(
-            "inmsg = readex and dirst = SI ? remmsg = sinv : remmsg = NULL",
-        )
-        .unwrap();
+        let e =
+            parse_expr("inmsg = readex and dirst = SI ? remmsg = sinv : remmsg = NULL").unwrap();
         let s = Schema::new(["inmsg", "dirst", "remmsg"]).unwrap();
         let b = e.bind(&s).unwrap();
         let mk = |a: &str, st: &str, r: Value| vec![Value::sym(a), Value::sym(st), r];
@@ -674,10 +670,9 @@ mod tests {
 
     #[test]
     fn parses_select_with_where() {
-        let q = parse_query(
-            r#"Select dirst, dirpv from D where dirst = "MESI" and not dirpv = "one""#,
-        )
-        .unwrap();
+        let q =
+            parse_query(r#"Select dirst, dirpv from D where dirst = "MESI" and not dirpv = "one""#)
+                .unwrap();
         match q {
             Query::Select {
                 distinct,
@@ -703,8 +698,7 @@ mod tests {
 
     #[test]
     fn parses_select_star_and_distinct_and_alias() {
-        let q = parse_query("select distinct * from D d1, D d2 where d1.inmsg = d2.inmsg")
-            .unwrap();
+        let q = parse_query("select distinct * from D d1, D d2 where d1.inmsg = d2.inmsg").unwrap();
         match q {
             Query::Select {
                 distinct,
@@ -755,7 +749,13 @@ mod tests {
             }
         ));
         let q = parse_query("delete from t").unwrap();
-        assert!(matches!(q, Query::Delete { predicate: None, .. }));
+        assert!(matches!(
+            q,
+            Query::Delete {
+                predicate: None,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -800,19 +800,34 @@ mod tests {
         let s = Schema::new(["n", "b", "x"]).unwrap();
         let bound = e.bind(&s).unwrap();
         assert!(bound
-            .eval_bool(&[Value::Int(3), Value::Bool(false), Value::sym("y")], &NoContext)
+            .eval_bool(
+                &[Value::Int(3), Value::Bool(false), Value::sym("y")],
+                &NoContext
+            )
             .unwrap());
         assert!(bound
-            .eval_bool(&[Value::Int(-1), Value::Bool(false), Value::sym("y")], &NoContext)
+            .eval_bool(
+                &[Value::Int(-1), Value::Bool(false), Value::sym("y")],
+                &NoContext
+            )
             .unwrap());
         assert!(bound
-            .eval_bool(&[Value::Int(0), Value::Bool(true), Value::sym("y")], &NoContext)
+            .eval_bool(
+                &[Value::Int(0), Value::Bool(true), Value::sym("y")],
+                &NoContext
+            )
             .unwrap());
         assert!(bound
-            .eval_bool(&[Value::Int(0), Value::Bool(false), Value::Null], &NoContext)
+            .eval_bool(
+                &[Value::Int(0), Value::Bool(false), Value::Null],
+                &NoContext
+            )
             .unwrap());
         assert!(!bound
-            .eval_bool(&[Value::Int(0), Value::Bool(false), Value::sym("y")], &NoContext)
+            .eval_bool(
+                &[Value::Int(0), Value::Bool(false), Value::sym("y")],
+                &NoContext
+            )
             .unwrap());
     }
 

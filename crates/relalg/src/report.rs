@@ -117,10 +117,7 @@ pub fn from_csv(text: &str) -> crate::Result<Relation> {
             continue;
         }
         let cells = split_csv_line(line, i + 2)?;
-        let row: Vec<crate::Value> = cells
-            .iter()
-            .map(|c| parse_cell(c))
-            .collect();
+        let row: Vec<crate::Value> = cells.iter().map(|c| parse_cell(c)).collect();
         rel.push_row(&row)?;
     }
     Ok(rel)
@@ -178,7 +175,8 @@ mod tests {
 
     fn sample() -> Relation {
         let mut r = Relation::with_columns(["inmsg", "dirst"]).unwrap();
-        r.push_row(&[Value::sym("readex"), Value::sym("SI")]).unwrap();
+        r.push_row(&[Value::sym("readex"), Value::sym("SI")])
+            .unwrap();
         r.push_row(&[Value::sym("data"), Value::Null]).unwrap();
         r
     }

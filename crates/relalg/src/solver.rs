@@ -27,7 +27,7 @@
 //!   procedure generalised to prune as early as possible.
 //!
 //! Incremental generation can be parallelised over row chunks with
-//! [`GenMode::IncrementalParallel`] (crossbeam scoped threads;
+//! [`GenMode::IncrementalParallel`] (std scoped threads;
 //! deterministic output order).
 
 use crate::error::{Error, Result};
@@ -101,7 +101,7 @@ pub enum GenMode {
     /// Column-at-a-time with early constraint application.
     Incremental,
     /// Incremental, with the per-column extension step parallelised over
-    /// `threads` crossbeam scoped threads.
+    /// `threads` std scoped threads.
     IncrementalParallel {
         /// Worker thread count (≥ 1).
         threads: usize,
@@ -119,8 +119,61 @@ pub struct GenStats {
     pub columns: usize,
     /// Per-column intermediate sizes: (column, rows after adding it).
     pub per_column: Vec<(Sym, usize)>,
+    /// Per-step detail (candidates evaluated, rows kept, elapsed) —
+    /// one entry per incremental extension step, a single entry for
+    /// monolithic generation.
+    pub steps: Vec<GenStep>,
     /// Wall-clock time.
     pub elapsed: Duration,
+}
+
+/// One extension step of incremental generation (one column added).
+#[derive(Clone, Debug)]
+pub struct GenStep {
+    /// The column added in this step.
+    pub column: Sym,
+    /// Candidate rows evaluated (|intermediate| × |column table|).
+    pub candidates: u64,
+    /// Rows surviving the constraints applied at this step.
+    pub rows: usize,
+    /// Wall-clock time of the step.
+    pub elapsed: Duration,
+}
+
+/// Record a finished generation run into the global `ccsql_obs`
+/// registry and (when tracing) the global event ring. No-op when
+/// metrics are disabled — the solver's hot loops never touch this.
+fn record_gen_metrics(table: &str, stats: &GenStats) {
+    if !ccsql_obs::enabled() {
+        return;
+    }
+    let reg = ccsql_obs::global();
+    reg.counter("solver.tables").inc();
+    reg.counter("solver.candidates").add(stats.candidates);
+    reg.counter("solver.rows_kept").add(stats.rows as u64);
+    let pruned: u64 = stats
+        .steps
+        .iter()
+        .map(|s| s.candidates.saturating_sub(s.rows as u64))
+        .sum();
+    reg.counter("solver.rows_pruned").add(pruned);
+    reg.histogram("solver.generate_us")
+        .record(stats.elapsed.as_micros() as u64);
+    for s in &stats.steps {
+        reg.histogram("solver.step_us")
+            .record(s.elapsed.as_micros() as u64);
+        ccsql_obs::emit(
+            "solver",
+            "column",
+            vec![
+                ("table", table.into()),
+                ("column", s.column.as_str().into()),
+                ("candidates", s.candidates.into()),
+                ("rows", s.rows.into()),
+                ("elapsed_us", (s.elapsed.as_micros() as u64).into()),
+            ],
+        );
+    }
 }
 
 impl TableSpec {
@@ -190,7 +243,11 @@ impl TableSpec {
     }
 
     /// Generate the table. See [`GenMode`].
-    pub fn generate<C: EvalContext + Sync>(&self, mode: GenMode, ctx: &C) -> Result<(Relation, GenStats)> {
+    pub fn generate<C: EvalContext + Sync>(
+        &self,
+        mode: GenMode,
+        ctx: &C,
+    ) -> Result<(Relation, GenStats)> {
         self.validate()?;
         let start = Instant::now();
         let schema = Schema::from_syms(&self.column_names())?;
@@ -205,6 +262,7 @@ impl TableSpec {
             stats.elapsed = start.elapsed();
             stats.rows = rel.len();
             stats.columns = rel.arity();
+            record_gen_metrics(&self.name, &stats);
             (rel, stats)
         })
     }
@@ -254,6 +312,12 @@ impl TableSpec {
             rows: 0,
             columns: 0,
             per_column: vec![(self.columns[n - 1].name, out.len())],
+            steps: vec![GenStep {
+                column: self.columns[n - 1].name,
+                candidates,
+                rows: out.len(),
+                elapsed: Duration::ZERO,
+            }],
             elapsed: Duration::ZERO,
         };
         Ok((out, stats))
@@ -282,19 +346,29 @@ impl TableSpec {
 
         let mut applied = vec![false; self.columns.len()];
         let mut per_column = Vec::with_capacity(self.columns.len());
+        let mut steps = Vec::with_capacity(self.columns.len());
         let mut candidates: u64 = 0;
 
         // Start with the first column's table filtered by any constraint
         // that only mentions it.
+        let step_start = Instant::now();
         let mut current = Relation::new(Schema::from_syms(&all_names[..1])?);
         for &v in &self.columns[0].values {
             current.push_row_unchecked(&[v]);
         }
-        candidates += current.len() as u64;
+        let step_cands = current.len() as u64;
+        candidates += step_cands;
         current = self.apply_ready_constraints(current, 1, &deps, &mut applied, ctx, threads)?;
         per_column.push((self.columns[0].name, current.len()));
+        steps.push(GenStep {
+            column: self.columns[0].name,
+            candidates: step_cands,
+            rows: current.len(),
+            elapsed: step_start.elapsed(),
+        });
 
         for k in 1..self.columns.len() {
+            let step_start = Instant::now();
             let sub_schema = Schema::from_syms(&all_names[..=k])?;
             // Constraints that become checkable once column k exists.
             let ready: Vec<usize> = (0..self.columns.len())
@@ -307,16 +381,27 @@ impl TableSpec {
             }
 
             let vals = &self.columns[k].values;
-            candidates += current.len() as u64 * vals.len() as u64;
+            let step_cands = current.len() as u64 * vals.len() as u64;
+            candidates += step_cands;
             current = extend_filter(&current, &sub_schema, vals, &bound, ctx, threads)?;
             per_column.push((self.columns[k].name, current.len()));
+            steps.push(GenStep {
+                column: self.columns[k].name,
+                candidates: step_cands,
+                rows: current.len(),
+                elapsed: step_start.elapsed(),
+            });
         }
 
         // Any constraint not yet applied (e.g. one whose dependencies are
         // all early columns but was registered late) — apply now.
         let pending: Vec<usize> = (0..self.columns.len()).filter(|&i| !applied[i]).collect();
         if !pending.is_empty() {
-            let conj = Expr::all(pending.iter().map(|&ci| self.columns[ci].constraint.clone()));
+            let conj = Expr::all(
+                pending
+                    .iter()
+                    .map(|&ci| self.columns[ci].constraint.clone()),
+            );
             let bound = conj.bind(full_schema)?;
             current = filter_rows(&current, &bound, ctx, threads)?;
         }
@@ -326,6 +411,7 @@ impl TableSpec {
             rows: 0,
             columns: 0,
             per_column,
+            steps,
             elapsed: Duration::ZERO,
         };
         Ok((current, stats))
@@ -393,18 +479,20 @@ fn extend_filter<C: EvalContext + Sync>(
     }
 
     let chunk = n.div_ceil(threads);
-    let results: Vec<Result<Vec<Value>>> = crossbeam::scope(|s| {
+    let results: Vec<Result<Vec<Value>>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 let lo = t * chunk;
                 let hi = ((t + 1) * chunk).min(n);
                 let run = &run_chunk;
-                s.spawn(move |_| run(lo..hi))
+                s.spawn(move || run(lo..hi))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .expect("solver worker panicked");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("solver worker panicked"))
+            .collect()
+    });
     for r in results {
         let data = r?;
         for chunk in data.chunks_exact(arity + 1) {
@@ -442,18 +530,20 @@ fn filter_rows<C: EvalContext + Sync>(
         return Ok(out);
     }
     let chunk = n.div_ceil(threads);
-    let results: Vec<Result<Vec<Value>>> = crossbeam::scope(|s| {
+    let results: Vec<Result<Vec<Value>>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 let lo = t * chunk;
                 let hi = ((t + 1) * chunk).min(n);
                 let run = &run_chunk;
-                s.spawn(move |_| run(lo..hi))
+                s.spawn(move || run(lo..hi))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    })
-    .expect("solver worker panicked");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("solver worker panicked"))
+            .collect()
+    });
     for r in results {
         let data = r?;
         for chunk in data.chunks_exact(arity.max(1)) {

@@ -173,9 +173,7 @@ fn parse_value(tok: &str) -> Result<Value> {
 /// Generate the table from a database input and run its static checks
 /// against the result. Returns the generated relation and any failing
 /// checks with their witness relations.
-pub fn solve_specfile(
-    sf: &SpecFile,
-) -> Result<(crate::Relation, Vec<(String, crate::Relation)>)> {
+pub fn solve_specfile(sf: &SpecFile) -> Result<(crate::Relation, Vec<(String, crate::Relation)>)> {
     let (rel, _) = sf
         .spec
         .generate(crate::GenMode::Incremental, &crate::expr::SetContext::new())?;
@@ -250,7 +248,8 @@ check readex-always-reads-memory: select inmsg, memmsg from Fig3 where inmsg = "
         assert!(parse_specfile("table t\ninput = x").is_err()); // no name
         assert!(parse_specfile("table t\ninput a = x\nconstrain b: true").is_err()); // unknown col
         assert!(parse_specfile("table t\ninput a = x\nconstrain a bad").is_err()); // no ':'
-        assert!(parse_specfile("table t\ninput a = x\nconstrain a: ? ?").is_err()); // bad expr
+        assert!(parse_specfile("table t\ninput a = x\nconstrain a: ? ?").is_err());
+        // bad expr
     }
 
     #[test]

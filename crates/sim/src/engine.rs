@@ -18,12 +18,10 @@ use crate::state::{BusyEntry, DirEntry, NodeState, PendTxn, QuadState};
 use crate::tables::ExecTable;
 use crate::workload::{CpuOp, Workload};
 use ccsql::gen::GeneratedProtocol;
+use ccsql_obs::{FieldValue, Registry, Ring, SplitMix64};
 use ccsql_protocol::messages;
 use ccsql_protocol::topology::{NodeId, PresenceVector};
 use ccsql_relalg::{Sym, Value};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 use std::collections::HashMap;
 use std::fmt;
 
@@ -200,16 +198,23 @@ pub struct Sim {
     nodes: HashMap<NodeId, NodeState>,
     node_list: Vec<NodeId>,
     workload: Workload,
-    rng: Option<StdRng>,
+    rng: Option<SplitMix64>,
     /// Counters.
     pub stats: SimStats,
     /// Serialisation-order expected value per coherent address.
     expected: HashMap<Addr, u64>,
     expected_io: HashMap<Addr, u64>,
     version: u64,
-    /// Optional event trace (enable with [`Sim::enable_trace`]).
-    pub trace: Vec<String>,
-    tracing: bool,
+    /// Bounded structured-event trace (enable with
+    /// [`Sim::enable_trace`]). `None` means tracing is off — the
+    /// per-event cost is a single `Option` check.
+    ring: Option<Ring>,
+    /// Run-local metrics, merged into the `ccsql_obs` global registry
+    /// at the end of [`Sim::run`] when global metrics are enabled.
+    /// Local-first keeps parallel test runs from polluting each other
+    /// and makes same-seed runs byte-comparable.
+    metrics: Registry,
+    merged_global: bool,
     latency: HashMap<&'static str, LatAgg>,
     /// Per-controller row hit counts: how often each specification row
     /// was exercised (table coverage).
@@ -253,8 +258,8 @@ impl Sim {
         .expect("N indexable");
         let r = ExecTable::new(gen.table("R").expect("R").clone(), &["inmsg", "linest"])
             .expect("R indexable");
-        let m = ExecTable::new(gen.table("M").expect("M").clone(), &["inmsg"])
-            .expect("M indexable");
+        let m =
+            ExecTable::new(gen.table("M").expect("M").clone(), &["inmsg"]).expect("M indexable");
 
         let node_list: Vec<NodeId> = (0..cfg.quads)
             .flat_map(|q| (0..cfg.nodes_per_quad).map(move |n| NodeId::new(q, n)))
@@ -270,7 +275,7 @@ impl Sim {
             .collect();
         let rng = match cfg.schedule {
             Schedule::Fixed => None,
-            Schedule::Random(seed) => Some(StdRng::seed_from_u64(seed)),
+            Schedule::Random(seed) => Some(SplitMix64::new(seed)),
         };
         Sim {
             cfg,
@@ -288,21 +293,63 @@ impl Sim {
             expected: HashMap::new(),
             expected_io: HashMap::new(),
             version: 0,
-            trace: Vec::new(),
-            tracing: false,
+            ring: None,
+            metrics: Registry::new(),
+            merged_global: false,
             latency: HashMap::new(),
             coverage: HashMap::new(),
         }
     }
 
-    /// Record a textual event trace.
+    /// Record a structured event trace, bounded at the process-wide
+    /// default capacity ([`ccsql_obs::trace_cap`]). When the ring
+    /// fills, the oldest events are evicted and counted in
+    /// `sim.trace_dropped` — a long run can never grow the trace
+    /// without bound.
     pub fn enable_trace(&mut self) {
-        self.tracing = true;
+        self.enable_trace_with_cap(ccsql_obs::trace_cap());
     }
 
-    fn tracef(&mut self, s: String) {
-        if self.tracing {
-            self.trace.push(s);
+    /// Record a structured event trace retaining at most `cap` events.
+    pub fn enable_trace_with_cap(&mut self, cap: usize) {
+        self.ring = Some(Ring::new(cap));
+    }
+
+    /// The structured event ring, if tracing is enabled.
+    pub fn ring(&self) -> Option<&Ring> {
+        self.ring.as_ref()
+    }
+
+    /// Rendered trace lines (`stage.name key=value …`), oldest retained
+    /// first. Compatibility shim over the structured ring for callers
+    /// of the old `Vec<String>` trace.
+    pub fn trace(&self) -> Vec<String> {
+        self.ring
+            .as_ref()
+            .map(|r| r.snapshot().iter().map(|e| e.render()).collect())
+            .unwrap_or_default()
+    }
+
+    /// Events evicted from the bounded trace ring.
+    pub fn trace_dropped(&self) -> u64 {
+        self.ring.as_ref().map(|r| r.dropped()).unwrap_or(0)
+    }
+
+    /// The run-local metrics registry (populated by [`Sim::run`]).
+    pub fn metrics(&self) -> &Registry {
+        &self.metrics
+    }
+
+    /// Push a structured event; the field closure only runs when
+    /// tracing is enabled, so the disabled path does no formatting or
+    /// allocation at all.
+    #[inline]
+    fn trace_event<F>(&self, name: &'static str, fields: F)
+    where
+        F: FnOnce() -> Vec<(&'static str, FieldValue)>,
+    {
+        if let Some(ring) = &self.ring {
+            ring.push("sim", name, fields());
         }
     }
 
@@ -356,7 +403,9 @@ impl Sim {
     fn send_all(&mut self, plan: Vec<SimMsg>) {
         for m in plan {
             let vc = self.vc_for(&m);
-            self.tracef(format!("send {m} on {vc}"));
+            self.trace_event("send", || {
+                vec![("msg", m.to_string().into()), ("vc", vc.to_string().into())]
+            });
             self.channels.send(m.dest.quad(), vc, m);
             self.stats.msgs += 1;
         }
@@ -540,7 +589,13 @@ impl Sim {
         let row_idx = row.idx;
         self.channels.pop(q, vc);
         *self.coverage.entry(("D", row_idx)).or_default() += 1;
-        self.tracef(format!("D{q} row {row_idx} handles {msg}"));
+        self.trace_event("dir", || {
+            vec![
+                ("quad", (q as u64).into()),
+                ("row", row_idx.into()),
+                ("msg", msg.to_string().into()),
+            ]
+        });
         let qs = &mut self.quads[q as usize];
 
         // Busy-directory update.
@@ -678,7 +733,13 @@ impl Sim {
             }
             self.channels.pop(q, vc);
             *self.coverage.entry(("M", row_idx)).or_default() += 1;
-            self.tracef(format!("M{q} handles {msg}"));
+            self.trace_event("mem", || {
+                vec![
+                    ("quad", (q as u64).into()),
+                    ("row", row_idx.into()),
+                    ("msg", msg.to_string().into()),
+                ]
+            });
             match msg.name.as_str() {
                 "wb" | "mwrite" => {
                     if let Some(v) = msg.payload {
@@ -806,7 +867,13 @@ impl Sim {
             }
             _ => {}
         }
-        self.tracef(format!("N {node} row {row_idx} handles {msg}"));
+        self.trace_event("node_rsp", || {
+            vec![
+                ("node", node.to_string().into()),
+                ("row", row_idx.into()),
+                ("msg", msg.to_string().into()),
+            ]
+        });
         if let Some(e) = err {
             return Err(SimError::Coherence(e));
         }
@@ -840,7 +907,12 @@ impl Sim {
             self.channels.pop(q, VcId::Vc(1));
             let ns = self.nodes.get_mut(&node).expect("node");
             ns.held_snoop = Some(msg);
-            self.tracef(format!("RAC {node} holds {msg}"));
+            self.trace_event("rac_hold", || {
+                vec![
+                    ("node", node.to_string().into()),
+                    ("msg", msg.to_string().into()),
+                ]
+            });
             return Ok(CtrlStep(Progress::Worked));
         }
         self.rac_answer(msg, Some((q, VcId::Vc(1))))
@@ -896,7 +968,12 @@ impl Sim {
             _ => panic!("snoops come from a directory"),
         };
         let cache_value = self.nodes[&node].cache.get(&addr).map(|&(_, v)| v);
-        let mut reply = SimMsg::new(rsp.as_str(), addr, Endpoint::Node(node), Endpoint::Dir(home));
+        let mut reply = SimMsg::new(
+            rsp.as_str(),
+            addr,
+            Endpoint::Node(node),
+            Endpoint::Dir(home),
+        );
         if matches!(rsp.as_str(), "sdata" | "fdone" | "xferdone") {
             reply.payload = cache_value;
         }
@@ -929,7 +1006,13 @@ impl Sim {
                 e.0 = st;
             }
         }
-        self.tracef(format!("RAC {node} answers {msg}"));
+        self.trace_event("rac_answer", || {
+            vec![
+                ("node", node.to_string().into()),
+                ("row", row_idx.into()),
+                ("msg", msg.to_string().into()),
+            ]
+        });
         self.send_all(plan);
         Ok(CtrlStep(Progress::Worked))
     }
@@ -1029,7 +1112,12 @@ impl Sim {
                 issued_at,
             });
             self.stats.issued += 1;
-            self.tracef(format!("{node} issues {op:?}"));
+            self.trace_event("issue", || {
+                vec![
+                    ("node", node.to_string().into()),
+                    ("op", format!("{op:?}").into()),
+                ]
+            });
             self.send_all(plan);
         } else {
             self.stats.hits += 1;
@@ -1059,7 +1147,7 @@ impl Sim {
     pub fn step(&mut self) -> Result<(usize, Vec<BlockedReason>), SimError> {
         let mut order = self.controllers();
         if let Some(rng) = &mut self.rng {
-            order.shuffle(rng);
+            rng.shuffle(&mut order);
         }
         let mut worked = 0;
         let mut blocked = Vec::new();
@@ -1093,7 +1181,28 @@ impl Sim {
     }
 
     /// Run until quiescence, deadlock, or the step budget.
+    ///
+    /// On return (including the error paths) the run's aggregate
+    /// counters are recorded into the local [`Sim::metrics`] registry
+    /// and, when `ccsql_obs` global metrics are enabled, merged once
+    /// into the global registry.
     pub fn run(&mut self) -> Result<Outcome, SimError> {
+        let out = self.run_inner();
+        self.flush_metrics();
+        if let Ok(o) = &out {
+            self.trace_event("outcome", || {
+                let kind = match o {
+                    Outcome::Quiescent => "quiescent",
+                    Outcome::Deadlock(_) => "deadlock",
+                    Outcome::StepLimit => "step_limit",
+                };
+                vec![("kind", kind.into()), ("steps", self.stats.steps.into())]
+            });
+        }
+        out
+    }
+
+    fn run_inner(&mut self) -> Result<Outcome, SimError> {
         loop {
             if self.stats.steps as usize >= self.cfg.max_steps {
                 return Ok(Outcome::StepLimit);
@@ -1119,6 +1228,47 @@ impl Sim {
                     queues: self.channels.snapshot(),
                 }));
             }
+        }
+    }
+
+    /// Record end-of-run aggregates (`sim.*`) into the local registry,
+    /// replacing any previous flush, and merge them into the
+    /// `ccsql_obs` global registry the first time (so re-running a
+    /// `Sim` never double-counts globally).
+    pub fn flush_metrics(&mut self) {
+        self.metrics.reset();
+        let reg = &self.metrics;
+        reg.counter("sim.steps").add(self.stats.steps);
+        reg.counter("sim.issued").add(self.stats.issued);
+        reg.counter("sim.hits").add(self.stats.hits);
+        reg.counter("sim.completed").add(self.stats.completed);
+        reg.counter("sim.retries").add(self.stats.retries);
+        reg.counter("sim.msgs").add(self.stats.msgs);
+        reg.counter("sim.read_checks").add(self.stats.read_checks);
+        for (table, hit, total) in self.coverage_report() {
+            reg.counter(&format!("sim.rows_hit.{table}"))
+                .add(hit as u64);
+            reg.gauge(&format!("sim.coverage.{table}"))
+                .set(if total == 0 {
+                    0.0
+                } else {
+                    hit as f64 / total as f64
+                });
+        }
+        for (op, agg) in self.latency_report() {
+            reg.counter(&format!("sim.ops.{op}")).add(agg.count);
+            reg.gauge(&format!("sim.latency_mean_steps.{op}"))
+                .set(agg.mean());
+            reg.gauge(&format!("sim.latency_max_steps.{op}"))
+                .set(agg.max as f64);
+        }
+        if let Some(ring) = &self.ring {
+            reg.counter("sim.trace_events").add(ring.pushed());
+            reg.counter("sim.trace_dropped").add(ring.dropped());
+        }
+        if ccsql_obs::enabled() && !self.merged_global {
+            ccsql_obs::global().merge_from(&self.metrics);
+            self.merged_global = true;
         }
     }
 
@@ -1202,7 +1352,9 @@ impl CtrlStep {
 impl Sim {
     /// Debug helper: a node's pending transaction, rendered.
     pub fn debug_pend(&self, node: NodeId) -> Option<String> {
-        self.nodes[&node].pend.map(|p| format!("{:?}@{:x} {:?}", p.st.as_str(), p.addr, p.op))
+        self.nodes[&node]
+            .pend
+            .map(|p| format!("{:?}@{:x} {:?}", p.st.as_str(), p.addr, p.op))
     }
 
     /// Debug helper: a node's held snoop, rendered.
@@ -1224,11 +1376,7 @@ impl Sim {
         totals
             .into_iter()
             .map(|(name, total)| {
-                let hit = self
-                    .coverage
-                    .keys()
-                    .filter(|(c, _)| *c == name)
-                    .count();
+                let hit = self.coverage.keys().filter(|(c, _)| *c == name).count();
                 (name, hit, total)
             })
             .collect()
@@ -1251,11 +1399,8 @@ impl Sim {
     /// Per-operation-type latency aggregates (engine steps from issue
     /// to completion), sorted by operation name.
     pub fn latency_report(&self) -> Vec<(&'static str, LatAgg)> {
-        let mut v: Vec<(&'static str, LatAgg)> = self
-            .latency
-            .iter()
-            .map(|(k, a)| (*k, *a))
-            .collect();
+        let mut v: Vec<(&'static str, LatAgg)> =
+            self.latency.iter().map(|(k, a)| (*k, *a)).collect();
         v.sort_by_key(|(k, _)| *k);
         v
     }

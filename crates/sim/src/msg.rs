@@ -75,7 +75,11 @@ impl SimMsg {
 
 impl fmt::Display for SimMsg {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}(0x{:x}) {}→{}", self.name, self.addr, self.src, self.dest)?;
+        write!(
+            f,
+            "{}(0x{:x}) {}→{}",
+            self.name, self.addr, self.src, self.dest
+        )?;
         if let Some(p) = self.payload {
             write!(f, " [{p}]")?;
         }

@@ -57,10 +57,7 @@ impl QuadState {
 
     /// Presence vector for `addr` (empty when absent).
     pub fn dirpv(&self, addr: Addr) -> PresenceVector {
-        self.dir
-            .get(&addr)
-            .map(|e| e.pv)
-            .unwrap_or_default()
+        self.dir.get(&addr).map(|e| e.pv).unwrap_or_default()
     }
 
     /// The busy state name for `addr` (`I` when absent).

@@ -1,9 +1,8 @@
 //! Workload generation: per-node streams of processor operations.
 
 use crate::msg::Addr;
+use ccsql_obs::SplitMix64;
 use ccsql_protocol::topology::NodeId;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::collections::VecDeque;
 
 /// One processor operation.
@@ -120,14 +119,14 @@ impl Workload {
         seed: u64,
     ) -> Workload {
         assert!(addrs >= 1);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
         let queues = nodes
             .iter()
             .map(|_| {
                 (0..ops_per_node)
                     .map(|_| {
-                        let a: Addr = rng.gen_range(0..addrs);
-                        let p: u32 = rng.gen_range(0..100);
+                        let a: Addr = rng.gen_range_u32(addrs);
+                        let p: u32 = rng.gen_range_u32(100);
                         if p < mix.write {
                             CpuOp::Write(a)
                         } else if p < mix.write + mix.evict {
@@ -135,7 +134,7 @@ impl Workload {
                         } else if p < mix.write + mix.evict + mix.flush {
                             CpuOp::Flush(a)
                         } else if p < mix.write + mix.evict + mix.flush + mix.io {
-                            let ioa: Addr = rng.gen_range(0..4);
+                            let ioa: Addr = rng.gen_range_u32(4);
                             if p.is_multiple_of(2) {
                                 CpuOp::IoRead(ioa)
                             } else {
@@ -160,13 +159,8 @@ impl Workload {
 
     /// A named sharing pattern (the classic workload taxonomies used to
     /// exercise coherence protocols).
-    pub fn pattern(
-        nodes: &[NodeId],
-        kind: Pattern,
-        ops_per_node: usize,
-        seed: u64,
-    ) -> Workload {
-        let mut rng = StdRng::seed_from_u64(seed);
+    pub fn pattern(nodes: &[NodeId], kind: Pattern, ops_per_node: usize, seed: u64) -> Workload {
+        let mut rng = SplitMix64::new(seed);
         let n = nodes.len().max(1) as u32;
         let queues = nodes
             .iter()
@@ -283,10 +277,7 @@ mod tests {
     fn patterns_have_expected_shapes() {
         let ns = nodes();
         let hot = Workload::pattern(&ns, Pattern::HotSpot, 20, 1);
-        assert!(hot
-            .queues
-            .iter()
-            .all(|q| q.iter().all(|op| op.addr() == 0)));
+        assert!(hot.queues.iter().all(|q| q.iter().all(|op| op.addr() == 0)));
         let pc = Workload::pattern(&ns, Pattern::ProducerConsumer, 10, 1);
         assert!(pc.queues[0].iter().all(|op| matches!(op, CpuOp::Write(0))));
         assert!(pc.queues[1].iter().all(|op| matches!(op, CpuOp::Read(0))));

@@ -40,8 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     .flat_map(|c| c.channels.iter().map(|s| s.to_string()))
                     .collect();
                 assert!(
-                    channels.contains(&"VC2".to_string())
-                        && channels.contains(&"VC4".to_string()),
+                    channels.contains(&"VC2".to_string()) && channels.contains(&"VC4".to_string()),
                     "V1's cycle is the paper's VC2/VC4 deadlock"
                 );
             }

@@ -27,7 +27,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("\nNine implementation tables:");
     for (name, rel) in &mapping.impl_tables {
-        println!("  {name:<18} {:4} rows x {:2} columns", rel.len(), rel.arity());
+        println!(
+            "  {name:<18} {:4} rows x {:2} columns",
+            rel.len(),
+            rel.arity()
+        );
     }
 
     let check = mapping.check(d)?;

@@ -15,7 +15,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut db = Database::new();
     println!("Snooping MSI protocol — generated controller tables:");
     for (name, rel) in &tables {
-        println!("  {name:<3} {:>3} rows x {} columns", rel.len(), rel.arity());
+        println!(
+            "  {name:<3} {:>3} rows x {} columns",
+            rel.len(),
+            rel.arity()
+        );
         db.put_table(name, rel.clone());
     }
 
@@ -59,7 +63,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         revised = rel;
     }
     let diff = TableDiff::diff(&ba, &revised, &[Sym::intern("req"), Sym::intern("dirty")])?;
-    println!("\nRevision diff of BA (keyed on inputs):\n{}", diff.render(ba.schema()));
+    println!(
+        "\nRevision diff of BA (keyed on inputs):\n{}",
+        diff.render(ba.schema())
+    );
 
     db.put_table("BA", revised);
     let witnesses = db.query(

@@ -32,7 +32,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Step 3: the compact Figure-3 table (readex transaction only).
-    let (fig3, _) = directory::fig3_spec().generate(GenMode::Incremental, &GeneratedProtocol::context())?;
+    let (fig3, _) =
+        directory::fig3_spec().generate(GenMode::Incremental, &GeneratedProtocol::context())?;
     println!("\nFigure 3 — table for the read exclusive transaction:");
     print!("{}", report::ascii_table(&fig3.sorted()));
 

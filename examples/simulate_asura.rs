@@ -58,7 +58,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (op, agg) in sim.latency_report() {
         println!(
             "  {:<12} n={:<5} mean={:<6.1} max={}",
-            op, agg.count, agg.mean(), agg.max
+            op,
+            agg.count,
+            agg.mean(),
+            agg.max
         );
     }
     Ok(())

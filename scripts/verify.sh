@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# Pre-PR gate: the tier-1 build/test pass plus formatting and lint,
+# all fully offline (crates/bench, the only crate with external
+# dependencies, is excluded from the workspace).
+#
+#   sh scripts/verify.sh
+#
+# Every step must pass; the script stops at the first failure.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo test -q --workspace (all crates)"
+cargo test -q --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "verify: all gates passed"

@@ -12,10 +12,13 @@
 //! * [`core`] — table generation, the SQL invariant suite, the
 //!   virtual-channel deadlock analysis, and the hardware mapping;
 //! * [`sim`] — the table-driven multiprocessor simulator;
-//! * [`mc`] — the Murphi-style explicit-state model checker baseline.
+//! * [`mc`] — the Murphi-style explicit-state model checker baseline;
+//! * [`obs`] — the dependency-free tracing/metrics layer shared by all
+//!   of the above (see DESIGN.md § Observability).
 
 pub use ccsql as core;
 pub use ccsql_mc as mc;
+pub use ccsql_obs as obs;
 pub use ccsql_protocol as protocol;
 pub use ccsql_relalg as relalg;
 pub use ccsql_sim as sim;

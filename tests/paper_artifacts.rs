@@ -153,10 +153,7 @@ fn section5_nine_tables_and_reconstruction() {
     assert!(mapping.check(gen.table("D").unwrap()).unwrap().ok());
     // Dfdback participates as an implementation-defined request.
     let inmsg = mapping.ed.schema().index_of_str("inmsg").unwrap();
-    assert!(mapping
-        .ed
-        .rows()
-        .any(|r| r[inmsg].to_string() == "Dfdback"));
+    assert!(mapping.ed.rows().any(|r| r[inmsg].to_string() == "Dfdback"));
 }
 
 #[test]
@@ -199,8 +196,8 @@ fn placement_relaxation_is_load_bearing() {
     // quads distinct) the V0 home-sharing cycles disappear — the
     // relaxation is what finds them.
     let gen = generated();
-    let exact = protocol_dependency_table(gen, &VcAssignment::v0(), &AnalysisConfig::exact_only())
-        .unwrap();
+    let exact =
+        protocol_dependency_table(gen, &VcAssignment::v0(), &AnalysisConfig::exact_only()).unwrap();
     let full =
         protocol_dependency_table(gen, &VcAssignment::v0(), &AnalysisConfig::default()).unwrap();
     let c_exact = Vcg::build(&exact).simple_cycles(1000).len();

@@ -78,13 +78,16 @@ fn revision_removes_the_idone_to_mread_dependency() {
     let base_t = protocol_dependency_table(base(), &v1, &cfg).unwrap();
     let dir_t = protocol_dependency_table(direct(), &v1, &cfg).unwrap();
     let has_r2 = |t: &ccsql_suite::core::depend::DependencyTable| {
-        t.rows.iter().any(|r| {
-            r.input.msg.as_str() == "idone" && r.output.msg.as_str() == "mread"
-        })
+        t.rows
+            .iter()
+            .any(|r| r.input.msg.as_str() == "idone" && r.output.msg.as_str() == "mread")
     };
     assert!(has_r2(&base_t));
     assert!(!has_r2(&dir_t));
-    assert!(!Vcg::build(&dir_t).is_acyclic(), "V1 still cyclic via mwrite");
+    assert!(
+        !Vcg::build(&dir_t).is_acyclic(),
+        "V1 still cyclic via mwrite"
+    );
     let v2_t = protocol_dependency_table(direct(), &VcAssignment::v2(), &cfg).unwrap();
     assert!(Vcg::build(&v2_t).is_acyclic());
 }
@@ -109,19 +112,19 @@ fn revision_shortens_the_modified_readex_walk() {
 
 #[test]
 fn revision_speeds_up_migratory_sharing_dynamically() {
-    let run = |gen: &GeneratedProtocol| {
+    let run = |gen: &GeneratedProtocol, seed: u64| {
         let cfg = SimConfig {
             quads: 2,
             nodes_per_quad: 2,
             vc_capacity: 2,
             dedicated_mem_path: true,
-            schedule: Schedule::Random(5),
+            schedule: Schedule::Random(seed),
             max_steps: 2_000_000,
         };
         let nodes: Vec<NodeId> = (0..2)
             .flat_map(|q| (0..2).map(move |n| NodeId::new(q, n)))
             .collect();
-        let wl = Workload::pattern(&nodes, Pattern::Migratory, 60, 5);
+        let wl = Workload::pattern(&nodes, Pattern::Migratory, 60, seed);
         let mut sim = Sim::new(gen, cfg, wl);
         let out = sim.run().unwrap();
         assert!(matches!(out, Outcome::Quiescent), "{out:?}");
@@ -132,8 +135,22 @@ fn revision_speeds_up_migratory_sharing_dynamically() {
             .fold((0u64, 0u64), |(n, t), (_, a)| (n + a.count, t + a.total));
         (sim.stats.msgs, total as f64 / n as f64)
     };
-    let (msgs_base, lat_base) = run(base());
-    let (msgs_dir, lat_dir) = run(direct());
+    // Average over several schedule/workload seeds: any single seed's
+    // latency comparison is noise-dominated (the schedule shuffle can
+    // mask the saved memory round trip).
+    let seeds = [1u64, 2, 3, 5, 8];
+    let mut msgs_base = 0u64;
+    let mut msgs_dir = 0u64;
+    let mut lat_base = 0.0f64;
+    let mut lat_dir = 0.0f64;
+    for &s in &seeds {
+        let (m, l) = run(base(), s);
+        msgs_base += m;
+        lat_base += l;
+        let (m, l) = run(direct(), s);
+        msgs_dir += m;
+        lat_dir += l;
+    }
     // Fewer messages for ownership migration (no mread/data round trip).
     assert!(
         msgs_dir < msgs_base,
