@@ -6,10 +6,11 @@
 //! ```text
 //! ccsql gen [--table NAME] [--format ascii|csv|md] [--stats]
 //! ccsql check [--liveness]
-//! ccsql deadlock [--assignment v0|v1|v2] [--exact-only] [--closure]
+//! ccsql deadlock [--assignment v0|v1|v2] [--exact-only] [--closure] [--threads N]
 //! ccsql map [--emit verilog|rust] [--table NAME]
 //! ccsql sim [--seed N] [--quads N] [--nodes N] [--ops N] [--shared-vc4]
-//! ccsql mc [--nodes N] [--quota N] [--resp-depth N] [--budget N]
+//! ccsql mc [--nodes N] [--quota N] [--resp-depth N] [--budget N] [--threads N]
+//! ccsql bench [--threads N] [--quick] [--out DIR]
 //! ccsql fig4 [--fixed]
 //! ccsql query "SELECT …"
 //! ccsql solve FILE.ccsql [--format ascii|csv|md]
@@ -34,10 +35,11 @@ use ccsql::liveness::BusyGraph;
 use ccsql::report::deadlock_report;
 use ccsql::vc::VcAssignment;
 use ccsql::{codegen, invariants};
-use ccsql_mc::{explore, McOutcome, Model};
+use ccsql_mc::{explore_threads, McOutcome, McStats, Model};
 use ccsql_protocol::states;
 use ccsql_protocol::topology::NodeId;
 use ccsql_relalg::report;
+use ccsql_relalg::GenMode;
 use ccsql_sim::{Fig4, Mix, Outcome, Schedule, Sim, SimConfig, Workload};
 use std::fmt::Write as _;
 
@@ -50,10 +52,11 @@ USAGE:
 
     ccsql gen      [--table NAME] [--format ascii|csv|md] [--stats]
     ccsql check    [--liveness]
-    ccsql deadlock [--assignment v0|v1|v2] [--exact-only] [--closure]
+    ccsql deadlock [--assignment v0|v1|v2] [--exact-only] [--closure] [--threads N]
     ccsql map      [--emit verilog|rust] [--table NAME]
     ccsql sim      [--seed N] [--quads N] [--nodes N] [--ops N] [--shared-vc4]
-    ccsql mc       [--nodes N] [--quota N] [--resp-depth N] [--budget N]
+    ccsql mc       [--nodes N] [--quota N] [--resp-depth N] [--budget N] [--threads N]
+    ccsql bench    [--threads N] [--quick] [--out DIR]
     ccsql fig4     [--fixed]
     ccsql query    \"SELECT ... FROM D ...\"
     ccsql solve    FILE.ccsql [--format ascii|csv|md]
@@ -64,6 +67,11 @@ USAGE:
 GLOBAL FLAGS (accepted anywhere):
     --metrics=FILE.jsonl  record stage metrics and export them as JSON lines
     --trace[=N]           also record structured events (ring capacity N, default 4096)
+
+THREADS:
+    --threads N  worker threads for the parallel BFS (mc), the dependency
+                 closure (deadlock) and bench; default: available parallelism.
+                 Results are byte-identical for every thread count.
 ";
 
 /// Parsed `--flag value` options.
@@ -159,6 +167,7 @@ fn dispatch(args: &[String]) -> Result<String, String> {
         "map" => cmd_map(&opts),
         "sim" => cmd_sim(&opts),
         "mc" => cmd_mc(&opts),
+        "bench" => cmd_bench(&opts),
         "fig4" => cmd_fig4(&opts),
         "query" => cmd_query(&opts),
         "solve" => cmd_solve(&opts),
@@ -265,6 +274,7 @@ fn cmd_deadlock(opts: &Opts) -> Result<String, String> {
         AnalysisConfig::default()
     };
     cfg.transitive_closure = opts.flag("--closure");
+    cfg.threads = opts.num("--threads", default_threads() as u64)? as usize;
     let deps = protocol_dependency_table(&gen, &v, &cfg).map_err(|e| e.to_string())?;
     let rep = deadlock_report(&gen, v.name, &deps);
     let rendered = rep.render();
@@ -374,11 +384,19 @@ fn cmd_sim(opts: &Opts) -> Result<String, String> {
     }
 }
 
+/// Default worker count: the machine's available parallelism.
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
 fn cmd_mc(opts: &Opts) -> Result<String, String> {
     let nodes = opts.num("--nodes", 2)? as usize;
     let quota = opts.num("--quota", 1)? as u8;
     let resp_depth = opts.num("--resp-depth", 2)? as usize;
     let budget = opts.num("--budget", 1_000_000)? as usize;
+    let threads = opts.num("--threads", default_threads() as u64)? as usize;
     if !(2..=4).contains(&nodes) {
         return Err("nodes must be 2..=4".into());
     }
@@ -390,16 +408,18 @@ fn cmd_mc(opts: &Opts) -> Result<String, String> {
         quota,
         resp_depth,
     };
-    let (out, stats) = explore(&m, budget);
+    let (out, stats) = explore_threads(&m, budget, threads);
     let mut text = String::new();
     writeln!(
         text,
-        "{} distinct states, {} transitions ({} dedup hits), depth {}, frontier peak {}, {:?}",
+        "{} distinct states, {} transitions ({} dedup hits), depth {}, frontier peak {}, \
+         {} thread(s), {:?}",
         stats.states,
         stats.transitions,
         stats.dedup_hits,
         stats.depth,
         stats.frontier_peak,
+        stats.threads,
         stats.elapsed
     )
     .unwrap();
@@ -410,10 +430,16 @@ fn cmd_mc(opts: &Opts) -> Result<String, String> {
         }
         McOutcome::Violation(prop) => {
             writeln!(text, "VIOLATION: {prop}").unwrap();
+            if let Some(w) = &stats.witness {
+                writeln!(text, "witness: {w:?}").unwrap();
+            }
             Err(text)
         }
         McOutcome::Stuck => {
             writeln!(text, "stuck non-quiescent state reached").unwrap();
+            if let Some(w) = &stats.witness {
+                writeln!(text, "witness: {w:?}").unwrap();
+            }
             Err(text)
         }
         McOutcome::BudgetExceeded => {
@@ -421,6 +447,254 @@ fn cmd_mc(opts: &Opts) -> Result<String, String> {
             Err(text)
         }
     }
+}
+
+/// `ccsql bench` — run the three parallel stages (mc BFS, dependency
+/// closure, constraint solver) at 1 thread and at `--threads N`, verify
+/// that the N-thread results are identical to the sequential ones, and
+/// write machine-readable reports to `BENCH_mc.json` /
+/// `BENCH_depend.json`.
+///
+/// The stdout summary contains only deterministic fields (no timings),
+/// so two runs at any thread counts print byte-identical text; timings
+/// and throughput live in the JSON files. Any 1-thread/N-thread
+/// mismatch is an error.
+fn cmd_bench(opts: &Opts) -> Result<String, String> {
+    let threads = opts.num("--threads", default_threads() as u64)? as usize;
+    let quick = opts.flag("--quick");
+    let out_dir = opts.value("--out").unwrap_or(".");
+    let hardware = default_threads();
+    let mut text = String::new();
+    let mut identical = true;
+
+    // ---- Leg 1: model-checker BFS ------------------------------------
+    // Quick: the full nodes=4/quota=1 space (~7k states). Full: the
+    // first 400k states of the nodes=4/quota=2 space (~2.25M total) —
+    // a deterministic budget cutoff, so throughput dominates runtime.
+    let (m, budget) = if quick {
+        (
+            Model {
+                nodes: 4,
+                quota: 1,
+                resp_depth: 2,
+            },
+            10_000,
+        )
+    } else {
+        (
+            Model {
+                nodes: 4,
+                quota: 2,
+                resp_depth: 2,
+            },
+            400_000,
+        )
+    };
+    let (out1, st1) = explore_threads(&m, budget, 1);
+    let (out_n, st_n) = explore_threads(&m, budget, threads);
+    let mc_same = out1 == out_n
+        && st1.states == st_n.states
+        && st1.transitions == st_n.transitions
+        && st1.dedup_hits == st_n.dedup_hits
+        && st1.depth == st_n.depth
+        && st1.levels == st_n.levels
+        && st1.frontier_peak == st_n.frontier_peak
+        && st1.witness == st_n.witness;
+    identical &= mc_same;
+    writeln!(
+        text,
+        "bench mc: nodes={} quota={} budget={budget} threads={threads} outcome={out1:?} \
+         states={} transitions={} depth={} identical={mc_same}",
+        m.nodes, m.quota, st1.states, st1.transitions, st1.depth
+    )
+    .unwrap();
+    let mc_json = bench_mc_json(&m, budget, threads, hardware, &out1, &st1, &st_n, mc_same);
+    let mc_path = format!("{out_dir}/BENCH_mc.json");
+    std::fs::write(&mc_path, mc_json).map_err(|e| format!("cannot write {mc_path}: {e}"))?;
+
+    // ---- Leg 2: dependency closure -----------------------------------
+    // V1 with the transitive closure (the heaviest configuration the
+    // paper discusses) for the full run; the single pairwise pass for
+    // --quick.
+    let gen = generate()?;
+    let v = VcAssignment::v1();
+    let mut cfg = AnalysisConfig {
+        transitive_closure: !quick,
+        threads: 1,
+        ..AnalysisConfig::default()
+    };
+    let t0 = std::time::Instant::now();
+    let dep1 = protocol_dependency_table(&gen, &v, &cfg).map_err(|e| e.to_string())?;
+    let dep_secs_1 = t0.elapsed().as_secs_f64();
+    cfg.threads = threads;
+    let t0 = std::time::Instant::now();
+    let dep_n = protocol_dependency_table(&gen, &v, &cfg).map_err(|e| e.to_string())?;
+    let dep_secs_n = t0.elapsed().as_secs_f64();
+    let dep_same = dep1.rows.len() == dep_n.rows.len()
+        && dep1
+            .rows
+            .iter()
+            .zip(&dep_n.rows)
+            .all(|(a, b)| format!("{a:?}") == format!("{b:?}"));
+    identical &= dep_same;
+    writeln!(
+        text,
+        "bench depend: assignment={} closure={} threads={threads} rows={} identical={dep_same}",
+        v.name,
+        cfg.transitive_closure,
+        dep1.rows.len()
+    )
+    .unwrap();
+
+    // ---- Leg 3: constraint solver ------------------------------------
+    let t0 = std::time::Instant::now();
+    let gen1 = GeneratedProtocol::generate(GenMode::Incremental).map_err(|e| e.to_string())?;
+    let solve_secs_1 = t0.elapsed().as_secs_f64();
+    let t0 = std::time::Instant::now();
+    let gen_n = GeneratedProtocol::generate(GenMode::IncrementalParallel { threads })
+        .map_err(|e| e.to_string())?;
+    let solve_secs_n = t0.elapsed().as_secs_f64();
+    let mut solver_same = true;
+    let mut solver_rows = 0usize;
+    for c in &gen1.spec.controllers {
+        let a = gen1.table(c.name).map_err(|e| e.to_string())?;
+        let b = gen_n.table(c.name).map_err(|e| e.to_string())?;
+        solver_rows += a.len();
+        solver_same &= a.len() == b.len() && a.set_eq(b);
+    }
+    identical &= solver_same;
+    writeln!(
+        text,
+        "bench solver: mode=incremental threads={threads} tables={} rows={solver_rows} \
+         identical={solver_same}",
+        gen1.spec.controllers.len()
+    )
+    .unwrap();
+
+    let dep_json = bench_depend_json(BenchDepend {
+        assignment: v.name,
+        closure: cfg.transitive_closure,
+        threads,
+        hardware,
+        rows: dep1.rows.len(),
+        secs_1: dep_secs_1,
+        secs_n: dep_secs_n,
+        identical: dep_same,
+        solver_rows,
+        solve_secs_1,
+        solve_secs_n,
+        solver_identical: solver_same,
+    });
+    let dep_path = format!("{out_dir}/BENCH_depend.json");
+    std::fs::write(&dep_path, dep_json).map_err(|e| format!("cannot write {dep_path}: {e}"))?;
+
+    writeln!(text, "wrote BENCH_mc.json, BENCH_depend.json").unwrap();
+    if identical {
+        Ok(text)
+    } else {
+        Err(format!(
+            "{text}NONDETERMINISM: 1-thread and {threads}-thread results differ"
+        ))
+    }
+}
+
+/// Guarded ratio (0 when the denominator is zero).
+fn per_sec(count: f64, secs: f64) -> f64 {
+    if secs > 0.0 {
+        count / secs
+    } else {
+        0.0
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn bench_mc_json(
+    m: &Model,
+    budget: usize,
+    threads: usize,
+    hardware: usize,
+    outcome: &McOutcome,
+    st1: &McStats,
+    st_n: &McStats,
+    identical: bool,
+) -> String {
+    let s1 = st1.elapsed.as_secs_f64();
+    let sn = st_n.elapsed.as_secs_f64();
+    ccsql_obs::json::JsonObj::new()
+        .str("bench", "mc")
+        .u64("nodes", m.nodes as u64)
+        .u64("quota", m.quota as u64)
+        .u64("budget", budget as u64)
+        .u64("threads", threads as u64)
+        .u64("hardware_threads", hardware as u64)
+        .str("outcome", &format!("{outcome:?}"))
+        .u64("states", st1.states as u64)
+        .u64("transitions", st1.transitions)
+        .u64("depth", st1.depth as u64)
+        .u64("levels", st1.levels as u64)
+        .f64("secs_1t", s1)
+        .f64("secs_nt", sn)
+        .f64("states_per_sec_1t", per_sec(st1.states as f64, s1))
+        .f64("states_per_sec_nt", per_sec(st_n.states as f64, sn))
+        .f64("speedup", per_sec(s1, sn))
+        .raw("identical", if identical { "true" } else { "false" })
+        .finish()
+}
+
+/// Inputs of [`bench_depend_json`] (closure + solver legs share a file).
+struct BenchDepend {
+    assignment: &'static str,
+    closure: bool,
+    threads: usize,
+    hardware: usize,
+    rows: usize,
+    secs_1: f64,
+    secs_n: f64,
+    identical: bool,
+    solver_rows: usize,
+    solve_secs_1: f64,
+    solve_secs_n: f64,
+    solver_identical: bool,
+}
+
+fn bench_depend_json(b: BenchDepend) -> String {
+    let solver = ccsql_obs::json::JsonObj::new()
+        .str("mode", "incremental")
+        .u64("rows", b.solver_rows as u64)
+        .f64("secs_1t", b.solve_secs_1)
+        .f64("secs_nt", b.solve_secs_n)
+        .f64(
+            "rows_per_sec_1t",
+            per_sec(b.solver_rows as f64, b.solve_secs_1),
+        )
+        .f64(
+            "rows_per_sec_nt",
+            per_sec(b.solver_rows as f64, b.solve_secs_n),
+        )
+        .f64("speedup", per_sec(b.solve_secs_1, b.solve_secs_n))
+        .raw(
+            "identical",
+            if b.solver_identical { "true" } else { "false" },
+        )
+        .finish();
+    ccsql_obs::json::JsonObj::new()
+        .str("bench", "depend")
+        .str("assignment", b.assignment)
+        .raw(
+            "transitive_closure",
+            if b.closure { "true" } else { "false" },
+        )
+        .u64("threads", b.threads as u64)
+        .u64("hardware_threads", b.hardware as u64)
+        .u64("rows", b.rows as u64)
+        .f64("secs_1t", b.secs_1)
+        .f64("secs_nt", b.secs_n)
+        .f64("rows_per_sec_1t", per_sec(b.rows as f64, b.secs_1))
+        .f64("rows_per_sec_nt", per_sec(b.rows as f64, b.secs_n))
+        .f64("speedup", per_sec(b.secs_1, b.secs_n))
+        .raw("identical", if b.identical { "true" } else { "false" })
+        .raw("solver", &solver)
+        .finish()
 }
 
 /// `ccsql stats [<command> …]` — run a command (or, with no arguments,
@@ -723,6 +997,139 @@ mod tests {
         assert!(out.contains("=== metrics ==="), "{out}");
         assert!(out.contains("mc.states"), "{out}");
         assert!(out.contains("mc.states_per_sec"), "{out}");
+    }
+
+    /// Minimal JSON validator: checks the whole document is one
+    /// well-formed value (the bench reports must stay machine-readable).
+    mod json_check {
+        pub fn parse(s: &str) -> Result<(), String> {
+            let b = s.as_bytes();
+            let i = value(b, ws(b, 0))?;
+            if ws(b, i) == b.len() {
+                Ok(())
+            } else {
+                Err(format!("trailing bytes at {i}"))
+            }
+        }
+        fn ws(b: &[u8], mut i: usize) -> usize {
+            while i < b.len() && b[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            i
+        }
+        fn value(b: &[u8], i: usize) -> Result<usize, String> {
+            match b.get(i) {
+                Some(b'{') => composite(b, i, b'}', true),
+                Some(b'[') => composite(b, i, b']', false),
+                Some(b'"') => string(b, i),
+                Some(b't') => literal(b, i, "true"),
+                Some(b'f') => literal(b, i, "false"),
+                Some(b'n') => literal(b, i, "null"),
+                Some(_) => number(b, i),
+                None => Err("unexpected end of input".into()),
+            }
+        }
+        fn composite(b: &[u8], i: usize, close: u8, keyed: bool) -> Result<usize, String> {
+            let mut i = ws(b, i + 1);
+            if b.get(i) == Some(&close) {
+                return Ok(i + 1);
+            }
+            loop {
+                if keyed {
+                    i = ws(b, string(b, i)?);
+                    if b.get(i) != Some(&b':') {
+                        return Err(format!("expected ':' at {i}"));
+                    }
+                    i += 1;
+                }
+                i = ws(b, value(b, ws(b, i))?);
+                match b.get(i) {
+                    Some(b',') => i = ws(b, i + 1),
+                    Some(&c) if c == close => return Ok(i + 1),
+                    _ => return Err(format!("expected ',' or close at {i}")),
+                }
+            }
+        }
+        fn string(b: &[u8], i: usize) -> Result<usize, String> {
+            if b.get(i) != Some(&b'"') {
+                return Err(format!("expected string at {i}"));
+            }
+            let mut i = i + 1;
+            while let Some(&c) = b.get(i) {
+                match c {
+                    b'"' => return Ok(i + 1),
+                    b'\\' => i += 2,
+                    _ => i += 1,
+                }
+            }
+            Err("unterminated string".into())
+        }
+        fn literal(b: &[u8], i: usize, lit: &str) -> Result<usize, String> {
+            if b[i..].starts_with(lit.as_bytes()) {
+                Ok(i + lit.len())
+            } else {
+                Err(format!("bad literal at {i}"))
+            }
+        }
+        fn number(b: &[u8], i: usize) -> Result<usize, String> {
+            let start = i;
+            let mut i = i;
+            while i < b.len() && matches!(b[i], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E') {
+                i += 1;
+            }
+            if i == start {
+                return Err(format!("expected a value at {i}"));
+            }
+            std::str::from_utf8(&b[start..i])
+                .ok()
+                .and_then(|t| t.parse::<f64>().ok())
+                .map(|_| i)
+                .ok_or_else(|| format!("bad number at {start}"))
+        }
+    }
+
+    #[test]
+    fn bench_quick_emits_parseable_json_and_stable_stdout() {
+        let dir = std::env::temp_dir().join("ccsql_bench_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let dir_s = dir.display().to_string();
+        let args: Vec<String> = ["bench", "--quick", "--threads", "2", "--out", &dir_s]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let out1 = run(&args).unwrap();
+        assert!(out1.contains("bench mc:"), "{out1}");
+        assert!(out1.contains("bench depend:"), "{out1}");
+        assert!(out1.contains("bench solver:"), "{out1}");
+        assert!(!out1.contains("identical=false"), "{out1}");
+        let mc = std::fs::read_to_string(dir.join("BENCH_mc.json")).unwrap();
+        json_check::parse(&mc).unwrap_or_else(|e| panic!("BENCH_mc.json: {e}\n{mc}"));
+        for key in [
+            "\"hardware_threads\"",
+            "\"states_per_sec_nt\"",
+            "\"speedup\"",
+        ] {
+            assert!(mc.contains(key), "{mc}");
+        }
+        let dep = std::fs::read_to_string(dir.join("BENCH_depend.json")).unwrap();
+        json_check::parse(&dep).unwrap_or_else(|e| panic!("BENCH_depend.json: {e}\n{dep}"));
+        for key in ["\"rows_per_sec_nt\"", "\"solver\"", "\"identical\""] {
+            assert!(dep.contains(key), "{dep}");
+        }
+        // The summary carries no timings, so a second run must print
+        // byte-identical text — the CI nondeterminism gate relies on it.
+        let out2 = run(&args).unwrap();
+        assert_eq!(out1, out2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mc_and_deadlock_accept_threads() {
+        let out = run(&argv("mc --nodes 2 --quota 1 --threads 2")).unwrap();
+        assert!(out.contains("2 thread(s)"), "{out}");
+        assert!(run(&argv("mc --threads abc")).is_err());
+        let ok = run(&argv("deadlock --assignment v2 --threads 2")).unwrap();
+        assert!(ok.contains("absence of deadlocks"));
     }
 
     #[test]

@@ -22,10 +22,12 @@
 
 use crate::gen::GeneratedProtocol;
 use crate::vc::VcAssignment;
+use ccsql_obs::hash::FxHashMap;
 use ccsql_protocol::topology::{QuadPlacement, Role, PLACEMENTS};
 use ccsql_protocol::ControllerSpec;
 use ccsql_relalg::{Relation, Sym, Value};
 use std::collections::HashMap;
+use std::ops::Range;
 
 /// A virtual-channel assignment instance: message `msg` travelling from
 /// `src` to `dest` over channel `vc`. Roles are already canonicalised
@@ -109,6 +111,12 @@ pub struct AnalysisConfig {
     /// paper abandoned: "we abandoned this due to the excessive number
     /// of spurious cycles"). `false` = single pairwise pass.
     pub transitive_closure: bool,
+    /// Worker threads for the direct-row generation and the candidate
+    /// join of each composition round (`<= 1` = sequential). The result
+    /// is byte-identical for every thread count: workers own contiguous
+    /// chunks and their outputs are merged in chunk order, reproducing
+    /// the sequential row order exactly.
+    pub threads: usize,
 }
 
 impl Default for AnalysisConfig {
@@ -118,6 +126,7 @@ impl Default for AnalysisConfig {
             compose: true,
             ignore_messages: true,
             transitive_closure: false,
+            threads: 1,
         }
     }
 }
@@ -131,8 +140,40 @@ impl AnalysisConfig {
             compose: true,
             ignore_messages: false,
             transitive_closure: false,
+            threads: 1,
         }
     }
+
+    /// The same configuration with `threads` workers.
+    pub fn with_threads(mut self, threads: usize) -> AnalysisConfig {
+        self.threads = threads;
+        self
+    }
+}
+
+/// Run `run` over `0..n` split into at most `threads` contiguous
+/// chunks on scoped threads; chunk outputs come back in chunk order,
+/// so concatenating them reproduces the sequential iteration order.
+fn par_chunks<R: Send>(n: usize, threads: usize, run: impl Fn(Range<usize>) -> R + Sync) -> Vec<R> {
+    let workers = threads.max(1).min(n.max(1));
+    if workers <= 1 {
+        return vec![run(0..n)];
+    }
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let lo = w * chunk;
+                let hi = ((w + 1) * chunk).min(n);
+                let run = &run;
+                s.spawn(move || run(lo..hi))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("depend worker panicked"))
+            .collect()
+    })
 }
 
 /// Extract the individual controller dependency table of one controller
@@ -211,7 +252,7 @@ pub fn protocol_dependency_table(
 ) -> ccsql_relalg::Result<DependencyTable> {
     let _span = ccsql_obs::span("depend", "build");
     let mut rows: Vec<DepRow> = Vec::new();
-    let mut seen: HashMap<(Assignment, Assignment, u8), usize> = HashMap::new();
+    let mut seen: FxHashMap<(Assignment, Assignment, u8), usize> = FxHashMap::default();
     let mut dedup_hits: u64 = 0;
     let placement_id = |p: QuadPlacement| PLACEMENTS.iter().position(|&q| q == p).unwrap() as u8;
 
@@ -227,12 +268,26 @@ pub fn protocol_dependency_table(
         }
     };
 
-    // Individual controller dependency tables, per placement.
+    // Individual controller dependency tables: one work unit per
+    // (placement, controller) pair, generated in parallel and merged in
+    // unit order (placement-major), i.e. the sequential order.
+    let mut units: Vec<(QuadPlacement, &ControllerSpec, &Relation)> = Vec::new();
+    for &placement in &cfg.placements {
+        for ctrl in &gen.spec.controllers {
+            units.push((placement, ctrl, gen.table(ctrl.name)?));
+        }
+    }
+    let unit_rows: Vec<Vec<Vec<DepRow>>> = par_chunks(units.len(), cfg.threads, |range| {
+        units[range]
+            .iter()
+            .map(|&(p, ctrl, table)| controller_dependency_rows(ctrl, table, v, p))
+            .collect()
+    });
+    let mut generated = unit_rows.into_iter().flatten();
     for &placement in &cfg.placements {
         let before = rows.len();
-        for ctrl in &gen.spec.controllers {
-            let table = gen.table(ctrl.name)?;
-            for r in controller_dependency_rows(ctrl, table, v, placement) {
+        for _ in &gen.spec.controllers {
+            for r in generated.next().expect("one output per unit") {
                 if !push(&mut rows, r) {
                     dedup_hits += 1;
                 }
@@ -252,7 +307,7 @@ pub fn protocol_dependency_table(
     let direct = rows.len();
 
     if !cfg.compose {
-        record_depend_metrics(direct, rows.len(), dedup_hits);
+        record_depend_metrics(direct, rows.len(), dedup_hits, cfg.threads);
         return Ok(DependencyTable { rows });
     }
 
@@ -263,8 +318,9 @@ pub fn protocol_dependency_table(
         modes.push(MatchMode::IgnoreMessages);
     }
     loop {
-        // Index current rows by (placement, input key).
-        let mut index: HashMap<(u8, Key), Vec<usize>> = HashMap::new();
+        // Index current rows by (placement, input key) — the build side
+        // of the hash join.
+        let mut index: FxHashMap<(u8, Key), Vec<usize>> = FxHashMap::default();
         for (i, r) in rows.iter().enumerate() {
             for &mode in &modes {
                 index
@@ -273,29 +329,37 @@ pub fn protocol_dependency_table(
                     .push(i);
             }
         }
-        let mut new_rows: Vec<DepRow> = Vec::new();
-        for (li, left) in rows.iter().enumerate() {
-            for &mode in &modes {
-                let key = (placement_id(left.placement), match_key(&left.output, mode));
-                if let Some(cands) = index.get(&key) {
-                    for &ri in cands {
-                        let right = &rows[ri];
-                        new_rows.push(DepRow {
-                            input: left.input,
-                            output: right.output,
-                            placement: left.placement,
-                            provenance: Provenance::Composed {
-                                left: li,
-                                right: ri,
-                                mode,
-                            },
-                        });
+        // Probe side, partitioned by left row across workers. Each
+        // worker owns a contiguous chunk of left rows and emits its
+        // candidates in (left, mode, right) order, so concatenating the
+        // chunks reproduces the sequential candidate order exactly.
+        let candidate_chunks: Vec<Vec<DepRow>> = par_chunks(rows.len(), cfg.threads, |range| {
+            let mut out: Vec<DepRow> = Vec::new();
+            for li in range {
+                let left = &rows[li];
+                for &mode in &modes {
+                    let key = (placement_id(left.placement), match_key(&left.output, mode));
+                    if let Some(cands) = index.get(&key) {
+                        for &ri in cands {
+                            out.push(DepRow {
+                                input: left.input,
+                                output: rows[ri].output,
+                                placement: left.placement,
+                                provenance: Provenance::Composed {
+                                    left: li,
+                                    right: ri,
+                                    mode,
+                                },
+                            });
+                        }
                     }
                 }
             }
-        }
+            out
+        });
+        // Round barrier: merge + dedup sequentially, in chunk order.
         let mut added = false;
-        for r in new_rows {
+        for r in candidate_chunks.into_iter().flatten() {
             if push(&mut rows, r) {
                 added = true;
             } else {
@@ -306,13 +370,13 @@ pub fn protocol_dependency_table(
             break;
         }
     }
-    record_depend_metrics(direct, rows.len(), dedup_hits);
+    record_depend_metrics(direct, rows.len(), dedup_hits, cfg.threads);
     Ok(DependencyTable { rows })
 }
 
 /// Record one dependency-table construction into the global `ccsql_obs`
 /// registry (no-op when metrics are disabled).
-fn record_depend_metrics(direct: usize, total: usize, dedup_hits: u64) {
+fn record_depend_metrics(direct: usize, total: usize, dedup_hits: u64, threads: usize) {
     if !ccsql_obs::enabled() {
         return;
     }
@@ -322,6 +386,7 @@ fn record_depend_metrics(direct: usize, total: usize, dedup_hits: u64) {
     reg.counter("depend.rows_composed")
         .add(total.saturating_sub(direct) as u64);
     reg.counter("depend.dedup_hits").add(dedup_hits);
+    reg.gauge("depend.threads").set(threads.max(1) as f64);
 }
 
 impl DependencyTable {
@@ -516,6 +581,35 @@ mod tests {
         )
         .unwrap();
         assert!(closure.rows.len() >= single.rows.len());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_table() {
+        // Parallel generation + composition must be byte-identical to
+        // sequential: same rows, same order, same provenance — not just
+        // the same set.
+        let g = generated();
+        let base = AnalysisConfig {
+            transitive_closure: true,
+            ..AnalysisConfig::default()
+        };
+        let seq = protocol_dependency_table(g, &VcAssignment::v1(), &base).unwrap();
+        for threads in [2, 4, 8] {
+            let par = protocol_dependency_table(
+                g,
+                &VcAssignment::v1(),
+                &base.clone().with_threads(threads),
+            )
+            .unwrap();
+            assert_eq!(seq.rows.len(), par.rows.len(), "{threads} threads");
+            for (i, (a, b)) in seq.rows.iter().zip(&par.rows).enumerate() {
+                assert_eq!(
+                    (a.input, a.output, a.placement, a.provenance),
+                    (b.input, b.output, b.placement, b.provenance),
+                    "row {i} differs at {threads} threads"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,8 +1,39 @@
-//! Breadth-first explicit-state exploration (the Murphi-style engine).
+//! Breadth-first explicit-state exploration (the Murphi-style engine),
+//! parallelised level-synchronously.
+//!
+//! The exploration proceeds in BFS *levels*. All distinct states live in
+//! a single append-only arena in discovery order; a level is a
+//! contiguous range of arena indices, so the frontier is two integers
+//! and no state is ever cloned on the hot path (it is moved into the
+//! arena once and referenced by index afterwards).
+//!
+//! Each level runs in two phases:
+//!
+//! 1. **Scan (parallel)** — the level range is split into one
+//!    contiguous chunk per worker (`std::thread::scope`, the same
+//!    pattern as the relalg solver). Workers check safety properties,
+//!    generate successors, fingerprint them with the fast
+//!    [`ccsql_obs::hash`] hasher and probe the *read-only* visited set;
+//!    survivors are collected per worker in discovery order together
+//!    with per-worker transition/dedup counters.
+//! 2. **Merge (sequential)** — worker outputs are folded in chunk
+//!    order, which is exactly the order a 1-thread scan would have
+//!    produced. New states are deduplicated across workers and appended
+//!    to the arena; the state budget is enforced here, one state at a
+//!    time.
+//!
+//! Because the merge is order-deterministic, a run with N workers is
+//! **byte-identical** to a run with 1 worker: same outcome, same state
+//! count, same counters, and — via the rule that the *lowest
+//! (depth, BFS-order) event wins* — the same violation witness. The
+//! visited set is sharded by fingerprint high bits so the merge touches
+//! small tables and a future parallel merge can take one shard per
+//! worker without changing the observable order.
 
 use crate::model::Model;
 use crate::state::State;
-use std::collections::{HashSet, VecDeque};
+use ccsql_obs::hash::{fx_hash_one, FxBuildHasher, FxHashMap};
+use std::ops::Range;
 use std::time::{Duration, Instant};
 
 /// Why the exploration stopped.
@@ -28,66 +59,285 @@ pub struct McStats {
     pub transitions: u64,
     /// Transitions whose target state had already been seen.
     pub dedup_hits: u64,
-    /// Largest frontier (BFS queue) observed.
+    /// Largest BFS level observed.
     pub frontier_peak: usize,
     /// Maximum BFS depth reached.
     pub depth: usize,
+    /// BFS levels processed.
+    pub levels: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// The violating (or stuck) state, when the outcome is
+    /// [`McOutcome::Violation`] or [`McOutcome::Stuck`] — identical for
+    /// every thread count by the lowest-(depth, BFS-order) rule.
+    pub witness: Option<State>,
     /// Wall-clock time.
     pub elapsed: Duration,
 }
 
-/// Explore the model's state space up to `budget` distinct states.
-pub fn explore(model: &Model, budget: usize) -> (McOutcome, McStats) {
-    let start = Instant::now();
-    let init = model.initial();
-    let mut seen: HashSet<State> = HashSet::new();
-    let mut frontier: VecDeque<(State, usize)> = VecDeque::new();
-    seen.insert(init.clone());
-    frontier.push_back((init, 0));
-    let mut transitions = 0u64;
-    let mut dedup_hits = 0u64;
-    let mut frontier_peak = 1usize;
-    let mut depth = 0usize;
+/// Number of visited-set shards (fingerprint high bits).
+const SHARD_BITS: u32 = 6;
+const N_SHARDS: usize = 1 << SHARD_BITS;
 
-    macro_rules! finish {
-        ($outcome:expr) => {{
-            let stats = McStats {
-                states: seen.len(),
-                transitions,
-                dedup_hits,
-                frontier_peak,
-                depth,
-                elapsed: start.elapsed(),
-            };
-            record_mc_metrics(&stats);
-            return ($outcome, stats);
-        }};
+/// Below this level width the scan runs inline: spawning workers costs
+/// more than the level.
+const PAR_MIN_LEVEL: usize = 128;
+
+/// Cap on the up-front arena reservation (states), so a huge `--budget`
+/// does not commit gigabytes before the first state is explored.
+const RESERVE_CAP: usize = 1 << 18;
+
+/// The visited set: all distinct states in BFS discovery order plus a
+/// sharded fingerprint index. `map` holds the first arena index per
+/// fingerprint; genuine 64-bit collisions (different states, same
+/// fingerprint) overflow into a per-shard list that stays empty in
+/// practice but keeps the checker exact.
+struct Visited {
+    arena: Vec<State>,
+    shards: Vec<Shard>,
+}
+
+#[derive(Default)]
+struct Shard {
+    map: FxHashMap<u64, u32>,
+    overflow: Vec<(u64, u32)>,
+}
+
+#[inline]
+fn shard_of(fp: u64) -> usize {
+    (fp >> (64 - SHARD_BITS)) as usize
+}
+
+impl Visited {
+    fn with_capacity(cap: usize) -> Visited {
+        let per_shard = cap / N_SHARDS + 1;
+        Visited {
+            arena: Vec::with_capacity(cap),
+            shards: (0..N_SHARDS)
+                .map(|_| Shard {
+                    map: FxHashMap::with_capacity_and_hasher(per_shard, FxBuildHasher),
+                    overflow: Vec::new(),
+                })
+                .collect(),
+        }
     }
 
-    while let Some((s, d)) = frontier.pop_front() {
-        depth = depth.max(d);
-        if let Some(prop) = model.check(&s) {
-            finish!(McOutcome::Violation(prop));
+    fn len(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// Read-only membership probe (safe to call from many workers).
+    fn contains(&self, fp: u64, st: &State) -> bool {
+        let shard = &self.shards[shard_of(fp)];
+        match shard.map.get(&fp) {
+            Some(&i) if self.arena[i as usize] == *st => true,
+            Some(_) => shard
+                .overflow
+                .iter()
+                .any(|&(f, i)| f == fp && self.arena[i as usize] == *st),
+            None => false,
         }
-        let succ = model.successors(&s);
+    }
+
+    /// Move `st` into the arena unless already present; returns whether
+    /// it was new.
+    fn insert(&mut self, fp: u64, st: State) -> bool {
+        if self.contains(fp, &st) {
+            return false;
+        }
+        let idx = self.arena.len() as u32;
+        let shard = &mut self.shards[shard_of(fp)];
+        match shard.map.entry(fp) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(idx);
+            }
+            std::collections::hash_map::Entry::Occupied(_) => {
+                // Same fingerprint, different state: exact fallback.
+                shard.overflow.push((fp, idx));
+            }
+        }
+        self.arena.push(st);
+        true
+    }
+}
+
+/// A property violation or stuck state found while scanning a level,
+/// keyed by arena index for the lowest-BFS-order-wins rule.
+#[derive(Clone, Copy)]
+enum LevelEvent {
+    Violation(&'static str),
+    Stuck,
+}
+
+/// Per-worker scan output for one chunk of a level.
+struct ChunkOut {
+    /// Fingerprinted candidate successors, in discovery order. May
+    /// still contain states another worker also found this level; the
+    /// merge resolves those.
+    cands: Vec<(u64, State)>,
+    transitions: u64,
+    dedup_hits: u64,
+    /// Lowest-index event in this chunk, if any.
+    event: Option<(u32, LevelEvent)>,
+}
+
+/// Scan arena indices `range` against the read-only visited set.
+fn scan_chunk(model: &Model, visited: &Visited, range: Range<usize>) -> ChunkOut {
+    let mut out = ChunkOut {
+        cands: Vec::new(),
+        transitions: 0,
+        dedup_hits: 0,
+        event: None,
+    };
+    for i in range {
+        let s = &visited.arena[i];
+        if let Some(prop) = model.check(s) {
+            if out.event.is_none() {
+                out.event = Some((i as u32, LevelEvent::Violation(prop)));
+            }
+            continue; // a violating state is terminal
+        }
+        let succ = model.successors(s);
         if succ.is_empty() && !s.quiescent() {
-            finish!(McOutcome::Stuck);
+            if out.event.is_none() {
+                out.event = Some((i as u32, LevelEvent::Stuck));
+            }
+            continue;
         }
         for t in succ {
-            transitions += 1;
-            if !seen.contains(&t) {
-                if seen.len() >= budget {
-                    finish!(McOutcome::BudgetExceeded);
-                }
-                seen.insert(t.clone());
-                frontier.push_back((t, d + 1));
-                frontier_peak = frontier_peak.max(frontier.len());
+            out.transitions += 1;
+            let fp = fx_hash_one(&t);
+            if visited.contains(fp, &t) {
+                out.dedup_hits += 1;
             } else {
-                dedup_hits += 1;
+                out.cands.push((fp, t));
             }
         }
     }
-    finish!(McOutcome::Verified)
+    out
+}
+
+/// Scan one level, splitting it into contiguous per-worker chunks.
+/// Chunk outputs come back in chunk order, so folding them left to
+/// right reproduces the 1-thread scan order exactly.
+fn scan_level(
+    model: &Model,
+    visited: &Visited,
+    level: Range<usize>,
+    threads: usize,
+) -> Vec<ChunkOut> {
+    let n = level.len();
+    if threads <= 1 || n < PAR_MIN_LEVEL {
+        return vec![scan_chunk(model, visited, level)];
+    }
+    let workers = threads.min(n);
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let lo = level.start + w * chunk;
+                let hi = (level.start + (w + 1) * chunk).min(level.end);
+                s.spawn(move || scan_chunk(model, visited, lo..hi))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("mc worker panicked"))
+            .collect()
+    })
+}
+
+/// Explore the model's state space up to `budget` distinct states
+/// (single worker).
+pub fn explore(model: &Model, budget: usize) -> (McOutcome, McStats) {
+    explore_threads(model, budget, 1)
+}
+
+/// Explore with `threads` workers. Guaranteed byte-identical to
+/// [`explore`] in outcome, statistics and witness.
+pub fn explore_threads(model: &Model, budget: usize, threads: usize) -> (McOutcome, McStats) {
+    explore_from(model, model.initial(), budget, threads)
+}
+
+/// Explore from an explicit initial state (used by the equivalence
+/// tests to seed a reachable bug).
+pub fn explore_from(
+    model: &Model,
+    init: State,
+    budget: usize,
+    threads: usize,
+) -> (McOutcome, McStats) {
+    let start = Instant::now();
+    let threads = threads.max(1);
+    let mut visited = Visited::with_capacity(budget.min(RESERVE_CAP));
+    let fp0 = fx_hash_one(&init);
+    visited.insert(fp0, init);
+
+    let mut transitions = 0u64;
+    let mut dedup_hits = 0u64;
+    let mut frontier_peak = 1usize;
+    let mut levels = 0usize;
+    let mut witness: Option<State> = None;
+
+    let mut level: Range<usize> = 0..1;
+    let outcome = 'bfs: loop {
+        levels += 1;
+        frontier_peak = frontier_peak.max(level.len());
+
+        let chunks = scan_level(model, &visited, level.clone(), threads);
+
+        // Fold per-worker counters and pick the lowest-BFS-order event.
+        let mut event: Option<(u32, LevelEvent)> = None;
+        for c in &chunks {
+            transitions += c.transitions;
+            dedup_hits += c.dedup_hits;
+            if let Some((i, ev)) = c.event {
+                if event.is_none_or(|(j, _)| i < j) {
+                    event = Some((i, ev));
+                }
+            }
+        }
+        if let Some((i, ev)) = event {
+            witness = Some(visited.arena[i as usize].clone());
+            break match ev {
+                LevelEvent::Violation(prop) => McOutcome::Violation(prop),
+                LevelEvent::Stuck => McOutcome::Stuck,
+            };
+        }
+
+        // Deterministic merge: chunk order == 1-thread discovery order.
+        let next_start = visited.len();
+        for c in chunks {
+            for (fp, st) in c.cands {
+                if visited.contains(fp, &st) {
+                    dedup_hits += 1;
+                } else {
+                    if visited.len() >= budget {
+                        break 'bfs McOutcome::BudgetExceeded;
+                    }
+                    visited.insert(fp, st);
+                }
+            }
+        }
+        if visited.len() == next_start {
+            break McOutcome::Verified;
+        }
+        level = next_start..visited.len();
+    };
+
+    let stats = McStats {
+        states: visited.len(),
+        transitions,
+        dedup_hits,
+        frontier_peak,
+        depth: levels - 1,
+        levels,
+        threads,
+        witness,
+        elapsed: start.elapsed(),
+    };
+    record_mc_metrics(&stats);
+    (outcome, stats)
 }
 
 /// Record one exploration's aggregates into the global obs registry.
@@ -100,6 +350,8 @@ fn record_mc_metrics(stats: &McStats) {
     reg.counter("mc.states").add(stats.states as u64);
     reg.counter("mc.transitions").add(stats.transitions);
     reg.counter("mc.dedup_hits").add(stats.dedup_hits);
+    reg.counter("mc.levels").add(stats.levels as u64);
+    reg.gauge("mc.threads").set(stats.threads as f64);
     reg.gauge("mc.frontier_peak")
         .set(stats.frontier_peak as f64);
     reg.gauge("mc.depth").set(stats.depth as f64);
@@ -119,6 +371,7 @@ fn record_mc_metrics(stats: &McStats) {
             ("dedup_hits", stats.dedup_hits.into()),
             ("frontier_peak", (stats.frontier_peak as u64).into()),
             ("depth", (stats.depth as u64).into()),
+            ("threads", (stats.threads as u64).into()),
             ("elapsed_us", (stats.elapsed.as_micros() as u64).into()),
         ],
     );
@@ -140,6 +393,7 @@ mod tests {
         assert!(stats.states > 10);
         assert!(stats.transitions >= stats.states as u64 - 1);
         assert!(stats.depth > 2);
+        assert!(stats.witness.is_none());
     }
 
     #[test]
@@ -197,8 +451,49 @@ mod tests {
         let mut init = m.initial();
         init.cache[0] = crate::state::Cache::M;
         init.cache[1] = crate::state::Cache::S;
-        // Explore from the corrupt state via a wrapper model: simplest
-        // is to check it directly.
-        assert!(m.check(&init).is_some());
+        let (out, stats) = explore_from(&m, init.clone(), 1_000, 1);
+        assert_eq!(
+            out,
+            McOutcome::Violation("single-writer: M/E coexists with S")
+        );
+        assert_eq!(stats.witness, Some(init));
+    }
+
+    #[test]
+    fn visited_set_handles_fingerprint_collisions() {
+        let m = Model::default();
+        let mut v = Visited::with_capacity(4);
+        let a = m.initial();
+        let mut b = m.initial();
+        b.cache[0] = crate::state::Cache::S;
+        // Force both states under one fingerprint: the exact compare
+        // must still tell them apart via the overflow list.
+        let fp = 0xdead_beef_u64;
+        assert!(v.insert(fp, a.clone()));
+        assert!(v.contains(fp, &a));
+        assert!(!v.contains(fp, &b));
+        assert!(v.insert(fp, b.clone()));
+        assert!(v.contains(fp, &b));
+        assert!(!v.insert(fp, a));
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn thread_counts_agree_in_module() {
+        // Quick in-crate equivalence check; the full matrix lives in
+        // tests/parallel.rs.
+        let m = Model {
+            nodes: 3,
+            quota: 1,
+            resp_depth: 2,
+        };
+        let (o1, s1) = explore_threads(&m, 1_000_000, 1);
+        let (o4, s4) = explore_threads(&m, 1_000_000, 4);
+        assert_eq!(o1, o4);
+        assert_eq!(s1.states, s4.states);
+        assert_eq!(s1.transitions, s4.transitions);
+        assert_eq!(s1.dedup_hits, s4.dedup_hits);
+        assert_eq!(s1.depth, s4.depth);
+        assert_eq!(s1.frontier_peak, s4.frontier_peak);
     }
 }

@@ -16,6 +16,6 @@ pub mod explore;
 pub mod model;
 pub mod state;
 
-pub use explore::{explore, McOutcome, McStats};
+pub use explore::{explore, explore_from, explore_threads, McOutcome, McStats};
 pub use model::Model;
 pub use state::State;

@@ -1,0 +1,183 @@
+//! A zero-dependency `FxHash`-style hasher for trusted keys.
+//!
+//! The default `std` hasher (SipHash 1-3) buys DoS resistance the
+//! pipeline never needs: every hot key is produced internally (interned
+//! symbol ids, enum discriminants, canonicalised roles, model-checker
+//! states), never by an adversary. The multiply-xor scheme below — the
+//! one rustc ships as `FxHasher` — hashes a word in one rotate, one
+//! xor and one multiply, which makes the model checker's visited-set
+//! probes and the relational engine's join buckets several times
+//! cheaper.
+//!
+//! Exposed pieces:
+//!
+//! * [`FxHasher`] / [`FxBuildHasher`] — the [`std::hash::Hasher`] and
+//!   its `BuildHasher` (deterministic: no per-map random seed).
+//! * [`FxHashMap`] / [`FxHashSet`] — drop-in aliases for the std
+//!   collections with the fast hasher plugged in.
+//! * [`fx_hash_one`] — hash one value to a `u64` fingerprint (used for
+//!   the model checker's compact state fingerprints and for
+//!   hash-partitioning work across shards).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasher, Hash, Hasher};
+
+/// The golden-ratio multiplier used by rustc's `FxHasher` (64-bit).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Multiply-xor hasher; not DoS-resistant, deterministic per process.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.add(v as u64);
+        self.add((v >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_i8(&mut self, v: i8) {
+        self.add(v as u8 as u64);
+    }
+
+    #[inline]
+    fn write_i16(&mut self, v: i16) {
+        self.add(v as u16 as u64);
+    }
+
+    #[inline]
+    fn write_i32(&mut self, v: i32) {
+        self.add(v as u32 as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_isize(&mut self, v: isize) {
+        self.add(v as u64);
+    }
+}
+
+/// `BuildHasher` producing [`FxHasher`]s; no random state, so two maps
+/// (and two runs) hash identically.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxBuildHasher;
+
+impl BuildHasher for FxBuildHasher {
+    type Hasher = FxHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher::default()
+    }
+}
+
+/// `HashMap` keyed by the fast hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed by the fast hasher.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+/// Hash one value to a 64-bit fingerprint.
+#[inline]
+pub fn fx_hash_one<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut h = FxHasher::default();
+    value.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_discriminating() {
+        assert_eq!(fx_hash_one(&42u64), fx_hash_one(&42u64));
+        assert_ne!(fx_hash_one(&42u64), fx_hash_one(&43u64));
+        assert_ne!(fx_hash_one("abc"), fx_hash_one("abd"));
+        // Vec hashing (length-prefixed) distinguishes splits.
+        assert_ne!(
+            fx_hash_one(&vec![1u8, 2, 3]),
+            fx_hash_one(&vec![1u8, 2, 3, 0])
+        );
+    }
+
+    #[test]
+    fn collections_work() {
+        let mut m: FxHashMap<&str, u32> = FxHashMap::default();
+        m.insert("a", 1);
+        m.insert("b", 2);
+        assert_eq!(m.get("a"), Some(&1));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+    }
+
+    #[test]
+    fn with_capacity_construction() {
+        let m: FxHashMap<u64, u64> = FxHashMap::with_capacity_and_hasher(128, FxBuildHasher);
+        assert!(m.capacity() >= 128);
+    }
+
+    #[test]
+    fn byte_stream_tail_handled() {
+        // write() pads the tail chunk; different tails must differ.
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3, 4, 5, 6, 7, 8, 10]);
+        assert_ne!(a.finish(), b.finish());
+    }
+}

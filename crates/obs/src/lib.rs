@@ -21,7 +21,11 @@
 //!
 //! [`rng`] additionally provides the deterministic splitmix64 PRNG the
 //! simulator uses for seeded workloads and scheduling, replacing the
-//! external `rand` crate.
+//! external `rand` crate, and [`hash`] the `FxHash`-style fast hasher
+//! (plus `FxHashMap`/`FxHashSet` aliases) used on the hot paths — the
+//! model checker's visited set, the dependency-closure dedup maps and
+//! the relational join buckets — where SipHash's DoS resistance is
+//! pure overhead on trusted keys.
 //!
 //! ## Global state and enablement
 //!
@@ -37,11 +41,13 @@
 //! `mc.states_per_sec`, … (see DESIGN.md § Observability for the full
 //! schema).
 
+pub mod hash;
 pub mod json;
 pub mod metrics;
 pub mod rng;
 pub mod trace;
 
+pub use hash::{fx_hash_one, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use metrics::{MetricValue, Registry, Snapshot};
 pub use rng::SplitMix64;
 pub use trace::{Event, FieldValue, Ring, Span};

@@ -8,12 +8,12 @@ use crate::error::Result;
 use crate::relation::{hash_cols, Relation};
 use crate::symbol::Sym;
 use crate::value::Value;
-use std::collections::HashMap;
+use ccsql_obs::hash::{FxBuildHasher, FxHashMap};
 
 /// A multi-column hash index: key columns → row indices.
 pub struct Index {
     key_cols: Vec<usize>,
-    buckets: HashMap<u64, Vec<u32>>,
+    buckets: FxHashMap<u64, Vec<u32>>,
 }
 
 impl Index {
@@ -23,7 +23,8 @@ impl Index {
             .iter()
             .map(|c| rel.schema().require(Sym::intern(c), "index"))
             .collect::<Result<_>>()?;
-        let mut buckets: HashMap<u64, Vec<u32>> = HashMap::with_capacity(rel.len());
+        let mut buckets: FxHashMap<u64, Vec<u32>> =
+            FxHashMap::with_capacity_and_hasher(rel.len(), FxBuildHasher);
         for (i, r) in rel.rows().enumerate() {
             buckets
                 .entry(hash_cols(r, &key_cols))
@@ -41,7 +42,8 @@ impl Index {
         key: &'a [Value],
     ) -> impl Iterator<Item = usize> + 'a {
         debug_assert_eq!(key.len(), self.key_cols.len());
-        let mut h = std::collections::hash_map::DefaultHasher::new();
+        // Must hash exactly like `hash_cols` (element-wise FxHasher).
+        let mut h = ccsql_obs::hash::FxHasher::default();
         use std::hash::{Hash, Hasher};
         for v in key {
             v.hash(&mut h);

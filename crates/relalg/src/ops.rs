@@ -9,8 +9,7 @@ use crate::expr::{BoundExpr, EvalContext, Expr};
 use crate::relation::{hash_cols, Relation};
 use crate::symbol::Sym;
 use crate::value::Value;
-use std::collections::HashMap;
-use std::collections::HashSet;
+use ccsql_obs::hash::{FxBuildHasher, FxHashMap, FxHashSet};
 
 /// σ — rows satisfying `pred`.
 pub fn select(rel: &Relation, pred: &Expr, ctx: &dyn EvalContext) -> Result<Relation> {
@@ -105,24 +104,43 @@ pub fn equi_join(
         .map(|(_, r)| right.schema().require(Sym::intern(r), "join right"))
         .collect::<Result<_>>()?;
 
-    // Build side: the smaller relation.
+    // Build side: the smaller relation (halves peak memory and build cost
+    // when the inputs are lopsided, which the closure's candidate joins are).
     let schema = left.schema().concat(right.schema(), prefix)?;
     let mut out = Relation::new(schema);
     let mut buf: Vec<Value> = Vec::with_capacity(left.arity() + right.arity());
 
-    let mut table: HashMap<u64, Vec<usize>> = HashMap::with_capacity(right.len());
-    for (i, r) in right.rows().enumerate() {
-        table.entry(hash_cols(r, &rkeys)).or_default().push(i);
+    let build_left = left.len() < right.len();
+    let (build, bkeys, probe, pkeys) = if build_left {
+        (left, &lkeys, right, &rkeys)
+    } else {
+        (right, &rkeys, left, &lkeys)
+    };
+    let mut table: FxHashMap<u64, Vec<usize>> =
+        FxHashMap::with_capacity_and_hasher(build.len(), FxBuildHasher);
+    for (i, r) in build.rows().enumerate() {
+        table.entry(hash_cols(r, bkeys)).or_default().push(i);
     }
-    for l in left.rows() {
-        let h = hash_cols(l, &lkeys);
+    for p in probe.rows() {
+        let h = hash_cols(p, pkeys);
         if let Some(cands) = table.get(&h) {
-            for &ri in cands {
-                let r = right.row(ri);
-                if lkeys.iter().zip(&rkeys).all(|(&li, &ri2)| l[li] == r[ri2]) {
+            for &bi in cands {
+                let b = build.row(bi);
+                if bkeys
+                    .iter()
+                    .zip(pkeys.iter())
+                    .all(|(&bk, &pk)| b[bk] == p[pk])
+                {
                     buf.clear();
-                    buf.extend_from_slice(l);
-                    buf.extend_from_slice(r);
+                    // Output rows are always `left ++ right` regardless of
+                    // which side the index was built on.
+                    if build_left {
+                        buf.extend_from_slice(b);
+                        buf.extend_from_slice(p);
+                    } else {
+                        buf.extend_from_slice(p);
+                        buf.extend_from_slice(b);
+                    }
                     out.push_row_unchecked(&buf);
                 }
             }
@@ -181,7 +199,7 @@ pub fn difference(a: &Relation, b: &Relation) -> Result<Relation> {
             b.schema()
         )));
     }
-    let bset: HashSet<Vec<Value>> = b.rows().map(|r| r.to_vec()).collect();
+    let bset: FxHashSet<Vec<Value>> = b.rows().map(|r| r.to_vec()).collect();
     let mut out = Relation::new(a.schema().clone());
     for r in a.rows() {
         if !bset.contains(r) {
@@ -200,7 +218,7 @@ pub fn intersect(a: &Relation, b: &Relation) -> Result<Relation> {
             b.schema()
         )));
     }
-    let bset: HashSet<Vec<Value>> = b.rows().map(|r| r.to_vec()).collect();
+    let bset: FxHashSet<Vec<Value>> = b.rows().map(|r| r.to_vec()).collect();
     let mut out = Relation::new(a.schema().clone());
     for r in a.rows() {
         if bset.contains(r) {
@@ -271,6 +289,23 @@ mod tests {
         // Both "home" rows of a join both rows of b: 2*2 = 4.
         assert_eq!(j.len(), 4);
         assert!(j.rows().all(|r| r[1] == v("home") && r[2] == v("home")));
+    }
+
+    #[test]
+    fn equi_join_smaller_left_build_keeps_schema_order() {
+        let a = mk(&["m", "d"], &[&["wb", "home"]]);
+        let b = mk(
+            &["src", "m2"],
+            &[&["home", "compl"], &["home", "mread"], &["rem", "x"]],
+        );
+        let j = equi_join(&a, &b, &[("d", "src")], "r").unwrap();
+        // Index is built on `a` (smaller), but rows stay `left ++ right`.
+        assert_eq!(j.len(), 2);
+        assert!(j
+            .rows()
+            .all(|r| r[0] == v("wb") && r[1] == v("home") && r[2] == v("home")));
+        let names: Vec<&str> = j.schema().columns().iter().map(|s| s.as_str()).collect();
+        assert_eq!(names, ["m", "d", "src", "m2"]);
     }
 
     #[test]

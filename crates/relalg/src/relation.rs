@@ -9,7 +9,7 @@ use crate::error::{Error, Result};
 use crate::schema::Schema;
 use crate::symbol::Sym;
 use crate::value::Value;
-use std::collections::HashSet;
+use ccsql_obs::hash::{FxBuildHasher, FxHashSet};
 use std::fmt;
 use std::hash::{Hash, Hasher};
 
@@ -124,7 +124,8 @@ impl Relation {
 
     /// Remove duplicate rows, preserving first-occurrence order.
     pub fn distinct(&self) -> Relation {
-        let mut seen: HashSet<u64> = HashSet::with_capacity(self.len());
+        let mut seen: FxHashSet<u64> =
+            FxHashSet::with_capacity_and_hasher(self.len(), FxBuildHasher);
         // Hash-first dedup with collision verification against a stash of
         // representative indices (hash collisions across u64 keys are
         // unlikely but must not corrupt checker results).
@@ -172,7 +173,7 @@ impl Relation {
         if !self.schema.same_as(&other.schema) {
             return false;
         }
-        let set: HashSet<Vec<Value>> = other.rows().map(|r| r.to_vec()).collect();
+        let set: FxHashSet<Vec<Value>> = other.rows().map(|r| r.to_vec()).collect();
         self.rows().all(|r| set.contains(r))
     }
 
@@ -182,16 +183,19 @@ impl Relation {
     }
 }
 
-/// Hash one row to a u64 (used for distinct/join buckets).
+/// Hash one row to a u64 (used for distinct/join buckets). Uses the
+/// fast multiply-xor hasher: rows are trusted internal data, so
+/// SipHash's DoS resistance would be pure overhead here.
 pub(crate) fn hash_row(row: &[Value]) -> u64 {
-    let mut h = std::collections::hash_map::DefaultHasher::new();
+    let mut h = ccsql_obs::hash::FxHasher::default();
     row.hash(&mut h);
     h.finish()
 }
 
-/// Hash selected columns of a row.
+/// Hash selected columns of a row (element-wise, no length prefix —
+/// [`crate::index::Index::probe`] hashes loose keys the same way).
 pub(crate) fn hash_cols(row: &[Value], cols: &[usize]) -> u64 {
-    let mut h = std::collections::hash_map::DefaultHasher::new();
+    let mut h = ccsql_obs::hash::FxHasher::default();
     for &c in cols {
         row[c].hash(&mut h);
     }

@@ -19,6 +19,24 @@ cargo test -q
 echo "==> cargo test -q --workspace (all crates)"
 cargo test -q --workspace
 
+echo "==> parallel equivalence (1 vs 2 vs 8 threads)"
+cargo test -q -p ccsql-mc --test parallel
+cargo test -q -p ccsql thread_count_does_not_change_the_table
+
+echo "==> ccsql bench --quick (nondeterminism gate: two runs must print identically)"
+BENCH_DIR="$(mktemp -d)"
+trap 'rm -rf "$BENCH_DIR"' EXIT
+cargo run --quiet --release -p ccsql-cli -- bench --quick --threads 2 --out "$BENCH_DIR" \
+    > "$BENCH_DIR/run1.txt"
+cargo run --quiet --release -p ccsql-cli -- bench --quick --threads 2 --out "$BENCH_DIR" \
+    > "$BENCH_DIR/run2.txt"
+diff "$BENCH_DIR/run1.txt" "$BENCH_DIR/run2.txt"
+grep -q 'identical=true' "$BENCH_DIR/run1.txt"
+if grep -q 'identical=false' "$BENCH_DIR/run1.txt"; then
+    echo "bench reported nondeterminism" >&2
+    exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
