@@ -163,7 +163,11 @@ fn par_chunks<R: Send>(n: usize, threads: usize, run: impl Fn(Range<usize>) -> R
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
-                let lo = w * chunk;
+                // Clamp both ends: with ceil-division the trailing
+                // worker's nominal start can land past `n` (e.g. n=40,
+                // workers=12, chunk=4 → worker 11 starts at 44), which
+                // must become an empty range, not an out-of-bounds slice.
+                let lo = (w * chunk).min(n);
                 let hi = ((w + 1) * chunk).min(n);
                 let run = &run;
                 s.spawn(move || run(lo..hi))
@@ -594,7 +598,10 @@ mod tests {
             ..AnalysisConfig::default()
         };
         let seq = protocol_dependency_table(g, &VcAssignment::v1(), &base).unwrap();
-        for threads in [2, 4, 8] {
+        // 12 and 32 deliberately do not divide the unit count (5
+        // placements × controllers): with ceil-division chunking the
+        // trailing workers get empty ranges, which must not panic.
+        for threads in [2, 4, 8, 12, 32] {
             let par = protocol_dependency_table(
                 g,
                 &VcAssignment::v1(),
@@ -609,6 +616,31 @@ mod tests {
                     "row {i} differs at {threads} threads"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn par_chunks_covers_every_index_for_awkward_worker_counts() {
+        // Thread counts that don't divide n leave trailing workers with
+        // nominal starts past n (e.g. n=40, threads=12 → chunk=4, worker
+        // 11 would start at 44); those must become empty ranges, and the
+        // concatenated chunks must still be exactly 0..n in order.
+        for (n, threads) in [
+            (40, 12),
+            (40, 16),
+            (40, 24),
+            (40, 32),
+            (5, 3),
+            (1, 8),
+            (0, 4),
+        ] {
+            let chunks = par_chunks(n, threads, |r| r.collect::<Vec<usize>>());
+            let flat: Vec<usize> = chunks.into_iter().flatten().collect();
+            assert_eq!(
+                flat,
+                (0..n).collect::<Vec<usize>>(),
+                "n={n} threads={threads}"
+            );
         }
     }
 

@@ -235,7 +235,7 @@ fn scan_level(
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
             .map(|w| {
-                let lo = level.start + w * chunk;
+                let lo = (level.start + w * chunk).min(level.end);
                 let hi = (level.start + (w + 1) * chunk).min(level.end);
                 s.spawn(move || scan_chunk(model, visited, lo..hi))
             })

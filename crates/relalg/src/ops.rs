@@ -121,27 +121,56 @@ pub fn equi_join(
     for (i, r) in build.rows().enumerate() {
         table.entry(hash_cols(r, bkeys)).or_default().push(i);
     }
-    for p in probe.rows() {
-        let h = hash_cols(p, pkeys);
-        if let Some(cands) = table.get(&h) {
-            for &bi in cands {
-                let b = build.row(bi);
-                if bkeys
-                    .iter()
-                    .zip(pkeys.iter())
-                    .all(|(&bk, &pk)| b[bk] == p[pk])
-                {
-                    buf.clear();
-                    // Output rows are always `left ++ right` regardless of
-                    // which side the index was built on.
-                    if build_left {
-                        buf.extend_from_slice(b);
-                        buf.extend_from_slice(p);
-                    } else {
-                        buf.extend_from_slice(p);
-                        buf.extend_from_slice(b);
+    if build_left {
+        // The index is on the left, so the probe loop runs right-major.
+        // Collect matches per left row and emit them left-major afterwards
+        // so output order is independent of which side was indexed
+        // (ascending left index, then ascending right index — the same
+        // order the right-indexed branch below produces).
+        let mut matched: Vec<Vec<usize>> = vec![Vec::new(); left.len()];
+        for (pi, p) in probe.rows().enumerate() {
+            let h = hash_cols(p, pkeys);
+            if let Some(cands) = table.get(&h) {
+                for &bi in cands {
+                    let b = build.row(bi);
+                    if bkeys
+                        .iter()
+                        .zip(pkeys.iter())
+                        .all(|(&bk, &pk)| b[bk] == p[pk])
+                    {
+                        matched[bi].push(pi);
                     }
-                    out.push_row_unchecked(&buf);
+                }
+            }
+        }
+        for (li, ris) in matched.iter().enumerate() {
+            if ris.is_empty() {
+                continue;
+            }
+            let l = left.row(li);
+            for &ri in ris {
+                buf.clear();
+                buf.extend_from_slice(l);
+                buf.extend_from_slice(right.row(ri));
+                out.push_row_unchecked(&buf);
+            }
+        }
+    } else {
+        for p in probe.rows() {
+            let h = hash_cols(p, pkeys);
+            if let Some(cands) = table.get(&h) {
+                for &bi in cands {
+                    let b = build.row(bi);
+                    if bkeys
+                        .iter()
+                        .zip(pkeys.iter())
+                        .all(|(&bk, &pk)| b[bk] == p[pk])
+                    {
+                        buf.clear();
+                        buf.extend_from_slice(p);
+                        buf.extend_from_slice(b);
+                        out.push_row_unchecked(&buf);
+                    }
                 }
             }
         }
@@ -306,6 +335,41 @@ mod tests {
             .all(|r| r[0] == v("wb") && r[1] == v("home") && r[2] == v("home")));
         let names: Vec<&str> = j.schema().columns().iter().map(|s| s.as_str()).collect();
         assert_eq!(names, ["m", "d", "src", "m2"]);
+    }
+
+    #[test]
+    fn equi_join_output_order_is_left_major_for_either_build_side() {
+        // Output order must be ascending left row, then ascending right
+        // row, no matter which side the hash index is built on.
+        let small = mk(&["m", "d"], &[&["a", "k1"], &["b", "k2"]]);
+        let big = mk(
+            &["src", "m2"],
+            &[&["k2", "x"], &["k1", "y"], &["k1", "z"], &["k2", "w"]],
+        );
+        // Left is smaller → index built on the left side.
+        let j = equi_join(&small, &big, &[("d", "src")], "r").unwrap();
+        let got: Vec<(Value, Value)> = j.rows().map(|r| (r[0], r[3])).collect();
+        assert_eq!(
+            got,
+            vec![
+                (v("a"), v("y")),
+                (v("a"), v("z")),
+                (v("b"), v("x")),
+                (v("b"), v("w")),
+            ]
+        );
+        // Right is smaller → index built on the right side; same order rule.
+        let j2 = equi_join(&big, &small, &[("src", "d")], "r").unwrap();
+        let got2: Vec<(Value, Value)> = j2.rows().map(|r| (r[0], r[2])).collect();
+        assert_eq!(
+            got2,
+            vec![
+                (v("k2"), v("b")),
+                (v("k1"), v("a")),
+                (v("k1"), v("a")),
+                (v("k2"), v("b")),
+            ]
+        );
     }
 
     #[test]

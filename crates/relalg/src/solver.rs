@@ -482,7 +482,10 @@ fn extend_filter<C: EvalContext + Sync>(
     let results: Vec<Result<Vec<Value>>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
-                let lo = t * chunk;
+                // Clamp the start too: with ceil-division the trailing
+                // worker's nominal start can exceed `n`; it must get an
+                // empty range, never an out-of-bounds one.
+                let lo = (t * chunk).min(n);
                 let hi = ((t + 1) * chunk).min(n);
                 let run = &run_chunk;
                 s.spawn(move || run(lo..hi))
@@ -533,7 +536,7 @@ fn filter_rows<C: EvalContext + Sync>(
     let results: Vec<Result<Vec<Value>>> = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
-                let lo = t * chunk;
+                let lo = (t * chunk).min(n);
                 let hi = ((t + 1) * chunk).min(n);
                 let run = &run_chunk;
                 s.spawn(move || run(lo..hi))
