@@ -13,7 +13,8 @@
 //! ccsql bench [--threads N] [--quick] [--out DIR]
 //! ccsql fig4 [--fixed]
 //! ccsql query "SELECT …"
-//! ccsql solve FILE.ccsql [--format ascii|csv|md]
+//! ccsql lint [--json] [--protocol] [--assignment v0|v1|v2] FILE.ccsql …
+//! ccsql solve FILE.ccsql [--format ascii|csv|md] [--no-lint]
 //! ccsql walk [--request MSG --dirst ST --sharers N]
 //! ccsql export [--table NAME] [--invariants]
 //! ccsql stats [<command> …]
@@ -59,7 +60,8 @@ USAGE:
     ccsql bench    [--threads N] [--quick] [--out DIR]
     ccsql fig4     [--fixed]
     ccsql query    \"SELECT ... FROM D ...\"
-    ccsql solve    FILE.ccsql [--format ascii|csv|md]
+    ccsql lint     [--json] [--protocol] [--assignment v0|v1|v2] FILE.ccsql ...
+    ccsql solve    FILE.ccsql [--format ascii|csv|md] [--no-lint]
     ccsql walk     [--request MSG --dirst ST --sharers N]
     ccsql export   [--table NAME] [--invariants]
     ccsql stats    [<command> ...]
@@ -170,6 +172,7 @@ fn dispatch(args: &[String]) -> Result<String, String> {
         "bench" => cmd_bench(&opts),
         "fig4" => cmd_fig4(&opts),
         "query" => cmd_query(&opts),
+        "lint" => cmd_lint(&opts),
         "solve" => cmd_solve(&opts),
         "walk" => cmd_walk(&opts),
         "export" => cmd_export(&opts),
@@ -774,13 +777,79 @@ fn cmd_query(opts: &Opts) -> Result<String, String> {
     ))
 }
 
+/// Positional (non-flag) arguments: everything that is not a `--flag`
+/// and not the value slot of a value-taking flag.
+fn positional<'a>(opts: &Opts<'a>, value_flags: &[&str]) -> Vec<&'a str> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for a in opts.args {
+        if skip {
+            skip = false;
+        } else if value_flags.contains(&a.as_str()) {
+            skip = true;
+        } else if !a.starts_with("--") {
+            out.push(a.as_str());
+        }
+    }
+    out
+}
+
+fn cmd_lint(opts: &Opts) -> Result<String, String> {
+    let report = if opts.flag("--protocol") {
+        let v = match opts.value("--assignment").unwrap_or("v1") {
+            "v0" | "V0" => VcAssignment::v0(),
+            "v1" | "V1" => VcAssignment::v1(),
+            "v2" | "V2" => VcAssignment::v2(),
+            other => return Err(format!("unknown assignment {other:?} (v0|v1|v2)")),
+        };
+        ccsql_lint::lint_protocol(&ccsql_protocol::ProtocolSpec::asura(), &v)
+    } else {
+        let paths = positional(opts, &["--assignment"]);
+        if paths.is_empty() {
+            return Err("lint expects .ccsql spec files (or --protocol)".to_string());
+        }
+        let mut files = Vec::with_capacity(paths.len());
+        for path in &paths {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let sf = ccsql_relalg::specfile::parse_specfile(&text)
+                .map_err(|e| format!("{path}: {e}"))?;
+            files.push(sf);
+        }
+        let refs: Vec<&ccsql_relalg::SpecFile> = files.iter().collect();
+        ccsql_lint::lint_specfiles(&refs, &ccsql_protocol::ProtocolSpec::eval_context())
+    };
+    let out = if opts.flag("--json") {
+        report.render_jsonl()
+    } else {
+        report.render_human()
+    };
+    if report.failed() {
+        Err(out)
+    } else {
+        Ok(out)
+    }
+}
+
 fn cmd_solve(opts: &Opts) -> Result<String, String> {
-    let path = opts
-        .args
+    let path = positional(opts, &["--format"])
         .first()
+        .copied()
         .ok_or_else(|| "solve expects a .ccsql database-input file".to_string())?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let sf = ccsql_relalg::specfile::parse_specfile(&text).map_err(|e| e.to_string())?;
+    if !opts.flag("--no-lint") {
+        // Early error detection: lint the spec before spending time on
+        // the solve. `--no-lint` bypasses the gate.
+        let report =
+            ccsql_lint::lint_specfiles(&[&sf], &ccsql_protocol::ProtocolSpec::eval_context());
+        if report.failed() {
+            return Err(format!(
+                "{}\nlint found problems in {path}; fix them or rerun with --no-lint",
+                report.render_human()
+            ));
+        }
+    }
     let (rel, failures) = ccsql_relalg::specfile::solve_specfile(&sf).map_err(|e| e.to_string())?;
     let mut out = String::new();
     writeln!(
@@ -934,6 +1003,44 @@ mod tests {
         assert!(out.contains("Busy-sd"), "{out}");
         assert!(run(&argv("solve /nonexistent.ccsql")).is_err());
         assert!(run(&argv("solve")).is_err());
+    }
+
+    #[test]
+    fn lint_reports_seeded_bugs() {
+        let buggy = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/fig3_buggy.ccsql");
+        let err = run(&["lint".to_string(), buggy.to_string()]).unwrap_err();
+        for code in ["CCL003", "CCL010", "CCL020"] {
+            assert!(err.contains(code), "missing {code} in:\n{err}");
+        }
+        let json = run(&["lint".to_string(), "--json".to_string(), buggy.to_string()]).unwrap_err();
+        assert!(json.contains("\"kind\":\"lint\""), "{json}");
+        assert!(json.contains("\"kind\":\"lint-summary\""), "{json}");
+    }
+
+    #[test]
+    fn lint_clean_specs_and_protocol() {
+        let fig3 = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/fig3.ccsql");
+        let out = run(&["lint".to_string(), fig3.to_string()]).unwrap();
+        assert!(out.contains("0 error(s), 0 warning(s)"), "{out}");
+        let out = run(&argv("lint --protocol")).unwrap();
+        assert!(out.contains("0 error(s), 0 warning(s)"), "{out}");
+        assert!(run(&argv("lint")).is_err());
+        assert!(run(&argv("lint --protocol --assignment bogus")).is_err());
+    }
+
+    #[test]
+    fn solve_lint_prepass_blocks_buggy_specs() {
+        let buggy = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/fig3_buggy.ccsql");
+        let err = run(&["solve".to_string(), buggy.to_string()]).unwrap_err();
+        assert!(err.contains("rerun with --no-lint"), "{err}");
+        assert!(err.contains("CCL010"), "{err}");
+        let out = run(&[
+            "solve".to_string(),
+            buggy.to_string(),
+            "--no-lint".to_string(),
+        ])
+        .unwrap();
+        assert!(out.contains("table Fig3Buggy"), "{out}");
     }
 
     #[test]

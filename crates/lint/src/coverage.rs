@@ -1,0 +1,302 @@
+//! Table-shape lints: symbolic input-coverage analysis (CCL010 /
+//! CCL011) without running the full solver.
+//!
+//! The solver semantics are: a row of the generated table is a full
+//! assignment over every column table satisfying *all* column
+//! constraints. Splitting the constraints by dependency set —
+//! constraints over input columns only act as the legality filter,
+//! the rest relate outputs to inputs — the coverage question becomes:
+//! for every legal input assignment, how many output completions exist?
+//! Zero is an incompleteness bug (the controller drops a legal input on
+//! the floor, and the solver silently prunes the row); two or more is
+//! nondeterminism (the table would hold conflicting reactions).
+//!
+//! Legal inputs are enumerated incrementally (constraints apply as soon
+//! as their columns are all assigned, pruning the partial product) and
+//! each remaining constraint is *partially evaluated* against the input
+//! row with [`Expr::reduce`] — a rule chain collapses to the single
+//! assignment its guards select, so the output search is near-linear.
+//! Residual reductions are memoised per constraint on the values of the
+//! input columns it actually mentions, which for rule chains shares the
+//! work across the full input product.
+
+use crate::diag::{codes, Diagnostic, LintReport, Severity};
+use ccsql_relalg::expr::EvalContext;
+use ccsql_relalg::solver::{ColumnRole, TableSpec};
+use ccsql_relalg::{Expr, Span, Sym, Value};
+use std::collections::HashMap;
+
+/// Cap on the partial-row count during legal-input enumeration; above
+/// it the analysis reports CCL019 and bails.
+const ROW_BUDGET: usize = 500_000;
+/// Witnesses reported per (table, code) before summarising.
+const WITNESS_CAP: usize = 3;
+
+/// Run the coverage analysis for `spec`. `span_of` maps a column name
+/// to its constraint's source span.
+pub fn lint_coverage(
+    spec: &TableSpec,
+    ctx: &dyn EvalContext,
+    span_of: &dyn Fn(&str) -> Span,
+    report: &mut LintReport,
+) {
+    let is_column = |s: Sym| spec.columns.iter().any(|c| c.name == s);
+    let inputs: Vec<&_> = spec
+        .columns
+        .iter()
+        .filter(|c| c.role == ColumnRole::Input)
+        .collect();
+    let outputs: Vec<&_> = spec
+        .columns
+        .iter()
+        .filter(|c| c.role == ColumnRole::Output)
+        .collect();
+    if inputs.is_empty() || outputs.is_empty() {
+        return;
+    }
+    let input_set: Vec<Sym> = inputs.iter().map(|c| c.name).collect();
+
+    // Resolve constraints and split them by dependency set. Every
+    // constraint is a row filter regardless of which column owns it.
+    struct C {
+        owner: Sym,
+        deps: Vec<Sym>,
+        expr: Expr,
+        input_only: bool,
+    }
+    let constraints: Vec<C> = spec
+        .columns
+        .iter()
+        .filter(|c| !c.constraint.is_true())
+        .map(|c| {
+            let expr = c.constraint.resolve_idents(&is_column);
+            let deps: Vec<Sym> = expr
+                .columns()
+                .into_iter()
+                .filter(|s| spec.columns.iter().any(|c| c.name == *s))
+                .collect();
+            let input_only = deps.iter().all(|d| input_set.contains(d));
+            C {
+                owner: c.name,
+                deps,
+                expr,
+                input_only,
+            }
+        })
+        .collect();
+
+    let skipped = |report: &mut LintReport, why: String| {
+        report.push(Diagnostic::new(
+            codes::ANALYSIS_SKIPPED,
+            Severity::Info,
+            &spec.name,
+            "",
+            why,
+        ));
+    };
+
+    // --- Legal input enumeration -----------------------------------
+    let mut rows: Vec<Vec<Value>> = vec![Vec::new()];
+    let mut applied = vec![false; constraints.len()];
+    for (k, col) in inputs.iter().enumerate() {
+        if rows.len().saturating_mul(col.values.len()) > ROW_BUDGET {
+            skipped(
+                report,
+                format!(
+                    "input coverage skipped: legal-input enumeration exceeds {ROW_BUDGET} rows"
+                ),
+            );
+            return;
+        }
+        let mut next: Vec<Vec<Value>> = Vec::with_capacity(rows.len() * col.values.len());
+        for row in &rows {
+            for v in &col.values {
+                let mut r = row.clone();
+                r.push(*v);
+                next.push(r);
+            }
+        }
+        // Constraints whose columns are now all assigned filter here.
+        let assigned = &input_set[..=k];
+        for (ci, c) in constraints.iter().enumerate() {
+            if applied[ci] || !c.input_only || !c.deps.iter().all(|d| assigned.contains(d)) {
+                continue;
+            }
+            applied[ci] = true;
+            let mut kept = Vec::with_capacity(next.len());
+            for row in next.drain(..) {
+                let lookup = |s: Sym| assigned.iter().position(|a| *a == s).map(|i| row[i]);
+                match c.expr.reduce(&lookup, ctx) {
+                    Expr::True => kept.push(row),
+                    Expr::False => {}
+                    residual => {
+                        skipped(
+                            report,
+                            format!(
+                                "input coverage skipped: constraint on `{}` does not \
+                                 reduce over the input domain (`{residual}`)",
+                                c.owner
+                            ),
+                        );
+                        return;
+                    }
+                }
+            }
+            next = kept;
+        }
+        rows = next;
+    }
+
+    // --- Output completion count per legal input --------------------
+    let residuals: Vec<&C> = constraints.iter().filter(|c| !c.input_only).collect();
+    // Memo per residual constraint: values of the *input* columns it
+    // mentions → reduced expression.
+    let mut memos: Vec<HashMap<Vec<Value>, Expr>> = vec![HashMap::new(); residuals.len()];
+    let mut uncovered: Vec<String> = Vec::new();
+    let mut nondet: Vec<String> = Vec::new();
+    let mut uncovered_total = 0usize;
+    let mut nondet_total = 0usize;
+
+    for row in &rows {
+        let lookup = |s: Sym| input_set.iter().position(|a| *a == s).map(|i| row[i]);
+        let mut reduced: Vec<Expr> = Vec::with_capacity(residuals.len());
+        for (ri, c) in residuals.iter().enumerate() {
+            let key: Vec<Value> = c
+                .deps
+                .iter()
+                .filter(|d| input_set.contains(d))
+                .map(|d| row[input_set.iter().position(|a| a == d).unwrap()])
+                .collect();
+            let e = memos[ri]
+                .entry(key)
+                .or_insert_with(|| c.expr.reduce(&lookup, ctx))
+                .clone();
+            reduced.push(e);
+        }
+        let n = count_completions(&outputs, &reduced, ctx, 2);
+        if n == 0 {
+            uncovered_total += 1;
+            if uncovered.len() < WITNESS_CAP {
+                uncovered.push(render_row(&input_set, row));
+            }
+        } else if n >= 2 {
+            nondet_total += 1;
+            if nondet.len() < WITNESS_CAP {
+                nondet.push(render_row(&input_set, row));
+            }
+        }
+    }
+
+    // Anchor table-level findings at the first output constraint span
+    // when the spec came from a file.
+    let at = outputs
+        .iter()
+        .map(|c| span_of(c.name.as_str()))
+        .find(|s| s.is_known())
+        .unwrap_or(Span::UNKNOWN);
+    emit_witnessed(
+        report,
+        codes::UNCOVERED_INPUT,
+        &spec.name,
+        at,
+        &uncovered,
+        uncovered_total,
+        "no output row satisfies the constraints for legal input",
+        "legal inputs admit no output row",
+    );
+    emit_witnessed(
+        report,
+        codes::NONDETERMINISTIC,
+        &spec.name,
+        at,
+        &nondet,
+        nondet_total,
+        "constraints admit 2+ distinct output rows for legal input",
+        "legal inputs admit 2+ distinct output rows",
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emit_witnessed(
+    report: &mut LintReport,
+    code: &'static str,
+    table: &str,
+    at: Span,
+    witnesses: &[String],
+    total: usize,
+    each: &str,
+    summary: &str,
+) {
+    for w in witnesses {
+        report
+            .push(Diagnostic::new(code, Severity::Error, table, "", format!("{each} {w}")).at(at));
+    }
+    if total > witnesses.len() {
+        report.push(
+            Diagnostic::new(
+                code,
+                Severity::Error,
+                table,
+                "",
+                format!("{total} {summary} in total ({} shown)", witnesses.len()),
+            )
+            .at(at),
+        );
+    }
+}
+
+fn render_row(cols: &[Sym], row: &[Value]) -> String {
+    let parts: Vec<String> = cols
+        .iter()
+        .zip(row)
+        .map(|(c, v)| format!("{c}={}", Expr::Lit(*v)))
+        .collect();
+    parts.join(", ")
+}
+
+/// Count complete output assignments satisfying all residuals, stopping
+/// at `cutoff`.
+fn count_completions(
+    outputs: &[&ccsql_relalg::ColumnDef],
+    residuals: &[Expr],
+    ctx: &dyn EvalContext,
+    cutoff: usize,
+) -> usize {
+    fn go(
+        outputs: &[&ccsql_relalg::ColumnDef],
+        i: usize,
+        env: &mut HashMap<Sym, Value>,
+        residuals: &[Expr],
+        ctx: &dyn EvalContext,
+        cutoff: usize,
+    ) -> usize {
+        // Prune: reduce every residual under the current partial
+        // assignment; any false kills the branch.
+        let lookup = |s: Sym| env.get(&s).copied();
+        let mut remaining: Vec<Expr> = Vec::new();
+        for r in residuals {
+            match r.reduce(&lookup, ctx) {
+                Expr::True => {}
+                Expr::False => return 0,
+                e => remaining.push(e),
+            }
+        }
+        if i == outputs.len() {
+            // All outputs assigned; any residual not reduced to a
+            // truth value cannot be decided — treat as unsatisfied.
+            return usize::from(remaining.is_empty());
+        }
+        let mut n = 0usize;
+        for v in &outputs[i].values {
+            env.insert(outputs[i].name, *v);
+            n += go(outputs, i + 1, env, &remaining, ctx, cutoff - n);
+            env.remove(&outputs[i].name);
+            if n >= cutoff {
+                break;
+            }
+        }
+        n
+    }
+    let mut env = HashMap::new();
+    go(outputs, 0, &mut env, residuals, ctx, cutoff)
+}

@@ -1,0 +1,616 @@
+//! Expression-level lints over a single table spec: unknown columns
+//! (CCL001), out-of-domain comparisons (CCL002), unreachable ternary
+//! branches (CCL003), assignments forcing a column outside its own
+//! table (CCL004), and all-branches-NULL outputs (CCL005).
+//!
+//! The reachability analysis (CCL003) enumerates assignments over the
+//! columns appearing in ternary *conditions* only — for rule-chain
+//! constraints those are the controller's input columns, a small finite
+//! product — and evaluates each constraint with an instrumented
+//! three-valued evaluator that records, per ternary node, whether its
+//! then/else branch was ever taken *on a reachable path*. `and`/`or` do
+//! not short-circuit (Kleene folding), so a ternary nested under either
+//! operand is always visited; only untaken ternary arms are skipped,
+//! which is exactly the path sensitivity the check needs: a branch
+//! shadowed by an identical outer condition is never visited and is
+//! reported even though its condition is satisfiable in isolation.
+
+use crate::diag::{codes, Diagnostic, LintReport, Severity};
+use ccsql_relalg::expr::EvalContext;
+use ccsql_relalg::solver::{ColumnRole, TableSpec};
+use ccsql_relalg::{Expr, Span, Sym, Value};
+use std::collections::HashMap;
+
+/// Assignment budget for the per-constraint reachability enumeration.
+/// Above this the check is skipped with a CCL019 note.
+const REACH_BUDGET: u64 = 1 << 19;
+
+/// Run all expression-level lints for `spec`. `span_of` maps a column
+/// name to the source span of its constraint ([`Span::UNKNOWN`] for
+/// built-in specs).
+pub fn lint_exprs(
+    spec: &TableSpec,
+    ctx: &dyn EvalContext,
+    span_of: &dyn Fn(&str) -> Span,
+    report: &mut LintReport,
+) {
+    let is_column = |s: Sym| spec.columns.iter().any(|c| c.name == s);
+    let table_of: HashMap<Sym, &[Value]> = spec
+        .columns
+        .iter()
+        .map(|c| (c.name, c.values.as_slice()))
+        .collect();
+
+    // Reachability marks are cached per condition skeleton: in a rule
+    // chain every output column shares the same guard sequence, so the
+    // enumeration runs once per table, not once per column.
+    let mut reach_cache: HashMap<String, Option<Vec<Mark>>> = HashMap::new();
+
+    for col in &spec.columns {
+        if col.constraint.is_true() {
+            continue;
+        }
+        let name = col.name.as_str();
+        let at = span_of(name);
+        let e = col.constraint.resolve_idents(&is_column);
+
+        check_comparisons(spec, &table_of, col.name, &e, name, at, report);
+        if col.role == ColumnRole::Output {
+            check_all_null(col.name, &col.values, &e, &spec.name, name, at, report);
+        }
+        check_reachability(spec, &table_of, ctx, &e, name, at, &mut reach_cache, report);
+    }
+}
+
+/// CCL001 / CCL002 / CCL004: walk every comparison node.
+fn check_comparisons(
+    spec: &TableSpec,
+    table_of: &HashMap<Sym, &[Value]>,
+    own: Sym,
+    e: &Expr,
+    col_name: &str,
+    at: Span,
+    report: &mut LintReport,
+) {
+    let visit = |e: &Expr, report: &mut LintReport| match e {
+        Expr::Eq(a, b) | Expr::Ne(a, b) => {
+            let (col, lit) = match (a.as_ref(), b.as_ref()) {
+                (Expr::Col(c), Expr::Lit(v)) => (Some(*c), Some(*v)),
+                (Expr::Lit(v), Expr::Col(c)) => (Some(*c), Some(*v)),
+                (Expr::Col(_), Expr::Col(_)) => (None, None),
+                (x, y) => {
+                    // Neither side is a column: a comparison between two
+                    // constants, almost certainly a mistyped column name.
+                    report.push(
+                        Diagnostic::new(
+                            codes::UNKNOWN_COLUMN,
+                            Severity::Error,
+                            &spec.name,
+                            col_name,
+                            format!(
+                                "comparison `{x} {} {y}` references no declared column \
+                                 (mistyped column name?)",
+                                if matches!(e, Expr::Eq(..)) { "=" } else { "!=" }
+                            ),
+                        )
+                        .at(at),
+                    );
+                    (None, None)
+                }
+            };
+            if let (Some(c), Some(v)) = (col, lit) {
+                if let Some(dom) = table_of.get(&c) {
+                    if !dom.contains(&v) {
+                        if c == own && matches!(e, Expr::Eq(..)) {
+                            report.push(
+                                Diagnostic::new(
+                                    codes::FORCED_OUT_OF_DOMAIN,
+                                    Severity::Error,
+                                    &spec.name,
+                                    col_name,
+                                    format!(
+                                        "constraint assigns `{col_name} = {}`, which is \
+                                         outside the column table",
+                                        Expr::Lit(v)
+                                    ),
+                                )
+                                .at(at),
+                            );
+                        } else {
+                            report.push(
+                                Diagnostic::new(
+                                    codes::VALUE_NOT_IN_DOMAIN,
+                                    Severity::Error,
+                                    &spec.name,
+                                    col_name,
+                                    format!(
+                                        "`{c}` is compared against {}, which is not in \
+                                         its column table",
+                                        Expr::Lit(v)
+                                    ),
+                                )
+                                .at(at),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        Expr::In(lhs, vs) => match lhs.as_ref() {
+            Expr::Col(c) => {
+                if let Some(dom) = table_of.get(c) {
+                    for v in vs {
+                        if !dom.contains(v) {
+                            report.push(
+                                Diagnostic::new(
+                                    codes::VALUE_NOT_IN_DOMAIN,
+                                    Severity::Error,
+                                    &spec.name,
+                                    col_name,
+                                    format!(
+                                        "`{c} in (…)` lists {}, which is not in its \
+                                         column table",
+                                        Expr::Lit(*v)
+                                    ),
+                                )
+                                .at(at),
+                            );
+                        }
+                    }
+                }
+            }
+            other => {
+                report.push(
+                    Diagnostic::new(
+                        codes::UNKNOWN_COLUMN,
+                        Severity::Error,
+                        &spec.name,
+                        col_name,
+                        format!(
+                            "`{other} in (…)` references no declared column \
+                             (mistyped column name?)"
+                        ),
+                    )
+                    .at(at),
+                );
+            }
+        },
+        _ => {}
+    };
+    walk(e, &mut |n, r| visit(n, r), report);
+}
+
+/// Pre-order traversal calling `f` on every node.
+fn walk(e: &Expr, f: &mut dyn FnMut(&Expr, &mut LintReport), report: &mut LintReport) {
+    f(e, report);
+    match e {
+        Expr::Eq(a, b) | Expr::Ne(a, b) | Expr::And(a, b) | Expr::Or(a, b) => {
+            walk(a, f, report);
+            walk(b, f, report);
+        }
+        Expr::In(x, _) | Expr::Not(x) | Expr::Call(_, x) => walk(x, f, report),
+        Expr::Ternary(c, t, x) => {
+            walk(c, f, report);
+            walk(t, f, report);
+            walk(x, f, report);
+        }
+        _ => {}
+    }
+}
+
+/// CCL005: an output constraint whose every assignment leaf is
+/// `col = NULL` describes a transition that can never do anything.
+fn check_all_null(
+    own: Sym,
+    values: &[Value],
+    e: &Expr,
+    table: &str,
+    col_name: &str,
+    at: Span,
+    report: &mut LintReport,
+) {
+    if !values.iter().any(|v| *v != Value::Null) {
+        return; // a NULL-only table is all this column can hold
+    }
+    let mut leaves = 0usize;
+    let mut null_leaves = 0usize;
+    let mut other_admission = false;
+    let mut visit = |n: &Expr, _: &mut LintReport| match n {
+        Expr::Eq(a, b) => {
+            let lit = match (a.as_ref(), b.as_ref()) {
+                (Expr::Col(c), Expr::Lit(v)) if *c == own => Some(v),
+                (Expr::Lit(v), Expr::Col(c)) if *c == own => Some(v),
+                _ => None,
+            };
+            if let Some(v) = lit {
+                leaves += 1;
+                if *v == Value::Null {
+                    null_leaves += 1;
+                }
+            }
+        }
+        Expr::Ne(a, b)
+            if matches!(a.as_ref(), Expr::Col(c) if *c == own)
+                || matches!(b.as_ref(), Expr::Col(c) if *c == own) =>
+        {
+            other_admission = true;
+        }
+        Expr::In(lhs, _) => {
+            if matches!(lhs.as_ref(), Expr::Col(c) if *c == own) {
+                other_admission = true;
+            }
+        }
+        _ => {}
+    };
+    walk(e, &mut visit, report);
+    if leaves > 0 && leaves == null_leaves && !other_admission {
+        report.push(
+            Diagnostic::new(
+                codes::ALL_BRANCHES_NULL,
+                Severity::Warn,
+                table,
+                col_name,
+                format!(
+                    "every branch assigns `{col_name} = NULL`: this output can never \
+                     do anything"
+                ),
+            )
+            .at(at),
+        );
+    }
+}
+
+/// Per-ternary reachability marks.
+#[derive(Clone, Copy, Default)]
+struct Mark {
+    then_taken: bool,
+    else_taken: bool,
+    cond_unknown: bool,
+}
+
+impl Mark {
+    fn done(&self) -> bool {
+        self.cond_unknown || (self.then_taken && self.else_taken)
+    }
+}
+
+/// Three-valued evaluation result.
+enum K {
+    Val(Value),
+    Bool(bool),
+    Unknown,
+}
+
+/// CCL003 (+ CCL019 over budget): branch reachability by enumeration
+/// over the condition columns' domains.
+#[allow(clippy::too_many_arguments)]
+fn check_reachability(
+    spec: &TableSpec,
+    table_of: &HashMap<Sym, &[Value]>,
+    ctx: &dyn EvalContext,
+    e: &Expr,
+    col_name: &str,
+    at: Span,
+    cache: &mut HashMap<String, Option<Vec<Mark>>>,
+    report: &mut LintReport,
+) {
+    // Collect ternary conditions (pre-order, with whether the else-arm
+    // carries nested logic) and the columns they use.
+    let mut conds: Vec<(&Expr, bool)> = Vec::new();
+    collect_conds(e, &mut conds);
+    if conds.is_empty() {
+        return;
+    }
+    let mut cond_cols: Vec<Sym> = Vec::new();
+    for (c, _) in &conds {
+        for s in c.columns() {
+            if table_of.contains_key(&s) && !cond_cols.contains(&s) {
+                cond_cols.push(s);
+            }
+        }
+    }
+    cond_cols.sort();
+
+    let key = skeleton(e);
+    let marks = cache.entry(key).or_insert_with(|| {
+        let product: u64 = cond_cols
+            .iter()
+            .map(|c| table_of[c].len() as u64)
+            .try_fold(1u64, |a, b| a.checked_mul(b))
+            .unwrap_or(u64::MAX);
+        if product > REACH_BUDGET {
+            return None;
+        }
+        let mut marks = vec![Mark::default(); conds.len()];
+        let mut env: HashMap<Sym, Value> = HashMap::new();
+        enumerate(&cond_cols, 0, table_of, &mut env, &mut |env| {
+            let mut idx = 0usize;
+            eval_marked(e, env, ctx, &mut idx, &mut marks);
+            marks.iter().all(|m| m.done())
+        });
+        Some(marks)
+    });
+
+    match marks {
+        None => report.push(
+            Diagnostic::new(
+                codes::ANALYSIS_SKIPPED,
+                Severity::Info,
+                &spec.name,
+                col_name,
+                format!(
+                    "branch reachability skipped: condition domain exceeds {REACH_BUDGET} \
+                     assignments"
+                ),
+            )
+            .at(at),
+        ),
+        Some(marks) => {
+            for (i, m) in marks.iter().enumerate() {
+                if m.cond_unknown {
+                    continue;
+                }
+                if !m.then_taken {
+                    report.push(
+                        Diagnostic::new(
+                            codes::UNREACHABLE_BRANCH,
+                            Severity::Warn,
+                            &spec.name,
+                            col_name,
+                            format!(
+                                "then-branch of `{} ? … : …` is unreachable: the condition \
+                                 never holds on any path that reaches it",
+                                conds[i].0
+                            ),
+                        )
+                        .at(at),
+                    );
+                }
+                // An always-true condition whose else-arm is a terminal
+                // assignment is the rule-chain idiom: the final rule of
+                // an exhaustive chain makes the trailing default leaf
+                // dead by construction. Only report a dead else-arm when
+                // it skips real nested logic.
+                if !m.else_taken && conds[i].1 {
+                    report.push(
+                        Diagnostic::new(
+                            codes::UNREACHABLE_BRANCH,
+                            Severity::Warn,
+                            &spec.name,
+                            col_name,
+                            format!(
+                                "else-branch of `{} ? … : …` is unreachable: the condition \
+                                 always holds where it is reached",
+                                conds[i].0
+                            ),
+                        )
+                        .at(at),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Pre-order list of (ternary condition, else-arm-has-nested-ternary)
+/// pairs (the node numbering the marked evaluator reproduces).
+fn collect_conds<'a>(e: &'a Expr, out: &mut Vec<(&'a Expr, bool)>) {
+    match e {
+        Expr::Ternary(c, t, f) => {
+            out.push((c, count_ternaries(f) > 0));
+            collect_conds(c, out);
+            collect_conds(t, out);
+            collect_conds(f, out);
+        }
+        Expr::Eq(a, b) | Expr::Ne(a, b) | Expr::And(a, b) | Expr::Or(a, b) => {
+            collect_conds(a, out);
+            collect_conds(b, out);
+        }
+        Expr::In(x, _) | Expr::Not(x) | Expr::Call(_, x) => collect_conds(x, out),
+        _ => {}
+    }
+}
+
+/// Structural cache key: ternary nesting with conditions spelled out and
+/// ternary-free arms collapsed to `_` (assignment leaves differ between
+/// the output columns of one rule chain; the guards do not).
+fn skeleton(e: &Expr) -> String {
+    fn has_ternary(e: &Expr) -> bool {
+        match e {
+            Expr::Ternary(..) => true,
+            Expr::Eq(a, b) | Expr::Ne(a, b) | Expr::And(a, b) | Expr::Or(a, b) => {
+                has_ternary(a) || has_ternary(b)
+            }
+            Expr::In(x, _) | Expr::Not(x) | Expr::Call(_, x) => has_ternary(x),
+            _ => false,
+        }
+    }
+    fn go(e: &Expr, out: &mut String) {
+        if !has_ternary(e) {
+            out.push('_');
+            return;
+        }
+        match e {
+            Expr::Ternary(c, t, f) => {
+                out.push('(');
+                out.push_str(&c.to_string());
+                out.push('?');
+                go(t, out);
+                out.push(':');
+                go(f, out);
+                out.push(')');
+            }
+            Expr::And(a, b) => {
+                out.push_str("&(");
+                go(a, out);
+                out.push(',');
+                go(b, out);
+                out.push(')');
+            }
+            Expr::Or(a, b) => {
+                out.push_str("|(");
+                go(a, out);
+                out.push(',');
+                go(b, out);
+                out.push(')');
+            }
+            Expr::Not(x) => {
+                out.push('!');
+                go(x, out);
+            }
+            Expr::Eq(a, b) => {
+                out.push_str("=(");
+                go(a, out);
+                out.push(',');
+                go(b, out);
+                out.push(')');
+            }
+            Expr::Ne(a, b) => {
+                out.push_str("#(");
+                go(a, out);
+                out.push(',');
+                go(b, out);
+                out.push(')');
+            }
+            Expr::In(x, _) | Expr::Call(_, x) => {
+                out.push_str("f(");
+                go(x, out);
+                out.push(')');
+            }
+            _ => out.push('_'),
+        }
+    }
+    let mut s = String::new();
+    go(e, &mut s);
+    s
+}
+
+/// Enumerate full assignments over `cols`; `f` returns `true` to stop
+/// early (all marks resolved).
+fn enumerate(
+    cols: &[Sym],
+    i: usize,
+    table_of: &HashMap<Sym, &[Value]>,
+    env: &mut HashMap<Sym, Value>,
+    f: &mut dyn FnMut(&HashMap<Sym, Value>) -> bool,
+) -> bool {
+    if i == cols.len() {
+        return f(env);
+    }
+    for v in table_of[&cols[i]] {
+        env.insert(cols[i], *v);
+        if enumerate(cols, i + 1, table_of, env, f) {
+            env.remove(&cols[i]);
+            return true;
+        }
+    }
+    env.remove(&cols[i]);
+    false
+}
+
+/// The instrumented evaluator. `idx` walks the same pre-order ternary
+/// numbering as [`collect_conds`]; untaken ternary arms advance it by
+/// their ternary count without being evaluated, keeping ids aligned.
+fn eval_marked(
+    e: &Expr,
+    env: &HashMap<Sym, Value>,
+    ctx: &dyn EvalContext,
+    idx: &mut usize,
+    marks: &mut [Mark],
+) -> K {
+    match e {
+        Expr::Col(c) => match env.get(c) {
+            Some(v) => K::Val(*v),
+            None => K::Unknown,
+        },
+        Expr::Ident(c) => K::Val(Value::Sym(*c)),
+        Expr::Lit(v) => K::Val(*v),
+        Expr::True => K::Bool(true),
+        Expr::False => K::Bool(false),
+        Expr::Eq(a, b) | Expr::Ne(a, b) => {
+            let ka = eval_marked(a, env, ctx, idx, marks);
+            let kb = eval_marked(b, env, ctx, idx, marks);
+            match (ka, kb) {
+                (K::Val(x), K::Val(y)) => {
+                    let eq = x == y;
+                    K::Bool(if matches!(e, Expr::Eq(..)) { eq } else { !eq })
+                }
+                _ => K::Unknown,
+            }
+        }
+        Expr::In(x, vs) => match eval_marked(x, env, ctx, idx, marks) {
+            K::Val(v) => K::Bool(vs.contains(&v)),
+            _ => K::Unknown,
+        },
+        Expr::And(a, b) => {
+            // Kleene, no short-circuit: both sides always visited.
+            let ka = eval_marked(a, env, ctx, idx, marks);
+            let kb = eval_marked(b, env, ctx, idx, marks);
+            match (ka, kb) {
+                (K::Bool(false), _) | (_, K::Bool(false)) => K::Bool(false),
+                (K::Bool(true), K::Bool(true)) => K::Bool(true),
+                _ => K::Unknown,
+            }
+        }
+        Expr::Or(a, b) => {
+            let ka = eval_marked(a, env, ctx, idx, marks);
+            let kb = eval_marked(b, env, ctx, idx, marks);
+            match (ka, kb) {
+                (K::Bool(true), _) | (_, K::Bool(true)) => K::Bool(true),
+                (K::Bool(false), K::Bool(false)) => K::Bool(false),
+                _ => K::Unknown,
+            }
+        }
+        Expr::Not(x) => match eval_marked(x, env, ctx, idx, marks) {
+            K::Bool(b) => K::Bool(!b),
+            _ => K::Unknown,
+        },
+        Expr::Call(name, x) => match eval_marked(x, env, ctx, idx, marks) {
+            K::Val(v) => match ctx.set_contains(*name, v) {
+                Ok(b) => K::Bool(b),
+                Err(_) => K::Unknown,
+            },
+            _ => K::Unknown,
+        },
+        Expr::Ternary(c, t, f) => {
+            let my = *idx;
+            *idx += 1;
+            let kc = eval_marked(c, env, ctx, idx, marks);
+            match kc {
+                K::Bool(true) => {
+                    marks[my].then_taken = true;
+                    let r = eval_marked(t, env, ctx, idx, marks);
+                    *idx += count_ternaries(f);
+                    r
+                }
+                K::Bool(false) => {
+                    marks[my].else_taken = true;
+                    *idx += count_ternaries(t);
+                    eval_marked(f, env, ctx, idx, marks)
+                }
+                _ => {
+                    // Condition value unknown (opaque predicate or an
+                    // unfixed column): treat both arms as possibly
+                    // reachable — the safe direction for this check.
+                    marks[my].cond_unknown = true;
+                    eval_marked(t, env, ctx, idx, marks);
+                    eval_marked(f, env, ctx, idx, marks);
+                    K::Unknown
+                }
+            }
+        }
+    }
+}
+
+/// Ternary count of a subtree (to advance the id counter past skipped
+/// arms).
+fn count_ternaries(e: &Expr) -> usize {
+    match e {
+        Expr::Ternary(c, t, f) => 1 + count_ternaries(c) + count_ternaries(t) + count_ternaries(f),
+        Expr::Eq(a, b) | Expr::Ne(a, b) | Expr::And(a, b) | Expr::Or(a, b) => {
+            count_ternaries(a) + count_ternaries(b)
+        }
+        Expr::In(x, _) | Expr::Not(x) | Expr::Call(_, x) => count_ternaries(x),
+        _ => 0,
+    }
+}

@@ -1,0 +1,181 @@
+//! Cross-controller message-flow lints: messages emitted that nothing
+//! accepts (CCL020), messages accepted that nothing emits (CCL021),
+//! emitted triples with no virtual-channel assignment under the
+//! selected `V(m,s,d,v)` (CCL022), and emitted triples no controller
+//! accepts on that role pair even though the name is known (CCL023).
+//!
+//! The checks run over a [`FlowModel`]: a flat list of accept/emit
+//! points, each a (message, source, destination) value triple tagged
+//! with the table/column (and span) it came from. `"*"` in a role slot
+//! means "unknown" (spec files declare message columns but not role
+//! columns) and matches anything; the role-level checks CCL022/CCL023
+//! only apply to fully-known triples. An [`Boundary`] lists the traffic
+//! that legitimately crosses the modeled boundary: `send` entries
+//! suppress CCL021 (the environment injects them), `recv` entries
+//! suppress CCL020/CCL023 (the environment consumes them).
+
+use crate::diag::{codes, Diagnostic, LintReport, Severity};
+use ccsql::vc::VcAssignment;
+use ccsql_protocol::topology::Role;
+use ccsql_relalg::Span;
+
+/// Wildcard role used when a spec file declares no role columns.
+pub const ANY: &str = "*";
+
+/// One accept or emit point.
+#[derive(Clone, Debug)]
+pub struct FlowPoint {
+    /// Table (controller) owning the column.
+    pub table: String,
+    /// Message column name.
+    pub column: String,
+    /// Declaration span of the column ([`Span::UNKNOWN`] for built-ins).
+    pub at: Span,
+    /// Message name.
+    pub msg: String,
+    /// Source role, or [`ANY`].
+    pub src: String,
+    /// Destination role, or [`ANY`].
+    pub dest: String,
+}
+
+/// A boundary triple; role slots may be [`ANY`].
+#[derive(Clone, Debug)]
+pub struct BoundaryTriple {
+    /// Message name.
+    pub msg: String,
+    /// Source role, or [`ANY`].
+    pub src: String,
+    /// Destination role, or [`ANY`].
+    pub dest: String,
+}
+
+impl BoundaryTriple {
+    /// Name-only triple (both roles wild).
+    pub fn name(msg: &str) -> BoundaryTriple {
+        BoundaryTriple {
+            msg: msg.to_string(),
+            src: ANY.to_string(),
+            dest: ANY.to_string(),
+        }
+    }
+
+    fn matches(&self, msg: &str, src: &str, dest: &str) -> bool {
+        self.msg == msg
+            && (self.src == ANY || src == ANY || self.src == src)
+            && (self.dest == ANY || dest == ANY || self.dest == dest)
+    }
+}
+
+/// The external model boundary for a lint run.
+#[derive(Clone, Debug, Default)]
+pub struct Boundary {
+    /// Traffic the environment injects (suppresses CCL021).
+    pub send: Vec<BoundaryTriple>,
+    /// Traffic the environment consumes (suppresses CCL020 / CCL023).
+    pub recv: Vec<BoundaryTriple>,
+}
+
+/// All flow endpoints of the specs being linted together.
+#[derive(Clone, Debug, Default)]
+pub struct FlowModel {
+    /// Message triples the controllers accept.
+    pub accepts: Vec<FlowPoint>,
+    /// Message triples the controllers emit.
+    pub emits: Vec<FlowPoint>,
+    /// The external boundary.
+    pub boundary: Boundary,
+}
+
+/// Run the flow checks. `vc` enables CCL022 for fully-known triples.
+pub fn lint_flow(model: &FlowModel, vc: Option<&VcAssignment>, report: &mut LintReport) {
+    // CCL020 / CCL023: every emit point must have a consumer.
+    for e in &model.emits {
+        let externally_consumed = model
+            .boundary
+            .recv
+            .iter()
+            .any(|t| t.matches(&e.msg, &e.src, &e.dest));
+        let accepted_by_name = model.accepts.iter().any(|a| a.msg == e.msg);
+        let accepted_exact = model.accepts.iter().any(|a| {
+            a.msg == e.msg
+                && (a.src == ANY || e.src == ANY || a.src == e.src)
+                && (a.dest == ANY || e.dest == ANY || a.dest == e.dest)
+        });
+        if !accepted_by_name && !externally_consumed {
+            report.push(
+                Diagnostic::new(
+                    codes::EMITTED_NEVER_ACCEPTED,
+                    Severity::Error,
+                    &e.table,
+                    &e.column,
+                    format!(
+                        "emits `{}`, which no controller input column accepts and the \
+                         environment does not consume",
+                        e.msg
+                    ),
+                )
+                .at(e.at),
+            );
+        } else if !accepted_exact && !externally_consumed {
+            report.push(
+                Diagnostic::new(
+                    codes::NO_COMPATIBLE_RECEIVER,
+                    Severity::Error,
+                    &e.table,
+                    &e.column,
+                    format!(
+                        "emits `{}` {}→{}, but every controller accepting `{}` expects \
+                         a different source/destination pair",
+                        e.msg, e.src, e.dest, e.msg
+                    ),
+                )
+                .at(e.at),
+            );
+        }
+        // CCL022: the network must have a channel for the triple.
+        if let (Some(vc), Some(src), Some(dest)) = (vc, Role::parse(&e.src), Role::parse(&e.dest)) {
+            if vc.lookup(&e.msg, src, dest).is_none() {
+                report.push(
+                    Diagnostic::new(
+                        codes::NO_VC_ASSIGNMENT,
+                        Severity::Error,
+                        &e.table,
+                        &e.column,
+                        format!(
+                            "emits `{}` {}→{}, but {} assigns it no virtual channel on \
+                             that role pair",
+                            e.msg, e.src, e.dest, vc.name
+                        ),
+                    )
+                    .at(e.at),
+                );
+            }
+        }
+    }
+
+    // CCL021: every accept point should have a producer. This check is
+    // name-level on both sides: acceptance triples are cross products of
+    // role column tables, so demanding an exact role match would flag
+    // every (message, role-pair) combination the boundary does not list.
+    for a in &model.accepts {
+        let externally_sent = model.boundary.send.iter().any(|t| t.msg == a.msg);
+        let emitted_by_name = model.emits.iter().any(|e| e.msg == a.msg);
+        if !emitted_by_name && !externally_sent {
+            report.push(
+                Diagnostic::new(
+                    codes::ACCEPTED_NEVER_EMITTED,
+                    Severity::Warn,
+                    &a.table,
+                    &a.column,
+                    format!(
+                        "accepts `{}`, which no controller emits and the environment \
+                         does not send (dead input value)",
+                        a.msg
+                    ),
+                )
+                .at(a.at),
+            );
+        }
+    }
+}

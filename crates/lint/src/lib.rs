@@ -1,0 +1,282 @@
+//! # `ccsql-lint` — pre-solve static analysis of constraint specs
+//!
+//! The paper's thesis is *early* error detection: catching protocol
+//! bugs from the table specifications, before simulation. This crate
+//! pulls detection one stage earlier still — before even the constraint
+//! solve — by linting parsed `.ccsql` specs and the built-in controller
+//! declarations directly. Three analysis families:
+//!
+//! 1. **Expression-level** ([`expr_lint`]): references to undeclared
+//!    columns (CCL001), comparisons against values outside a column
+//!    table (CCL002), unreachable ternary branches over the declared
+//!    domains (CCL003), constraints forcing a column outside its own
+//!    table (CCL004), and outputs whose every branch is `NULL` (CCL005).
+//! 2. **Table-shape** ([`coverage`]): symbolic input-coverage analysis —
+//!    legal inputs admitting no output row (CCL010, incompleteness) or
+//!    two and more (CCL011, nondeterminism) — without running the
+//!    solver.
+//! 3. **Message flow** ([`flow`]): emitted messages nothing accepts
+//!    (CCL020), accepted messages nothing emits (CCL021), emitted
+//!    triples without a virtual-channel assignment (CCL022) or without
+//!    a role-compatible receiver (CCL023).
+//!
+//! Analyses that cannot run (domain over budget, opaque predicate)
+//! report an informational CCL019 rather than guessing. All findings
+//! flow into a [`LintReport`] with stable codes, severities, source
+//! spans, and a deterministic order; rendering is human-readable or
+//! JSONL (the `ccsql-obs` export idiom).
+
+pub mod coverage;
+pub mod diag;
+pub mod expr_lint;
+pub mod flow;
+
+pub use diag::{codes, Diagnostic, LintReport, Severity};
+pub use flow::{Boundary, BoundaryTriple, FlowModel, FlowPoint, ANY};
+
+use ccsql::vc::VcAssignment;
+use ccsql_protocol::ProtocolSpec;
+use ccsql_relalg::expr::EvalContext;
+use ccsql_relalg::solver::{ColumnRole, TableSpec};
+use ccsql_relalg::{Span, SpecFile, Value};
+
+/// Lint a single table spec (expression + coverage families). `span_of`
+/// maps a column name to its constraint's source span; pass
+/// `|_| Span::UNKNOWN` for built-in specs.
+pub fn lint_table(
+    spec: &TableSpec,
+    ctx: &dyn EvalContext,
+    span_of: &dyn Fn(&str) -> Span,
+    report: &mut LintReport,
+) {
+    ccsql_obs::counter_add("ccsql_lint.tables", 1);
+    expr_lint::lint_exprs(spec, ctx, span_of, report);
+    coverage::lint_coverage(spec, ctx, span_of, report);
+}
+
+/// Lint one or more parsed spec files together: per-table analyses for
+/// each, plus the message-flow checks across all of them using their
+/// `flow` / `extern` directives.
+pub fn lint_specfiles(files: &[&SpecFile], ctx: &dyn EvalContext) -> LintReport {
+    let mut report = LintReport::new();
+    let mut model = FlowModel::default();
+    for f in files {
+        lint_table(
+            &f.spec,
+            ctx,
+            &|col| f.meta.constraint_span(col),
+            &mut report,
+        );
+
+        for col_name in &f.meta.flow_columns {
+            let Some(col) = f
+                .spec
+                .columns
+                .iter()
+                .find(|c| c.name.as_str() == col_name.as_str())
+            else {
+                continue; // parse_specfile already rejects unknown names
+            };
+            let points = col.values.iter().filter_map(|v| match v {
+                Value::Sym(s) => Some(FlowPoint {
+                    table: f.spec.name.clone(),
+                    column: col_name.clone(),
+                    at: f.meta.column_span(col_name),
+                    msg: s.to_string(),
+                    src: ANY.to_string(),
+                    dest: ANY.to_string(),
+                }),
+                _ => None, // NULL is "no message"
+            });
+            match col.role {
+                ColumnRole::Input => model.accepts.extend(points),
+                ColumnRole::Output => model.emits.extend(points),
+            }
+        }
+        model
+            .boundary
+            .send
+            .extend(f.meta.extern_send.iter().map(|m| BoundaryTriple::name(m)));
+        model
+            .boundary
+            .recv
+            .extend(f.meta.extern_recv.iter().map(|m| BoundaryTriple::name(m)));
+    }
+    flow::lint_flow(&model, None, &mut report);
+    finish(report)
+}
+
+/// Lint the full built-in protocol: per-controller analyses plus the
+/// cross-controller flow checks against the protocol's declared
+/// external boundary ([`ProtocolSpec::flow_env`]) and the selected
+/// virtual-channel assignment.
+pub fn lint_protocol(p: &ProtocolSpec, vc: &VcAssignment) -> LintReport {
+    let ctx = ProtocolSpec::eval_context();
+    let mut report = LintReport::new();
+    let mut model = FlowModel::default();
+
+    for c in &p.controllers {
+        lint_table(&c.spec, &ctx, &|_| Span::UNKNOWN, &mut report);
+
+        // Expand the (message, source, destination) *column* triples to
+        // value triples via the column tables.
+        let expand = |triples: &[ccsql_protocol::MsgTriple], out: &mut Vec<FlowPoint>| {
+            for t in triples {
+                let values = |col: &str| -> Vec<String> {
+                    c.spec
+                        .columns
+                        .iter()
+                        .find(|cd| cd.name.as_str() == col)
+                        .map(|cd| {
+                            cd.values
+                                .iter()
+                                .filter_map(|v| match v {
+                                    Value::Sym(s) => Some(s.to_string()),
+                                    _ => None,
+                                })
+                                .collect()
+                        })
+                        .unwrap_or_default()
+                };
+                for msg in values(t.msg) {
+                    for src in values(t.src) {
+                        for dest in values(t.dest) {
+                            out.push(FlowPoint {
+                                table: c.name.to_string(),
+                                column: t.msg.to_string(),
+                                at: Span::UNKNOWN,
+                                msg: msg.clone(),
+                                src: src.clone(),
+                                dest: dest.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+        };
+        expand(&c.input_triples, &mut model.accepts);
+        expand(&c.output_triples, &mut model.emits);
+    }
+
+    let env = ProtocolSpec::flow_env();
+    let triple = |t: &ccsql_protocol::FlowTriple| BoundaryTriple {
+        msg: t.msg.to_string(),
+        src: t.src.to_string(),
+        dest: t.dest.to_string(),
+    };
+    model.boundary.send = env.sources.iter().map(triple).collect();
+    model.boundary.recv = env.sinks.iter().map(triple).collect();
+
+    flow::lint_flow(&model, Some(vc), &mut report);
+    finish(report)
+}
+
+fn finish(mut report: LintReport) -> LintReport {
+    report.finish();
+    ccsql_obs::counter_add(
+        "ccsql_lint.diag.error",
+        report.count(Severity::Error) as u64,
+    );
+    ccsql_obs::counter_add("ccsql_lint.diag.warn", report.count(Severity::Warn) as u64);
+    ccsql_obs::counter_add("ccsql_lint.diag.info", report.count(Severity::Info) as u64);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccsql_relalg::parse_specfile;
+
+    fn lint_src(src: &str) -> LintReport {
+        let f = parse_specfile(src).expect("spec parses");
+        lint_specfiles(&[&f], &ccsql_relalg::expr::NoContext)
+    }
+
+    #[test]
+    fn minimal_clean_spec() {
+        let r = lint_src(
+            "table T\n\
+             input a = x, y\n\
+             output o = p, NULL\n\
+             constrain o: a = x ? o = p : o = NULL\n",
+        );
+        assert!(r.is_clean(), "{}", r.render_human());
+    }
+
+    #[test]
+    fn uncovered_input_detected() {
+        // `a = y` admits no value for o: its constraint excludes the
+        // whole column table.
+        let r = lint_src(
+            "table T\n\
+             input a = x, y\n\
+             output o = p, NULL\n\
+             constrain o: a = x ? o = p : (o != p and o != NULL)\n",
+        );
+        let codes: Vec<&str> = r.diagnostics().iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec![codes::UNCOVERED_INPUT], "{}", r.render_human());
+    }
+
+    #[test]
+    fn nondeterminism_detected() {
+        let r = lint_src(
+            "table T\n\
+             input a = x, y\n\
+             output o = p, q, NULL\n\
+             constrain o: a = x ? o != NULL : o = NULL\n",
+        );
+        let codes: Vec<&str> = r.diagnostics().iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec![codes::NONDETERMINISTIC], "{}", r.render_human());
+    }
+
+    #[test]
+    fn unreachable_branch_detected() {
+        // The inner `a = x` test sits in the else-arm of an identical
+        // outer test: its then-branch can never be reached.
+        let r = lint_src(
+            "table T\n\
+             input a = x, y\n\
+             output o = p, q, NULL\n\
+             constrain o: a = x ? o = p : (a = x ? o = q : o = NULL)\n",
+        );
+        let codes: Vec<&str> = r.diagnostics().iter().map(|d| d.code).collect();
+        assert_eq!(
+            codes,
+            vec![codes::UNREACHABLE_BRANCH],
+            "{}",
+            r.render_human()
+        );
+    }
+
+    #[test]
+    fn flow_checks_across_files() {
+        // T emits `m` which nothing accepts; accepts `z` nothing sends.
+        let r = lint_src(
+            "table T\n\
+             input a = z\n\
+             output o = m\n\
+             flow a, o\n",
+        );
+        let codes: Vec<&str> = r.diagnostics().iter().map(|d| d.code).collect();
+        // Accept points (line 2) sort before emit points (line 3).
+        assert_eq!(
+            codes,
+            vec![codes::ACCEPTED_NEVER_EMITTED, codes::EMITTED_NEVER_ACCEPTED],
+            "{}",
+            r.render_human()
+        );
+    }
+
+    #[test]
+    fn extern_directives_suppress_flow_checks() {
+        let r = lint_src(
+            "table T\n\
+             input a = z\n\
+             output o = m\n\
+             flow a, o\n\
+             extern send z\n\
+             extern recv m\n",
+        );
+        assert!(r.is_clean(), "{}", r.render_human());
+    }
+}

@@ -1,0 +1,304 @@
+//! Golden diagnostics: one known-bad spec per lint code asserting the
+//! exact rendered findings, plus the clean-spec regressions (fig3 and
+//! every built-in controller) and the seeded-bug fixture
+//! `specs/fig3_buggy.ccsql`.
+
+use ccsql::vc::VcAssignment;
+use ccsql_lint::{codes, lint_protocol, lint_specfiles, LintReport};
+use ccsql_lint::{FlowModel, FlowPoint};
+use ccsql_protocol::ProtocolSpec;
+use ccsql_relalg::{parse_specfile, Span};
+
+fn lint_src(src: &str) -> LintReport {
+    let f = parse_specfile(src).expect("spec parses");
+    lint_specfiles(&[&f], &ProtocolSpec::eval_context())
+}
+
+/// Rendered findings (summary line dropped).
+fn findings(r: &LintReport) -> Vec<String> {
+    r.diagnostics().iter().map(|d| d.render()).collect()
+}
+
+#[test]
+fn ccl001_unknown_column() {
+    // `bogus` is not a column: the comparison is constant, and the
+    // branch it guards is dead as a consequence.
+    let r = lint_src(
+        "table T\n\
+         input a = x, y\n\
+         output o = p, NULL\n\
+         constrain o: bogus = x ? o = p : o = NULL\n",
+    );
+    assert_eq!(
+        findings(&r),
+        vec![
+            "T.o at 4:14: error CCL001: comparison `\"bogus\" = \"x\"` references no \
+             declared column (mistyped column name?)",
+            "T.o at 4:14: warn CCL003: then-branch of `\"bogus\" = \"x\" ? … : …` is \
+             unreachable: the condition never holds on any path that reaches it",
+        ]
+    );
+    assert!(r.failed());
+}
+
+#[test]
+fn ccl002_value_not_in_domain() {
+    let r = lint_src(
+        "table T\n\
+         input a = x, y\n\
+         output o = p, NULL\n\
+         constrain o: a in (x, zz) ? o = p : o = NULL\n",
+    );
+    assert_eq!(
+        findings(&r),
+        vec![
+            "T.o at 4:14: error CCL002: `a in (…)` lists \"zz\", which is not in its \
+             column table",
+        ]
+    );
+}
+
+#[test]
+fn ccl003_unreachable_branch() {
+    // The inner `a = x` sits in the else-arm of an identical outer
+    // test: its then-branch can never be reached.
+    let r = lint_src(
+        "table T\n\
+         input a = x, y\n\
+         output o = p, q, NULL\n\
+         constrain o: a = x ? o = p : (a = x ? o = q : o = NULL)\n",
+    );
+    assert_eq!(
+        findings(&r),
+        vec![
+            "T.o at 4:14: warn CCL003: then-branch of `a = \"x\" ? … : …` is \
+             unreachable: the condition never holds on any path that reaches it",
+        ]
+    );
+}
+
+#[test]
+fn ccl004_forced_out_of_domain() {
+    // `o = q` with q outside the column table — and the input it guards
+    // is uncovered as a consequence.
+    let r = lint_src(
+        "table T\n\
+         input a = x, y\n\
+         output o = p, NULL\n\
+         constrain o: a = x ? o = q : o = NULL\n",
+    );
+    assert_eq!(
+        findings(&r),
+        vec![
+            "T.o at 4:14: error CCL004: constraint assigns `o = \"q\"`, which is \
+             outside the column table",
+            "T at 4:14: error CCL010: no output row satisfies the constraints for \
+             legal input a=\"x\"",
+        ]
+    );
+}
+
+#[test]
+fn ccl005_all_branches_null() {
+    let r = lint_src(
+        "table T\n\
+         input a = x, y\n\
+         output o = p, NULL\n\
+         constrain o: a = x ? o = NULL : o = NULL\n",
+    );
+    assert_eq!(
+        findings(&r),
+        vec![
+            "T.o at 4:14: warn CCL005: every branch assigns `o = NULL`: this output \
+             can never do anything",
+        ]
+    );
+}
+
+#[test]
+fn ccl010_uncovered_input() {
+    // For a = y the constraint excludes the whole column table.
+    let r = lint_src(
+        "table T\n\
+         input a = x, y\n\
+         output o = p, NULL\n\
+         constrain o: a = x ? o = p : (o != p and o != NULL)\n",
+    );
+    assert_eq!(
+        findings(&r),
+        vec![
+            "T at 4:14: error CCL010: no output row satisfies the constraints for \
+             legal input a=\"y\"",
+        ]
+    );
+}
+
+#[test]
+fn ccl011_nondeterministic() {
+    // For a = x both p and q satisfy `o != NULL`.
+    let r = lint_src(
+        "table T\n\
+         input a = x, y\n\
+         output o = p, q, NULL\n\
+         constrain o: a = x ? o != NULL : o = NULL\n",
+    );
+    assert_eq!(
+        findings(&r),
+        vec![
+            "T at 4:14: error CCL011: constraints admit 2+ distinct output rows for \
+             legal input a=\"x\"",
+        ]
+    );
+}
+
+#[test]
+fn ccl019_analysis_skipped_over_budget() {
+    // Three 100-value inputs: 10^6 assignments exceed both the
+    // reachability and the coverage enumeration budgets. Notes only —
+    // the gate must not fail.
+    let mut src = String::from("table T\n");
+    for col in ["a", "b", "c"] {
+        let vals: Vec<String> = (0..100).map(|i| format!("{col}{i}")).collect();
+        src.push_str(&format!("input {col} = {}\n", vals.join(", ")));
+    }
+    src.push_str("output o = p, NULL\n");
+    src.push_str("constrain o: a = a0 and b = b0 and c = c0 ? o = p : o = NULL\n");
+    let r = lint_src(&src);
+    let codes: Vec<&str> = r.diagnostics().iter().map(|d| d.code).collect();
+    assert_eq!(
+        codes,
+        vec![codes::ANALYSIS_SKIPPED, codes::ANALYSIS_SKIPPED],
+        "{}",
+        r.render_human()
+    );
+    assert!(!r.failed(), "info notes must not fail the gate");
+    assert!(!r.is_clean());
+}
+
+#[test]
+fn ccl020_emitted_never_accepted() {
+    let r = lint_src(
+        "table T\n\
+         input a = z\n\
+         output o = m\n\
+         flow a, o\n\
+         extern send z\n",
+    );
+    assert_eq!(
+        findings(&r),
+        vec![
+            "T.o at 3:8: error CCL020: emits `m`, which no controller input column \
+             accepts and the environment does not consume",
+        ]
+    );
+}
+
+#[test]
+fn ccl021_accepted_never_emitted() {
+    let r = lint_src(
+        "table T\n\
+         input a = z\n\
+         output o = m\n\
+         flow a, o\n\
+         extern recv m\n",
+    );
+    assert_eq!(
+        findings(&r),
+        vec![
+            "T.a at 2:7: warn CCL021: accepts `z`, which no controller emits and the \
+             environment does not send (dead input value)",
+        ]
+    );
+}
+
+#[test]
+fn ccl022_ccl023_role_level_checks() {
+    // A hand-built flow model: `bogusmsg` is accepted by name but on a
+    // different role pair (CCL023), and V1 catalogues no channel for it
+    // (CCL022).
+    let point = |src: &str, dest: &str| FlowPoint {
+        table: "L".to_string(),
+        column: "outmsg".to_string(),
+        at: Span::UNKNOWN,
+        msg: "bogusmsg".to_string(),
+        src: src.to_string(),
+        dest: dest.to_string(),
+    };
+    let model = FlowModel {
+        emits: vec![point("local", "home")],
+        accepts: vec![point("home", "remote")],
+        ..FlowModel::default()
+    };
+    let v1 = VcAssignment::v1();
+    let mut report = LintReport::new();
+    ccsql_lint::flow::lint_flow(&model, Some(&v1), &mut report);
+    report.finish();
+    assert_eq!(
+        findings(&report),
+        vec![
+            format!(
+                "L.outmsg: error CCL022: emits `bogusmsg` local→home, but {} assigns \
+                 it no virtual channel on that role pair",
+                v1.name
+            ),
+            "L.outmsg: error CCL023: emits `bogusmsg` local→home, but every \
+             controller accepting `bogusmsg` expects a different source/destination \
+             pair"
+                .to_string(),
+        ]
+    );
+}
+
+// --- clean-spec regressions -----------------------------------------
+
+#[test]
+fn fig3_lints_clean() {
+    let src = include_str!("../../../specs/fig3.ccsql");
+    let r = lint_src(src);
+    assert!(r.is_clean(), "{}", r.render_human());
+}
+
+#[test]
+fn builtin_protocol_lints_clean() {
+    // All 8 controllers, expression + coverage + cross-controller flow
+    // against the declared boundary and the default VC assignment.
+    let r = lint_protocol(&ProtocolSpec::asura(), &VcAssignment::v1());
+    assert!(r.is_clean(), "{}", r.render_human());
+}
+
+// --- the seeded-bug fixture -----------------------------------------
+
+#[test]
+fn fig3_buggy_reports_each_seeded_bug() {
+    let src = include_str!("../../../specs/fig3_buggy.ccsql");
+    let r = lint_src(src);
+    let codes_seen: Vec<&str> = r.diagnostics().iter().map(|d| d.code).collect();
+    // Three distinct codes, one per seeded bug (CCL010 reports both
+    // uncovered sharer-count witnesses of the same bug).
+    assert_eq!(
+        codes_seen,
+        vec![
+            codes::EMITTED_NEVER_ACCEPTED,
+            codes::UNCOVERED_INPUT,
+            codes::UNCOVERED_INPUT,
+            codes::UNREACHABLE_BRANCH,
+        ],
+        "{}",
+        r.render_human()
+    );
+    assert!(r.failed());
+    assert_eq!(
+        findings(&r),
+        vec![
+            "Fig3Buggy.remmsg at 25:8: error CCL020: emits `sfetch`, which no \
+             controller input column accepts and the environment does not consume",
+            "Fig3Buggy at 43:19: error CCL010: no output row satisfies the \
+             constraints for legal input inmsg=\"readex\", dirst=\"SI\", dirpv=\"gone\"",
+            "Fig3Buggy at 43:19: error CCL010: no output row satisfies the \
+             constraints for legal input inmsg=\"readex\", dirst=\"SI\", dirpv=\"one\"",
+            "Fig3Buggy.nxtdirst at 45:21: warn CCL003: then-branch of \
+             `dirst = \"SI\" ? … : …` is unreachable: the condition never holds on any \
+             path that reaches it",
+        ]
+    );
+}

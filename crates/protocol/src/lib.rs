@@ -40,6 +40,60 @@ pub use spec::{ControllerBuilder, ControllerSpec, MsgTriple, Rule};
 
 use ccsql_relalg::expr::SetContext;
 
+/// A concrete message flow endpoint: a (message, source role,
+/// destination role) *value* triple — as opposed to [`MsgTriple`], which
+/// names the *columns* carrying them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FlowTriple {
+    /// Message name.
+    pub msg: &'static str,
+    /// Source role (`local` / `home` / `remote`).
+    pub src: &'static str,
+    /// Destination role.
+    pub dest: &'static str,
+}
+
+impl FlowTriple {
+    /// Construct a triple.
+    pub const fn new(msg: &'static str, src: &'static str, dest: &'static str) -> FlowTriple {
+        FlowTriple { msg, src, dest }
+    }
+}
+
+/// The protocol's external model boundary: message triples injected by
+/// the environment (CPUs, devices, firmware — `sources`) and consumed
+/// by it (`sinks`). The flow linter uses this to tell a genuinely
+/// unsendable / unreceivable message from one that simply crosses the
+/// modeled boundary.
+#[derive(Clone, Debug, Default)]
+pub struct FlowEnv {
+    /// Triples the environment may inject (accepted by some controller
+    /// but emitted by none).
+    pub sources: Vec<FlowTriple>,
+    /// Triples the environment consumes (emitted by some controller but
+    /// accepted by none).
+    pub sinks: Vec<FlowTriple>,
+}
+
+impl FlowEnv {
+    /// Is `msg` injected by the environment (any role pair)?
+    pub fn is_source_msg(&self, msg: &str) -> bool {
+        self.sources.iter().any(|t| t.msg == msg)
+    }
+
+    /// Is `msg` consumed by the environment (any role pair)?
+    pub fn is_sink_msg(&self, msg: &str) -> bool {
+        self.sinks.iter().any(|t| t.msg == msg)
+    }
+
+    /// Is the exact triple consumed by the environment?
+    pub fn is_sink(&self, msg: &str, src: &str, dest: &str) -> bool {
+        self.sinks
+            .iter()
+            .any(|t| t.msg == msg && t.src == src && t.dest == dest)
+    }
+}
+
 /// The complete protocol: all 8 controller specifications.
 pub struct ProtocolSpec {
     /// Controller specs in canonical order (D first).
@@ -89,6 +143,59 @@ impl ProtocolSpec {
                 .map(|n| ccsql_relalg::Value::sym(n)),
         );
         ctx
+    }
+
+    /// The protocol's external model boundary for the flow linter: the
+    /// traffic that crosses into / out of the 8 modeled controllers.
+    /// CPUs inject `cpu_*` operations into the node controller, firmware
+    /// drives snoop fetches, directory updates, interrupt and special
+    /// transactions; the environment consumes terminal responses no
+    /// modeled controller reads (swap results, interrupt/ack/retry
+    /// deliveries, configuration replies).
+    pub fn flow_env() -> FlowEnv {
+        let t = FlowTriple::new;
+        FlowEnv {
+            sources: vec![
+                // CPU operations entering the node controller.
+                t("cpu_read", "home", "local"),
+                t("cpu_write", "home", "local"),
+                t("cpu_evict", "home", "local"),
+                t("cpu_flush", "home", "local"),
+                t("cpu_ioread", "home", "local"),
+                t("cpu_iowrite", "home", "local"),
+                // Uncached fetch at the RAC, driven by the environment.
+                t("sfetch", "home", "remote"),
+                // Firmware-driven memory-directory maintenance.
+                t("mupd", "home", "home"),
+                t("mflush", "home", "home"),
+                // Node-side operations injected above the node controller.
+                t("wbinv", "local", "home"),
+                t("fetch", "local", "home"),
+                t("swap", "local", "home"),
+                // Device-side I/O and interrupt traffic.
+                t("iordex", "home", "home"),
+                t("intr", "home", "home"),
+                t("intack", "home", "home"),
+                // Configuration / special transactions from firmware.
+                t("cfgrd", "local", "home"),
+                t("cfgwr", "local", "home"),
+                t("sync", "local", "home"),
+                t("probe", "local", "home"),
+            ],
+            sinks: vec![
+                // Swap result returned straight to the requesting CPU.
+                t("swapdata", "home", "local"),
+                // Interrupt / acknowledgement deliveries to devices.
+                t("intdone", "home", "home"),
+                t("ack", "home", "home"),
+                t("retry", "home", "home"),
+                // Configuration replies consumed by firmware.
+                t("cfgdata", "home", "local"),
+                t("cfgcompl", "home", "local"),
+                t("syncdone", "home", "local"),
+                t("proberes", "home", "local"),
+            ],
+        }
     }
 }
 

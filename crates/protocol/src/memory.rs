@@ -33,7 +33,11 @@ pub fn memory_spec() -> ControllerSpec {
         vals_null(&["data", "mcompl", "compl", "iodata", "iocompl", "ack"]),
         Value::Null,
     );
-    b.output("nxtmemst", vals_null(&["ready"]), Value::Null);
+    // The modeled memory controller is stateless (`memst` is always
+    // `ready`), so no rule ever assigns `nxtmemst`: its domain is the
+    // no-op marker alone. (Flagged by ccsql-lint CCL005 when the table
+    // still carried an unreachable `ready`.)
+    b.output("nxtmemst", vec![Value::Null], Value::Null);
     b.derived(
         "outmsgsrc",
         vals_null(&["home"]),

@@ -258,6 +258,163 @@ impl Expr {
             Expr::False => BoundExpr::False,
         })
     }
+
+    /// Is this the literal `true`?
+    pub fn is_true(&self) -> bool {
+        matches!(self, Expr::True)
+    }
+
+    /// Is this the literal `false`?
+    pub fn is_false(&self) -> bool {
+        matches!(self, Expr::False)
+    }
+
+    /// Rewrite [`Expr::Ident`] nodes: identifiers for which `is_column`
+    /// holds become explicit [`Expr::Col`] references, all others
+    /// become symbolic literals. This mirrors the resolution
+    /// [`Expr::bind_with`] performs at bind time, but keeps the result
+    /// an `Expr` so static analysis can work on it unbound.
+    pub fn resolve_idents(&self, is_column: &dyn Fn(Sym) -> bool) -> Expr {
+        match self {
+            Expr::Ident(c) => {
+                if is_column(*c) {
+                    Expr::Col(*c)
+                } else {
+                    Expr::Lit(Value::Sym(*c))
+                }
+            }
+            Expr::Col(_) | Expr::Lit(_) | Expr::True | Expr::False => self.clone(),
+            Expr::Eq(a, b) => Expr::Eq(
+                Box::new(a.resolve_idents(is_column)),
+                Box::new(b.resolve_idents(is_column)),
+            ),
+            Expr::Ne(a, b) => Expr::Ne(
+                Box::new(a.resolve_idents(is_column)),
+                Box::new(b.resolve_idents(is_column)),
+            ),
+            Expr::In(e, vs) => Expr::In(Box::new(e.resolve_idents(is_column)), vs.clone()),
+            Expr::And(a, b) => Expr::And(
+                Box::new(a.resolve_idents(is_column)),
+                Box::new(b.resolve_idents(is_column)),
+            ),
+            Expr::Or(a, b) => Expr::Or(
+                Box::new(a.resolve_idents(is_column)),
+                Box::new(b.resolve_idents(is_column)),
+            ),
+            Expr::Not(e) => Expr::Not(Box::new(e.resolve_idents(is_column))),
+            Expr::Call(name, e) => Expr::Call(*name, Box::new(e.resolve_idents(is_column))),
+            Expr::Ternary(c, t, f) => Expr::Ternary(
+                Box::new(c.resolve_idents(is_column)),
+                Box::new(t.resolve_idents(is_column)),
+                Box::new(f.resolve_idents(is_column)),
+            ),
+        }
+    }
+
+    /// Partially evaluate under a partial assignment: `lookup` gives a
+    /// column's value when it is fixed, `ctx` resolves named-set calls
+    /// over known arguments (errors leave the call in place). Determined
+    /// sub-expressions fold to [`Expr::True`] / [`Expr::False`] /
+    /// literals; the rest is rebuilt structurally. The folding matches
+    /// [`BoundExpr`] evaluation semantics: `=` is plain value equality
+    /// (so `NULL = NULL` holds) and and/or fold with Kleene rules,
+    /// which agrees with the short-circuit evaluator on every total
+    /// assignment of well-typed constraints. [`Expr::Ident`] is left
+    /// untouched — run [`Expr::resolve_idents`] first.
+    pub fn reduce(&self, lookup: &dyn Fn(Sym) -> Option<Value>, ctx: &dyn EvalContext) -> Expr {
+        match self {
+            Expr::Col(c) => match lookup(*c) {
+                Some(v) => Expr::Lit(v),
+                None => self.clone(),
+            },
+            Expr::Ident(_) | Expr::Lit(_) | Expr::True | Expr::False => self.clone(),
+            Expr::Eq(a, b) => match (a.reduce(lookup, ctx), b.reduce(lookup, ctx)) {
+                (Expr::Lit(x), Expr::Lit(y)) => {
+                    if x == y {
+                        Expr::True
+                    } else {
+                        Expr::False
+                    }
+                }
+                (ra, rb) => Expr::Eq(Box::new(ra), Box::new(rb)),
+            },
+            Expr::Ne(a, b) => match (a.reduce(lookup, ctx), b.reduce(lookup, ctx)) {
+                (Expr::Lit(x), Expr::Lit(y)) => {
+                    if x != y {
+                        Expr::True
+                    } else {
+                        Expr::False
+                    }
+                }
+                (ra, rb) => Expr::Ne(Box::new(ra), Box::new(rb)),
+            },
+            Expr::In(e, vs) => match e.reduce(lookup, ctx) {
+                Expr::Lit(v) => {
+                    if vs.contains(&v) {
+                        Expr::True
+                    } else {
+                        Expr::False
+                    }
+                }
+                re => Expr::In(Box::new(re), vs.clone()),
+            },
+            Expr::And(a, b) => {
+                let ra = a.reduce(lookup, ctx);
+                if ra.is_false() {
+                    return Expr::False;
+                }
+                let rb = b.reduce(lookup, ctx);
+                if rb.is_false() {
+                    return Expr::False;
+                }
+                match (ra.is_true(), rb.is_true()) {
+                    (true, true) => Expr::True,
+                    (true, false) => rb,
+                    (false, true) => ra,
+                    (false, false) => Expr::And(Box::new(ra), Box::new(rb)),
+                }
+            }
+            Expr::Or(a, b) => {
+                let ra = a.reduce(lookup, ctx);
+                if ra.is_true() {
+                    return Expr::True;
+                }
+                let rb = b.reduce(lookup, ctx);
+                if rb.is_true() {
+                    return Expr::True;
+                }
+                match (ra.is_false(), rb.is_false()) {
+                    (true, true) => Expr::False,
+                    (true, false) => rb,
+                    (false, true) => ra,
+                    (false, false) => Expr::Or(Box::new(ra), Box::new(rb)),
+                }
+            }
+            Expr::Not(e) => match e.reduce(lookup, ctx) {
+                Expr::True => Expr::False,
+                Expr::False => Expr::True,
+                re => Expr::Not(Box::new(re)),
+            },
+            Expr::Call(name, e) => {
+                let re = e.reduce(lookup, ctx);
+                if let Expr::Lit(v) = &re {
+                    if let Ok(b) = ctx.set_contains(*name, *v) {
+                        return if b { Expr::True } else { Expr::False };
+                    }
+                }
+                Expr::Call(*name, Box::new(re))
+            }
+            Expr::Ternary(c, t, f) => match c.reduce(lookup, ctx) {
+                Expr::True => t.reduce(lookup, ctx),
+                Expr::False => f.reduce(lookup, ctx),
+                rc => Expr::Ternary(
+                    Box::new(rc),
+                    Box::new(t.reduce(lookup, ctx)),
+                    Box::new(f.reduce(lookup, ctx)),
+                ),
+            },
+        }
+    }
 }
 
 /// Pretty-print in the constraint language's own syntax: the output of

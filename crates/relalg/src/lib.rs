@@ -52,11 +52,12 @@ pub mod value;
 mod engine;
 
 pub use engine::{Database, NamedSet};
-pub use error::{Error, Result};
+pub use error::{Error, Result, Span};
 pub use expr::{BoundExpr, EvalContext, Expr};
 pub use parser::{parse_expr, parse_query, Query};
 pub use relation::{Relation, RowRef};
 pub use schema::Schema;
 pub use solver::{ColumnDef, GenMode, GenStats, GenStep, TableSpec};
+pub use specfile::{parse_specfile, SpecFile, SpecMeta};
 pub use symbol::Sym;
 pub use value::Value;

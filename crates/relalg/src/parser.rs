@@ -27,7 +27,7 @@
 //! resolve to a column when the schema has one, otherwise to a symbolic
 //! constant — exactly how the paper writes `dirpv = zero`.
 
-use crate::error::{Error, Result};
+use crate::error::{Error, Result, Span};
 use crate::expr::Expr;
 use crate::symbol::Sym;
 use crate::value::Value;
@@ -132,10 +132,11 @@ enum Tok {
 struct Lexer;
 
 impl Lexer {
-    fn lex(input: &str) -> Result<Vec<(Tok, usize)>> {
+    fn lex(input: &str) -> Result<Vec<(Tok, Span)>> {
         let b = input.as_bytes();
         let mut i = 0;
-        let mut out = Vec::new();
+        let mut out: Vec<(Tok, Span)> = Vec::new();
+        let at = |off: usize| Span::from_offset(input, off);
         while i < b.len() {
             let c = b[i];
             match c {
@@ -151,27 +152,27 @@ impl Lexer {
                         b'*' => "*",
                         _ => "=",
                     };
-                    out.push((Tok::Punct(p), i));
+                    out.push((Tok::Punct(p), at(i)));
                     i += 1;
                 }
                 b'!' => {
                     if i + 1 < b.len() && b[i + 1] == b'=' {
-                        out.push((Tok::Punct("!="), i));
+                        out.push((Tok::Punct("!="), at(i)));
                         i += 2;
                     } else {
                         return Err(Error::Parse {
-                            pos: i,
+                            at: at(i),
                             msg: "expected '=' after '!'".into(),
                         });
                     }
                 }
                 b'<' => {
                     if i + 1 < b.len() && b[i + 1] == b'>' {
-                        out.push((Tok::Punct("!="), i));
+                        out.push((Tok::Punct("!="), at(i)));
                         i += 2;
                     } else {
                         return Err(Error::Parse {
-                            pos: i,
+                            at: at(i),
                             msg: "only '<>' is supported".into(),
                         });
                     }
@@ -184,7 +185,7 @@ impl Lexer {
                     loop {
                         if i >= b.len() {
                             return Err(Error::Parse {
-                                pos: start,
+                                at: at(start),
                                 msg: "unterminated string".into(),
                             });
                         }
@@ -195,7 +196,7 @@ impl Lexer {
                         s.push(b[i] as char);
                         i += 1;
                     }
-                    out.push((Tok::Str(s), start));
+                    out.push((Tok::Str(s), at(start)));
                 }
                 b'0'..=b'9' => {
                     let start = i;
@@ -203,10 +204,10 @@ impl Lexer {
                         i += 1;
                     }
                     let n: i64 = input[start..i].parse().map_err(|_| Error::Parse {
-                        pos: start,
+                        at: at(start),
                         msg: "bad integer".into(),
                     })?;
-                    out.push((Tok::Int(n), start));
+                    out.push((Tok::Int(n), at(start)));
                 }
                 b'-' => {
                     // Negative integer literal.
@@ -214,7 +215,7 @@ impl Lexer {
                     i += 1;
                     if i >= b.len() || !b[i].is_ascii_digit() {
                         return Err(Error::Parse {
-                            pos: start,
+                            at: at(start),
                             msg: "expected digit after '-'".into(),
                         });
                     }
@@ -222,27 +223,27 @@ impl Lexer {
                         i += 1;
                     }
                     let n: i64 = input[start..i].parse().map_err(|_| Error::Parse {
-                        pos: start,
+                        at: at(start),
                         msg: "bad integer".into(),
                     })?;
-                    out.push((Tok::Int(n), start));
+                    out.push((Tok::Int(n), at(start)));
                 }
                 _ if c.is_ascii_alphabetic() || c == b'_' => {
                     let start = i;
                     while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
                         i += 1;
                     }
-                    out.push((Tok::Ident(input[start..i].to_string()), start));
+                    out.push((Tok::Ident(input[start..i].to_string()), at(start)));
                 }
                 _ => {
                     return Err(Error::Parse {
-                        pos: i,
+                        at: at(i),
                         msg: format!("unexpected character {:?}", c as char),
                     })
                 }
             }
         }
-        out.push((Tok::Eof, b.len()));
+        out.push((Tok::Eof, at(b.len())));
         Ok(out)
     }
 }
@@ -250,7 +251,7 @@ impl Lexer {
 // --------------------------------------------------------------- parser
 
 struct Parser {
-    toks: Vec<(Tok, usize)>,
+    toks: Vec<(Tok, Span)>,
     pos: usize,
 }
 
@@ -266,7 +267,7 @@ impl Parser {
         &self.toks[self.pos].0
     }
 
-    fn bytepos(&self) -> usize {
+    fn span(&self) -> Span {
         self.toks[self.pos].1
     }
 
@@ -280,7 +281,7 @@ impl Parser {
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T> {
         Err(Error::Parse {
-            pos: self.bytepos(),
+            at: self.span(),
             msg: msg.into(),
         })
     }
@@ -855,14 +856,35 @@ mod tests {
 
     #[test]
     fn errors_carry_position() {
-        let err = parse_expr("a = ").unwrap_err();
-        assert!(matches!(err, Error::Parse { .. }));
-        let err = parse_query("select from").unwrap_err();
-        assert!(matches!(err, Error::Parse { .. }));
-        let err = parse_expr("a @ b").unwrap_err();
-        assert!(matches!(err, Error::Parse { .. }));
-        let err = parse_expr(r#"a = "unterminated"#).unwrap_err();
-        assert!(matches!(err, Error::Parse { .. }));
+        let span = |e: Error| match e {
+            Error::Parse { at, .. } => at,
+            other => panic!("expected parse error, got {other:?}"),
+        };
+        // EOF after `a = `: line 1, one past the last byte.
+        assert_eq!(span(parse_expr("a = ").unwrap_err()), Span::new(1, 5));
+        // `from` lexes as an identifier select-item, so the missing FROM
+        // keyword is only detected at EOF.
+        assert_eq!(
+            span(parse_query("select from").unwrap_err()),
+            Span::new(1, 12)
+        );
+        // The bad character itself.
+        assert_eq!(span(parse_expr("a @ b").unwrap_err()), Span::new(1, 3));
+        // Unterminated strings point at the opening quote.
+        assert_eq!(
+            span(parse_expr(r#"a = "unterminated"#).unwrap_err()),
+            Span::new(1, 5)
+        );
+        // Multi-line input: line numbers advance.
+        assert_eq!(
+            span(parse_query("select a\nfrom t\nwhere @").unwrap_err()),
+            Span::new(3, 7)
+        );
+        let e = parse_expr("a @ b").unwrap_err();
+        assert_eq!(
+            e.to_string(),
+            "parse error at 1:3: unexpected character '@'"
+        );
     }
 
     #[test]

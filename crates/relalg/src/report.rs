@@ -107,7 +107,7 @@ pub fn csv(rel: &Relation) -> String {
 pub fn from_csv(text: &str) -> crate::Result<Relation> {
     let mut lines = text.lines();
     let header = lines.next().ok_or(crate::Error::Parse {
-        pos: 0,
+        at: crate::error::Span::UNKNOWN,
         msg: "empty CSV".into(),
     })?;
     let cols = split_csv_line(header, 1)?;
@@ -160,7 +160,7 @@ fn split_csv_line(line: &str, lineno: usize) -> crate::Result<Vec<String>> {
     }
     if in_quotes {
         return Err(crate::Error::Parse {
-            pos: lineno,
+            at: crate::error::Span::new(lineno as u32, 1),
             msg: "unterminated quoted CSV cell".into(),
         });
     }

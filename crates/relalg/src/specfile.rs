@@ -30,20 +30,76 @@
 //!   are unconstrained, i.e. `true`).
 //! * `check NAME: SELECT …` — a static check: the query must return the
 //!   empty set once the table is generated.
+//!
+//! Three optional directives describe the spec's *message flow* for the
+//! linter (`ccsql lint`); they have no effect on table generation:
+//!
+//! * `flow COL, COL, …` — declares message columns. Input message
+//!   columns receive messages, output message columns emit them.
+//! * `extern send m1, m2, …` — messages the environment (everything
+//!   outside the specs being linted) may send, so an input column
+//!   accepting them is not a dead input.
+//! * `extern recv m1, m2, …` — messages the environment consumes, so
+//!   an output column emitting them is not unsendable.
+//!
+//! Every parse error carries the 1-based line/column it occurred at
+//! ([`crate::error::Span`]); constraint-expression errors are re-anchored
+//! from the expression substring to the real position in the file.
 
-use crate::error::{Error, Result};
+use crate::error::{Error, Result, Span};
 use crate::expr::Expr;
 use crate::parser::parse_expr;
 use crate::solver::{ColumnDef, ColumnRole, TableSpec};
 use crate::value::Value;
 
 /// A parsed database input: the table specification plus its static
-/// checks.
+/// checks and the source/flow metadata the linter consumes.
 pub struct SpecFile {
     /// The table specification (schema + column tables + constraints).
     pub spec: TableSpec,
     /// Static checks: `(name, sql)` pairs whose queries must be empty.
     pub checks: Vec<(String, String)>,
+    /// Source spans and message-flow declarations.
+    pub meta: SpecMeta,
+}
+
+/// Source metadata of a parsed spec file: where columns and constraints
+/// were declared, plus the optional message-flow directives. Purely
+/// informational — table generation ignores it; the linter uses it to
+/// point diagnostics at real source positions and to run flow checks.
+#[derive(Debug, Clone, Default)]
+pub struct SpecMeta {
+    /// Declaration position per column, in declaration order.
+    pub column_spans: Vec<(String, Span)>,
+    /// Position of each constraint's expression, per column.
+    pub constraint_spans: Vec<(String, Span)>,
+    /// Columns declared as message columns via `flow COL, …`.
+    pub flow_columns: Vec<String>,
+    /// Messages the environment may send (`extern send …`).
+    pub extern_send: Vec<String>,
+    /// Messages the environment consumes (`extern recv …`).
+    pub extern_recv: Vec<String>,
+}
+
+impl SpecMeta {
+    /// Where column `name` was declared ([`Span::UNKNOWN`] if absent).
+    pub fn column_span(&self, name: &str) -> Span {
+        self.column_spans
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| *s)
+            .unwrap_or(Span::UNKNOWN)
+    }
+
+    /// Where column `name`'s constraint expression starts
+    /// ([`Span::UNKNOWN`] if the column has no `constrain` directive).
+    pub fn constraint_span(&self, name: &str) -> Span {
+        self.constraint_spans
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| *s)
+            .unwrap_or(Span::UNKNOWN)
+    }
 }
 
 /// Parse a database-input file.
@@ -53,14 +109,17 @@ pub fn parse_specfile(text: &str) -> Result<SpecFile> {
     let mut columns: Vec<(String, Vec<Value>, ColumnRole)> = Vec::new();
     let mut constraints: Vec<(String, Expr)> = Vec::new();
     let mut checks: Vec<(String, String)> = Vec::new();
+    let mut meta = SpecMeta::default();
 
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
+        // 1-based column of a substring of `raw` (same allocation).
+        let col_of = |sub: &str| (sub.as_ptr() as usize - raw.as_ptr() as usize) as u32 + 1;
         let err = |msg: String| Error::Parse {
-            pos: lineno + 1,
+            at: Span::new(lineno as u32 + 1, col_of(line)),
             msg,
         };
         let (keyword, rest) = line
@@ -95,15 +154,57 @@ pub fn parse_specfile(text: &str) -> Result<SpecFile> {
                 if vals.is_empty() {
                     return Err(err(format!("column {name} has no values")));
                 }
+                meta.column_spans
+                    .push((name.to_string(), Span::new(lineno as u32 + 1, col_of(name))));
                 columns.push((name.to_string(), vals, role));
             }
             "constrain" => {
                 let (col, expr) = rest
                     .split_once(':')
                     .ok_or_else(|| err("expected `constrain COL: EXPR`".into()))?;
-                let e = parse_expr(expr.trim())
-                    .map_err(|e| err(format!("bad constraint for {}: {e}", col.trim())))?;
+                let expr = expr.trim();
+                let expr_at = Span::new(lineno as u32 + 1, col_of(expr));
+                // Errors inside the expression are re-anchored from the
+                // substring's own (1-based, single-line) position to the
+                // expression's position in this file.
+                let e = parse_expr(expr).map_err(|e| match e {
+                    Error::Parse { at, msg } => Error::Parse {
+                        at: at.rebase(expr_at.line, expr_at.col),
+                        msg: format!("bad constraint for {}: {msg}", col.trim()),
+                    },
+                    other => err(format!("bad constraint for {}: {other}", col.trim())),
+                })?;
+                meta.constraint_spans
+                    .push((col.trim().to_string(), expr_at));
                 constraints.push((col.trim().to_string(), e));
+            }
+            "flow" => {
+                for name in rest.split(',').map(str::trim) {
+                    if name.is_empty() {
+                        return Err(err("expected `flow COL, COL, …`".into()));
+                    }
+                    meta.flow_columns.push(name.to_string());
+                }
+            }
+            "extern" => {
+                let (dir, msgs) = rest
+                    .split_once(char::is_whitespace)
+                    .ok_or_else(|| err("expected `extern send|recv m1, m2, …`".into()))?;
+                let list = match dir {
+                    "send" => &mut meta.extern_send,
+                    "recv" => &mut meta.extern_recv,
+                    other => {
+                        return Err(err(format!(
+                            "expected `extern send` or `extern recv`, found `extern {other}`"
+                        )))
+                    }
+                };
+                for m in msgs.split(',').map(str::trim) {
+                    if m.is_empty() {
+                        return Err(err("empty message name in `extern` list".into()));
+                    }
+                    list.push(m.to_string());
+                }
             }
             "check" => {
                 let (name, sql) = rest
@@ -116,7 +217,7 @@ pub fn parse_specfile(text: &str) -> Result<SpecFile> {
     }
 
     let name = table_name.ok_or(Error::Parse {
-        pos: 0,
+        at: Span::UNKNOWN,
         msg: "missing `table NAME` directive".into(),
     })?;
     let mut spec = TableSpec::new(&name);
@@ -132,7 +233,8 @@ pub fn parse_specfile(text: &str) -> Result<SpecFile> {
         };
         spec.push(def);
     }
-    // A constraint naming an undeclared column is a spec bug.
+    // A constraint or flow declaration naming an undeclared column is a
+    // spec bug.
     for (c, _) in &constraints {
         if !spec.columns.iter().any(|col| col.name.as_str() == c) {
             return Err(Error::BadSpec(format!(
@@ -140,7 +242,14 @@ pub fn parse_specfile(text: &str) -> Result<SpecFile> {
             )));
         }
     }
-    Ok(SpecFile { spec, checks })
+    for c in &meta.flow_columns {
+        if !spec.columns.iter().any(|col| col.name.as_str() == c) {
+            return Err(Error::BadSpec(format!(
+                "`flow` declares undeclared column {c}"
+            )));
+        }
+    }
+    Ok(SpecFile { spec, checks, meta })
 }
 
 /// Parse one value token: `NULL`, a quoted string, an integer, or a
@@ -148,7 +257,7 @@ pub fn parse_specfile(text: &str) -> Result<SpecFile> {
 fn parse_value(tok: &str) -> Result<Value> {
     if tok.is_empty() {
         return Err(Error::Parse {
-            pos: 0,
+            at: Span::UNKNOWN,
             msg: "empty value".into(),
         });
     }

@@ -37,6 +37,15 @@ if grep -q 'identical=false' "$BENCH_DIR/run1.txt"; then
     exit 1
 fi
 
+echo "==> ccsql lint (clean specs must stay clean; seeded bugs must be caught)"
+cargo test -q -p ccsql-lint
+cargo run --quiet --release -p ccsql-cli -- lint specs/fig3.ccsql
+cargo run --quiet --release -p ccsql-cli -- lint --protocol
+if cargo run --quiet --release -p ccsql-cli -- lint specs/fig3_buggy.ccsql; then
+    echo "lint failed to reject specs/fig3_buggy.ccsql" >&2
+    exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
