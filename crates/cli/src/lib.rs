@@ -9,6 +9,8 @@
 //! ccsql deadlock [--assignment v0|v1|v2] [--exact-only] [--closure] [--threads N]
 //! ccsql map [--emit verilog|rust] [--table NAME]
 //! ccsql sim [--seed N] [--quads N] [--nodes N] [--ops N] [--shared-vc4]
+//!           [--chaos] [--fault-seed N] [--faults drop=R,...] [--coverage-report]
+//! ccsql fuzz [--rounds N] [--seed N] [--out FILE.jsonl] [--quick]
 //! ccsql mc [--nodes N] [--quota N] [--resp-depth N] [--budget N] [--threads N]
 //! ccsql bench [--threads N] [--quick] [--out DIR]
 //! ccsql fig4 [--fixed]
@@ -41,7 +43,9 @@ use ccsql_protocol::states;
 use ccsql_protocol::topology::NodeId;
 use ccsql_relalg::report;
 use ccsql_relalg::GenMode;
-use ccsql_sim::{Fig4, Mix, Outcome, Schedule, Sim, SimConfig, Workload};
+use ccsql_sim::{
+    FaultPlan, FaultRates, Fig4, Mix, Outcome, Schedule, Sim, SimConfig, Workload, PATTERNS,
+};
 use std::fmt::Write as _;
 
 /// Top-level usage text.
@@ -56,6 +60,9 @@ USAGE:
     ccsql deadlock [--assignment v0|v1|v2] [--exact-only] [--closure] [--threads N]
     ccsql map      [--emit verilog|rust] [--table NAME]
     ccsql sim      [--seed N] [--quads N] [--nodes N] [--ops N] [--shared-vc4]
+                   [--chaos] [--fault-seed N] [--faults drop=R,dup=R,delay=R,reorder=R]
+                   [--coverage-report]
+    ccsql fuzz     [--rounds N] [--seed N] [--out FILE.jsonl] [--quick]
     ccsql mc       [--nodes N] [--quota N] [--resp-depth N] [--budget N] [--threads N]
     ccsql bench    [--threads N] [--quick] [--out DIR]
     ccsql fig4     [--fixed]
@@ -168,6 +175,7 @@ fn dispatch(args: &[String]) -> Result<String, String> {
         "deadlock" => cmd_deadlock(&opts),
         "map" => cmd_map(&opts),
         "sim" => cmd_sim(&opts),
+        "fuzz" => cmd_fuzz(&opts),
         "mc" => cmd_mc(&opts),
         "bench" => cmd_bench(&opts),
         "fig4" => cmd_fig4(&opts),
@@ -328,6 +336,35 @@ fn cmd_map(opts: &Opts) -> Result<String, String> {
     }
 }
 
+/// Parse `--faults drop=0.05,dup=0.01,delay=0.02,reorder=0.01` (any
+/// subset; unnamed kinds stay 0).
+fn parse_fault_rates(s: &str) -> Result<FaultRates, String> {
+    let mut r = FaultRates::default();
+    for part in s.split(',').filter(|p| !p.is_empty()) {
+        let (k, v) = part
+            .split_once('=')
+            .ok_or_else(|| format!("--faults expects k=v pairs, got {part:?}"))?;
+        let p: f64 = v
+            .parse()
+            .map_err(|_| format!("--faults {k}: bad rate {v:?}"))?;
+        if !(0.0..=1.0).contains(&p) {
+            return Err(format!("--faults {k}: rate {p} outside 0..=1"));
+        }
+        match k {
+            "drop" => r.drop = p,
+            "dup" | "duplicate" => r.duplicate = p,
+            "delay" => r.delay = p,
+            "reorder" => r.reorder = p,
+            other => {
+                return Err(format!(
+                    "--faults: unknown fault kind {other:?} (drop|dup|delay|reorder)"
+                ))
+            }
+        }
+    }
+    Ok(r)
+}
+
 fn cmd_sim(opts: &Opts) -> Result<String, String> {
     let gen = generate()?;
     let quads = opts.num("--quads", 2)? as usize;
@@ -337,6 +374,9 @@ fn cmd_sim(opts: &Opts) -> Result<String, String> {
     if !(1..=4).contains(&quads) || !(1..=4).contains(&nodes_per_quad) {
         return Err("quads and nodes must be 1..=4".into());
     }
+    let chaos = opts.flag("--chaos")
+        || opts.value("--faults").is_some()
+        || opts.value("--fault-seed").is_some();
     let cfg = SimConfig {
         quads,
         nodes_per_quad,
@@ -350,6 +390,14 @@ fn cmd_sim(opts: &Opts) -> Result<String, String> {
         .collect();
     let wl = Workload::random(&nodes, ops, 16, Mix::default(), seed);
     let mut sim = Sim::new(&gen, cfg, wl);
+    if chaos {
+        let mut plan = FaultPlan::quiet(opts.num("--fault-seed", seed)?);
+        plan.rates = match opts.value("--faults") {
+            Some(s) => parse_fault_rates(s)?,
+            None => FaultRates::uniform(0.05),
+        };
+        sim.enable_chaos(plan);
+    }
     if ccsql_obs::trace_enabled() {
         sim.enable_trace();
     }
@@ -369,14 +417,50 @@ fn cmd_sim(opts: &Opts) -> Result<String, String> {
         s.steps, s.issued, s.hits, s.completed, s.retries, s.msgs, s.read_checks
     )
     .unwrap();
+    if let Some(fs) = sim.fault_stats() {
+        writeln!(
+            text,
+            "faults: {} injected ({} drops, {} dups, {} delays, {} reorders), \
+             {} timeouts, {} retransmits, {} strays, {} abandoned",
+            fs.injected(),
+            fs.drops,
+            fs.duplicates,
+            fs.delays,
+            fs.reorders,
+            s.timeouts,
+            s.retransmits,
+            s.strays,
+            s.abandoned
+        )
+        .unwrap();
+    }
     match out {
-        Outcome::Quiescent => {
+        Outcome::Quiescent | Outcome::Stalled { .. } => {
             sim.audit().map_err(|e| e.to_string())?;
             write!(text, "spec-row coverage:").unwrap();
             for (name, hit, total) in sim.coverage_report() {
                 write!(text, " {name} {hit}/{total}").unwrap();
             }
-            writeln!(text, "\nquiescent — coherent").unwrap();
+            text.push('\n');
+            if opts.flag("--coverage-report") {
+                for (name, _, total) in sim.coverage_report() {
+                    let missing = sim.uncovered_rows(name);
+                    writeln!(
+                        text,
+                        "{name}: {}/{total} rows exercised; never hit: {missing:?}",
+                        total - missing.len()
+                    )
+                    .unwrap();
+                }
+            }
+            if let Outcome::Stalled { diagnosis } = &out {
+                for d in diagnosis {
+                    writeln!(text, "stalled: {d}").unwrap();
+                }
+                writeln!(text, "stalled — degraded but coherent").unwrap();
+            } else {
+                writeln!(text, "quiescent — coherent").unwrap();
+            }
             Ok(text)
         }
         Outcome::Deadlock(info) => {
@@ -385,6 +469,256 @@ fn cmd_sim(opts: &Opts) -> Result<String, String> {
         }
         Outcome::StepLimit => Err(format!("{text}step limit exceeded")),
     }
+}
+
+/// Tables whose row coverage the fuzzer unions across rounds.
+const FUZZ_TABLES: [&str; 4] = ["D", "M", "N", "R"];
+
+/// Steer the workload mix toward the operations that could exercise
+/// the still-uncovered D rows: map each never-hit row's `inmsg` back
+/// to the processor operation that emits it, and weight the mix by the
+/// gap counts. Mostly-busy gaps are retry interleavings — closing them
+/// needs contention, so the hot set shrinks too.
+fn steered_mix(
+    gen: &GeneratedProtocol,
+    covered_d: &std::collections::BTreeSet<usize>,
+) -> (Mix, u32) {
+    let Ok(d) = gen.table("D") else {
+        return (Mix::default(), 16);
+    };
+    // Row order here matches the engine's coverage indices: the
+    // executable table wraps this relation without reordering it.
+    let sym = |i: usize, col: &str| match d.get(i, col) {
+        Some(ccsql_relalg::Value::Sym(s)) => Some(s.as_str()),
+        _ => None,
+    };
+    let (mut w, mut e, mut f, mut io, mut busy) = (0u32, 0u32, 0u32, 0u32, 0u32);
+    let mut gaps = 0u32;
+    for i in 0..d.len() {
+        if covered_d.contains(&i) {
+            continue;
+        }
+        gaps += 1;
+        match sym(i, "inmsg") {
+            Some("readex") | Some("upgrade") => w += 1,
+            Some("wb") => e += 1,
+            Some("flush") => f += 1,
+            Some("ioread") | Some("iowrite") => io += 1,
+            _ => {}
+        }
+        if sym(i, "bdirst").is_some_and(|s| s != "I") {
+            busy += 1;
+        }
+    }
+    let total = (w + e + f + io).max(1);
+    let mix = Mix {
+        write: (60 * w / total).max(10),
+        evict: (60 * e / total).max(10),
+        flush: (60 * f / total).max(5),
+        io: (60 * io / total).max(5),
+    };
+    let addrs = if busy * 2 > gaps.max(1) { 4 } else { 16 };
+    (mix, addrs)
+}
+
+/// `ccsql fuzz` — the coverage-closing chaos driver. Round 0 is a
+/// clean random baseline; later rounds perturb the workload seed and
+/// the fault seed together, alternate steered random mixes (aimed at
+/// the never-exercised generated table rows) with the named sharing
+/// patterns, and ramp the fault rates. Every round is audited; one
+/// JSON line per round plus a `fuzz-summary` line are emitted (and
+/// written to `--out` when given). The whole run is a pure function of
+/// `--seed`: two invocations with the same seed are byte-identical.
+fn cmd_fuzz(opts: &Opts) -> Result<String, String> {
+    let gen = generate()?;
+    let quick = opts.flag("--quick");
+    let rounds = opts.num("--rounds", if quick { 4 } else { 12 })? as usize;
+    let seed = opts.num("--seed", 1)?;
+    if rounds < 2 {
+        return Err("fuzz needs at least 2 rounds (round 0 is the random baseline)".into());
+    }
+    let ops = if quick { 40 } else { 120 };
+    let mut root = ccsql_obs::SplitMix64::new(seed);
+    let mut wl_rng = root.fork();
+    let mut fault_rng = root.fork();
+
+    let mut covered: Vec<std::collections::BTreeSet<usize>> =
+        vec![Default::default(); FUZZ_TABLES.len()];
+    let mut totals = [0usize; FUZZ_TABLES.len()];
+    let mut jsonl = String::new();
+    let (mut audit_failures, mut faults_total, mut retries_total) = (0u64, 0u64, 0u64);
+    let mut baseline_rows = 0usize;
+
+    let nodes: Vec<NodeId> = (0..2)
+        .flat_map(|q| (0..2).map(move |n| NodeId::new(q, n)))
+        .collect();
+
+    for round in 0..rounds {
+        let wl_seed = wl_rng.next_u64();
+        let fault_seed = fault_rng.next_u64();
+        let rate = if round == 0 {
+            0.0
+        } else {
+            [0.02, 0.05, 0.10][(round - 1) % 3]
+        };
+        let (wl, kind, addrs) = if round == 0 {
+            (
+                Workload::random(&nodes, ops, 16, Mix::default(), wl_seed),
+                "baseline".to_string(),
+                16,
+            )
+        } else if round % 3 == 2 {
+            let p = PATTERNS[(round / 3) % PATTERNS.len()];
+            (
+                Workload::pattern(&nodes, p, ops, wl_seed),
+                format!("pattern:{p:?}"),
+                16,
+            )
+        } else {
+            let (mix, addrs) = steered_mix(&gen, &covered[0]);
+            (
+                Workload::random(&nodes, ops, addrs, mix, wl_seed),
+                "steered".to_string(),
+                addrs,
+            )
+        };
+        let cfg = SimConfig {
+            quads: 2,
+            nodes_per_quad: 2,
+            vc_capacity: 2,
+            dedicated_mem_path: true,
+            schedule: Schedule::Random(wl_seed),
+            max_steps: 2_000_000,
+        };
+        let mut sim = Sim::new(&gen, cfg, wl);
+        if rate > 0.0 {
+            let mut plan = FaultPlan::quiet(fault_seed);
+            plan.rates = FaultRates {
+                drop: rate,
+                duplicate: rate,
+                delay: rate,
+                reorder: rate / 5.0,
+            };
+            sim.enable_chaos(plan);
+        }
+        let out = sim.run().map_err(|e| format!("round {round}: {e}"))?;
+        let outcome = match &out {
+            Outcome::Quiescent => "quiescent",
+            Outcome::Stalled { .. } => "stalled",
+            Outcome::StepLimit => "steplimit",
+            Outcome::Deadlock(info) => {
+                return Err(format!(
+                    "round {round} ({kind}): unexpected deadlock\n{info}"
+                ))
+            }
+        };
+        let audit = match sim.audit() {
+            Ok(()) => "pass".to_string(),
+            Err(e) => {
+                audit_failures += 1;
+                format!("fail: {e}")
+            }
+        };
+        let mut new_rows = 0usize;
+        for (&t, set) in FUZZ_TABLES.iter().zip(covered.iter_mut()) {
+            for i in sim.covered_rows(t) {
+                if set.insert(i) {
+                    new_rows += 1;
+                }
+            }
+        }
+        for (slot, (_, _, total)) in totals.iter_mut().zip(sim.coverage_report()) {
+            *slot = total;
+        }
+        let rows_covered: usize = covered.iter().map(|s| s.len()).sum();
+        if round == 0 {
+            baseline_rows = rows_covered;
+        }
+        let fs = sim.fault_stats().unwrap_or_default();
+        faults_total += fs.injected();
+        retries_total += sim.stats.retries;
+        let per_table = format!(
+            "{{\"D\":{},\"M\":{},\"N\":{},\"R\":{}}}",
+            covered[0].len(),
+            covered[1].len(),
+            covered[2].len(),
+            covered[3].len()
+        );
+        jsonl.push_str(
+            &ccsql_obs::json::JsonObj::new()
+                .str("type", "fuzz-round")
+                .u64("round", round as u64)
+                .str("kind", &kind)
+                .u64("wl_seed", wl_seed)
+                .u64("fault_seed", fault_seed)
+                .f64("rate", rate)
+                .u64("addrs", addrs as u64)
+                .str("outcome", outcome)
+                .str("audit", &audit)
+                .u64("faults_injected", fs.injected())
+                .u64("retries", sim.stats.retries)
+                .u64("timeouts", sim.stats.timeouts)
+                .u64("retransmits", sim.stats.retransmits)
+                .u64("strays", sim.stats.strays)
+                .u64("abandoned", sim.stats.abandoned)
+                .u64("new_rows", new_rows as u64)
+                .u64("rows_covered", rows_covered as u64)
+                .raw("rows", &per_table)
+                .finish(),
+        );
+        jsonl.push('\n');
+    }
+
+    let rows_covered: usize = covered.iter().map(|s| s.len()).sum();
+    let rows_total: usize = totals.iter().sum();
+    jsonl.push_str(
+        &ccsql_obs::json::JsonObj::new()
+            .str("type", "fuzz-summary")
+            .u64("rounds", rounds as u64)
+            .u64("seed", seed)
+            .u64("audit_failures", audit_failures)
+            .u64("faults_injected", faults_total)
+            .u64("retries", retries_total)
+            .u64("baseline_rows", baseline_rows as u64)
+            .u64("rows_covered", rows_covered as u64)
+            .u64("rows_total", rows_total as u64)
+            .u64("coverage_gain", (rows_covered - baseline_rows) as u64)
+            .finish(),
+    );
+    jsonl.push('\n');
+
+    let reg = ccsql_obs::global();
+    reg.counter("fuzz.rounds").add(rounds as u64);
+    reg.counter("fuzz.faults_injected").add(faults_total);
+    reg.counter("fuzz.audit_failures").add(audit_failures);
+    reg.counter("fuzz.rows_covered").add(rows_covered as u64);
+
+    if let Some(path) = opts.value("--out") {
+        std::fs::write(path, &jsonl).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+
+    let mut text = jsonl;
+    writeln!(
+        text,
+        "fuzz: {rounds} rounds, {rows_covered}/{rows_total} rows covered \
+         (baseline {baseline_rows}), {faults_total} faults injected, \
+         {audit_failures} audit failure(s)"
+    )
+    .unwrap();
+    if audit_failures > 0 {
+        return Err(format!("{text}coherence audit failed under chaos"));
+    }
+    if faults_total == 0 {
+        return Err(format!(
+            "{text}no faults were injected — the chaos path is dead"
+        ));
+    }
+    if rows_covered <= baseline_rows {
+        return Err(format!(
+            "{text}coverage-closing rounds did not beat the round-0 random baseline"
+        ));
+    }
+    Ok(text)
 }
 
 /// Default worker count: the machine's available parallelism.
@@ -760,6 +1094,9 @@ fn cmd_fig4(opts: &Opts) -> Result<String, String> {
             }
         }
         Outcome::StepLimit => Err("step limit exceeded".to_string()),
+        Outcome::Stalled { diagnosis } => Err(format!(
+            "unexpected stall (chaos is never armed for fig4): {diagnosis:?}"
+        )),
     }
 }
 
@@ -992,6 +1329,46 @@ mod tests {
         assert!(out.contains("quiescent"));
         assert!(run(&argv("sim --quads 9")).is_err());
         assert!(run(&argv("sim --seed abc")).is_err());
+    }
+
+    #[test]
+    fn sim_chaos_and_coverage_report() {
+        let out = run(&argv("sim --seed 3 --ops 40 --chaos")).unwrap();
+        assert!(out.contains("injected"), "{out}");
+        assert!(
+            out.contains("coherent"),
+            "chaos run ended incoherent:\n{out}"
+        );
+        // Same seed pair twice → byte-identical output.
+        assert_eq!(
+            run(&argv("sim --seed 3 --ops 40 --chaos --fault-seed 9")).unwrap(),
+            run(&argv("sim --seed 3 --ops 40 --chaos --fault-seed 9")).unwrap()
+        );
+        let out = run(&argv("sim --seed 3 --ops 60 --coverage-report")).unwrap();
+        assert!(out.contains("coverage"), "{out}");
+        assert!(out.contains("never hit"), "{out}");
+        // Bad fault specs are rejected up front.
+        assert!(run(&argv("sim --faults drop=2.0")).is_err());
+        assert!(run(&argv("sim --faults bogus")).is_err());
+        assert!(run(&argv("sim --faults drop=x")).is_err());
+    }
+
+    #[test]
+    fn fuzz_quick_is_deterministic_and_audits_clean() {
+        let a = run(&argv("fuzz --quick --seed 1")).unwrap();
+        let b = run(&argv("fuzz --quick --seed 1")).unwrap();
+        assert_eq!(a, b, "fuzz output is not a pure function of --seed");
+        assert!(a.contains("\"type\":\"fuzz-summary\""), "{a}");
+        assert!(a.contains("\"audit_failures\":0"), "{a}");
+        // The chaos path is alive and coverage beats the clean baseline.
+        let summary = a
+            .lines()
+            .find(|l| l.contains("\"type\":\"fuzz-summary\""))
+            .unwrap();
+        assert!(!summary.contains("\"faults_injected\":0"), "{summary}");
+        assert!(summary.contains("coverage_gain"), "{summary}");
+        let c = run(&argv("fuzz --quick --seed 2")).unwrap();
+        assert_ne!(a, c, "different seeds should explore differently");
     }
 
     #[test]

@@ -75,6 +75,23 @@ impl Channels {
         }
     }
 
+    /// Enqueue at the *front* of the buffer, overtaking everything
+    /// already queued. Used only by fault injection (reorder faults);
+    /// panics if full, like [`Self::send`].
+    pub fn send_front(&mut self, quad: u8, vc: VcId, msg: SimMsg) {
+        match vc {
+            VcId::Vc(i) => {
+                let q = &mut self.bufs[quad as usize][i as usize];
+                assert!(
+                    q.len() < self.cap,
+                    "send_front into full {vc} at quad {quad}"
+                );
+                q.push_front(msg);
+            }
+            VcId::Path => self.path[quad as usize].push_front(msg),
+        }
+    }
+
     /// Peek the head of `(quad, vc)`.
     pub fn head(&self, quad: u8, vc: VcId) -> Option<&SimMsg> {
         match vc {
@@ -166,6 +183,15 @@ mod tests {
         }
         assert_eq!(ch.free(0, VcId::Path), usize::MAX);
         assert_eq!(ch.in_flight(), 10);
+    }
+
+    #[test]
+    fn send_front_overtakes_the_queue() {
+        let mut ch = Channels::new(1, 2);
+        ch.send(0, VcId::Vc(0), m("read"));
+        ch.send_front(0, VcId::Vc(0), m("readex"));
+        assert_eq!(ch.pop(0, VcId::Vc(0)).unwrap().name.as_str(), "readex");
+        assert_eq!(ch.pop(0, VcId::Vc(0)).unwrap().name.as_str(), "read");
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! statically-computed virtual channel dependency graph.
 
 use crate::channel::{Channels, VcId};
+use crate::fault::{Decision, FaultInjector, FaultPlan, FaultStats};
 use crate::msg::{Addr, Endpoint, SimMsg};
 use crate::state::{BusyEntry, DirEntry, NodeState, PendTxn, QuadState};
 use crate::tables::ExecTable;
@@ -76,7 +77,7 @@ impl Default for SimConfig {
 }
 
 /// Simulation statistics.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Engine steps executed.
     pub steps: u64,
@@ -92,6 +93,17 @@ pub struct SimStats {
     pub msgs: u64,
     /// Read-return values checked against the serialisation order.
     pub read_checks: u64,
+    /// Faults actually applied by chaos mode (0 outside chaos).
+    pub faults_injected: u64,
+    /// Pending-operation timeouts fired at the protocol boundary.
+    pub timeouts: u64,
+    /// Request messages retransmitted after a timeout.
+    pub retransmits: u64,
+    /// Stray messages discarded in chaos mode (duplicated or obsolete
+    /// deliveries the protocol state no longer expects).
+    pub strays: u64,
+    /// Processor operations abandoned after exhausting retries.
+    pub abandoned: u64,
 }
 
 /// Why a simulation run ended.
@@ -103,12 +115,27 @@ pub enum Outcome {
     Deadlock(DeadlockInfo),
     /// Step budget exhausted.
     StepLimit,
+    /// Chaos mode: the machine drained what it could, but injected
+    /// faults cost liveness — operations were abandoned after
+    /// exhausting their retries, or transactions are permanently stuck.
+    /// Graceful degradation instead of a panic: the coherence audit is
+    /// still meaningful (faults may only ever cost liveness, never
+    /// correctness).
+    Stalled {
+        /// What got stuck and why, one line per casualty.
+        diagnosis: Vec<String>,
+    },
 }
 
 impl Outcome {
     /// Is this a deadlock?
     pub fn is_deadlock(&self) -> bool {
         matches!(self, Outcome::Deadlock(_))
+    }
+
+    /// Is this a chaos-mode stall?
+    pub fn is_stalled(&self) -> bool {
+        matches!(self, Outcome::Stalled { .. })
     }
 }
 
@@ -149,6 +176,23 @@ pub enum SimError {
     },
     /// The value checker caught stale data.
     Coherence(String),
+    /// A directory row demanded a `retry` response but the triggering
+    /// message did not come from a node, so there is no one to retry.
+    /// Outside chaos mode this is a protocol-specification error (it
+    /// used to be a panic); chaos mode discards the message as a stray
+    /// instead.
+    RetryWithoutSender {
+        /// The message the directory was processing.
+        msg: String,
+    },
+    /// A response arrived that no protocol state expects (no pending
+    /// transaction, wrong address, or a completed transaction). Outside
+    /// chaos mode this indicates a broken table; chaos mode discards it
+    /// as a stray instead.
+    UnexpectedResponse {
+        /// Where and what, rendered.
+        context: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -158,6 +202,15 @@ impl fmt::Display for SimError {
                 write!(f, "no row in table {controller} for inputs {key}")
             }
             SimError::Coherence(m) => write!(f, "coherence violation: {m}"),
+            SimError::RetryWithoutSender { msg } => {
+                write!(
+                    f,
+                    "retry response demanded for {msg}, which has no node sender"
+                )
+            }
+            SimError::UnexpectedResponse { context } => {
+                write!(f, "unexpected response: {context}")
+            }
         }
     }
 }
@@ -219,6 +272,11 @@ pub struct Sim {
     /// Per-controller row hit counts: how often each specification row
     /// was exercised (table coverage).
     coverage: HashMap<(&'static str, usize), u64>,
+    /// Fault injector (chaos mode); `None` keeps every hot path
+    /// byte-identical to the pre-chaos engine.
+    chaos: Option<FaultInjector>,
+    /// Diagnoses of operations abandoned after exhausting retries.
+    abandoned: Vec<String>,
 }
 
 /// Latency aggregate for one operation type (in engine steps).
@@ -298,7 +356,40 @@ impl Sim {
             merged_global: false,
             latency: HashMap::new(),
             coverage: HashMap::new(),
+            chaos: None,
+            abandoned: Vec::new(),
         }
+    }
+
+    /// Arm chaos mode: all subsequent sends pass through the fault
+    /// injector, pending operations get timeouts and bounded
+    /// retransmission, and stray messages are discarded (counted in
+    /// [`SimStats::strays`]) instead of failing the run. Must be called
+    /// before the first step.
+    pub fn enable_chaos(&mut self, plan: FaultPlan) {
+        self.chaos = Some(FaultInjector::new(plan));
+    }
+
+    /// Is chaos mode armed?
+    pub fn chaos_enabled(&self) -> bool {
+        self.chaos.is_some()
+    }
+
+    /// Is chaos armed with a plan that can actually discard messages?
+    /// Failsafes that alter protocol behaviour key off this so a quiet
+    /// plan stays byte-identical to a chaos-free run.
+    fn chaos_lossy(&self) -> bool {
+        self.chaos.as_ref().is_some_and(|f| f.plan.can_drop())
+    }
+
+    /// The fault injector's counters, if chaos mode is armed.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.chaos.as_ref().map(|f| f.stats)
+    }
+
+    /// Diagnoses of operations abandoned after exhausting retries.
+    pub fn abandoned(&self) -> &[String] {
+        &self.abandoned
     }
 
     /// Record a structured event trace, bounded at the process-wide
@@ -401,13 +492,79 @@ impl Sim {
     }
 
     fn send_all(&mut self, plan: Vec<SimMsg>) {
+        // Chaos mode: slots reserved by `can_send_all` for messages
+        // later in this plan must not be stolen by a duplicate, so
+        // track the remaining per-buffer reservation as we go.
+        let mut reserved: HashMap<(u8, VcId), usize> = HashMap::new();
+        if self.chaos.is_some() {
+            for m in &plan {
+                *reserved.entry((m.dest.quad(), self.vc_for(m))).or_insert(0) += 1;
+            }
+        }
         for m in plan {
             let vc = self.vc_for(&m);
-            self.trace_event("send", || {
-                vec![("msg", m.to_string().into()), ("vc", vc.to_string().into())]
-            });
-            self.channels.send(m.dest.quad(), vc, m);
-            self.stats.msgs += 1;
+            let quad = m.dest.quad();
+            if let Some(r) = reserved.get_mut(&(quad, vc)) {
+                *r -= 1;
+            }
+            let decision = match &mut self.chaos {
+                Some(f) => f.decide(vc, &m),
+                None => Decision::Deliver,
+            };
+            match decision {
+                Decision::Deliver => {
+                    self.trace_event("send", || {
+                        vec![("msg", m.to_string().into()), ("vc", vc.to_string().into())]
+                    });
+                    self.channels.send(quad, vc, m);
+                    self.stats.msgs += 1;
+                }
+                Decision::Drop => {
+                    self.stats.faults_injected += 1;
+                    self.trace_event("fault_drop", || {
+                        vec![("msg", m.to_string().into()), ("vc", vc.to_string().into())]
+                    });
+                }
+                Decision::Duplicate => {
+                    self.stats.faults_injected += 1;
+                    self.trace_event("send", || {
+                        vec![("msg", m.to_string().into()), ("vc", vc.to_string().into())]
+                    });
+                    self.channels.send(quad, vc, m);
+                    self.stats.msgs += 1;
+                    let spare = reserved.get(&(quad, vc)).copied().unwrap_or(0);
+                    if self.channels.free(quad, vc) > spare {
+                        self.trace_event("fault_dup", || {
+                            vec![("msg", m.to_string().into()), ("vc", vc.to_string().into())]
+                        });
+                        self.channels.send(quad, vc, m);
+                        self.stats.msgs += 1;
+                    } else {
+                        self.stats.faults_injected -= 1;
+                        if let Some(f) = &mut self.chaos {
+                            f.duplicate_suppressed();
+                        }
+                    }
+                }
+                Decision::Delay(steps) => {
+                    self.stats.faults_injected += 1;
+                    let now = self.stats.steps;
+                    self.trace_event("fault_delay", || {
+                        vec![("msg", m.to_string().into()), ("steps", steps.into())]
+                    });
+                    if let Some(f) = &mut self.chaos {
+                        f.park(quad, vc, m, now, steps);
+                    }
+                }
+                Decision::Front => {
+                    self.stats.faults_injected += 1;
+                    self.trace_event("fault_reorder", || {
+                        vec![("msg", m.to_string().into()), ("vc", vc.to_string().into())]
+                    });
+                    self.channels.send_front(quad, vc, m);
+                    self.stats.msgs += 1;
+                }
+            }
         }
     }
 
@@ -477,6 +634,44 @@ impl Sim {
         *q.mem.get(&addr).unwrap_or(&0)
     }
 
+    /// Chaos mode: the protocol boundary is giving up on an operation
+    /// whose stored message is a payload-carrying writeback — the only
+    /// architectural copy of a modified line (the cache entry is
+    /// released when the writeback issues, so the stored message *is*
+    /// the writeback buffer). Drain it directly to home memory over the
+    /// dedicated datapath, exactly as `flush@M` and snooped-`M` lines
+    /// already do: injected faults may cost liveness, never data.
+    fn failsafe_writeback(&mut self, pend: &PendTxn) {
+        let Some(m) = pend.msg else {
+            return;
+        };
+        if m.name.as_str() != "wb" {
+            return;
+        }
+        let Some(v) = m.payload else {
+            return;
+        };
+        let h = self.home_quad(m.addr) as usize;
+        self.quads[h].mem.insert(m.addr, v);
+        self.trace_event("failsafe_wb", || {
+            vec![("addr", (m.addr as u64).into()), ("value", v.into())]
+        });
+    }
+
+    /// Chaos mode only: consume and count a message the protocol state
+    /// no longer expects (a duplicate of an already-processed delivery,
+    /// or a response to an abandoned operation). Strays are harmless by
+    /// construction — discarding one is indistinguishable from the
+    /// network having dropped it.
+    fn discard_stray(&mut self, q: u8, vc: VcId, msg: &SimMsg, at: &'static str) -> Progress {
+        self.channels.pop(q, vc);
+        self.stats.strays += 1;
+        self.trace_event("stray", || {
+            vec![("at", at.into()), ("msg", msg.to_string().into())]
+        });
+        Progress::Worked
+    }
+
     // -------------------------------------------------------- directory
 
     /// One directory-controller attempt at quad `q` (responses first).
@@ -507,18 +702,25 @@ impl Sim {
             Value::Sym(bdirst),
             Value::sym(qs.bdirpv_encoding(addr)),
         ];
-        let row = match self.d.row(&key) {
-            Some(r) => r,
-            None => {
-                // Retry rows use the NULL don't-care busy presence vector.
-                let mut k2 = key;
-                k2[4] = Value::Null;
-                self.d.row(&k2).ok_or_else(|| SimError::NoRow {
-                    controller: "D",
-                    key: format!("{key:?}"),
-                })?
-            }
+        // Retry rows use the NULL don't-care busy presence vector.
+        let null_key = {
+            let mut k2 = key;
+            k2[4] = Value::Null;
+            k2
         };
+        if self.d.row(&key).is_none() && self.d.row(&null_key).is_none() {
+            if self.chaos.is_some() {
+                return Ok(self.discard_stray(q, vc, &msg, "D"));
+            }
+            return Err(SimError::NoRow {
+                controller: "D",
+                key: format!("{key:?}"),
+            });
+        }
+        let row = self
+            .d
+            .row(&key)
+            .unwrap_or_else(|| self.d.row(&null_key).expect("checked above"));
 
         // -------- plan outputs
         let sender = match msg.src {
@@ -537,12 +739,59 @@ impl Sim {
         let bdirupd = row.get_sym("bdirupd");
         let cmpl = row.get("cmpl") == Value::sym("yes");
 
+        // A retry answers the message's sender; a duplicated or delayed
+        // non-node message can hit a retry row with no sender to answer.
+        if locmsg.is_some_and(|l| l.as_str() == "retry") && sender.is_none() {
+            if self.chaos.is_some() {
+                return Ok(self.discard_stray(q, vc, &msg, "D"));
+            }
+            return Err(SimError::RetryWithoutSender {
+                msg: msg.to_string(),
+            });
+        }
+        if locmsg.is_some_and(|l| l.as_str() != "retry") && requester.is_none() {
+            if self.chaos.is_some() {
+                return Ok(self.discard_stray(q, vc, &msg, "D"));
+            }
+            return Err(SimError::UnexpectedResponse {
+                context: format!("D{q}: {msg} needs a requester but none is known"),
+            });
+        }
+        // A row updating a busy entry can meet a missing entry when a
+        // duplicated response arrives after the transaction completed.
+        if bdirupd.is_some_and(|b| b.as_str() == "write") && busy.is_none() {
+            if self.chaos.is_some() {
+                return Ok(self.discard_stray(q, vc, &msg, "D"));
+            }
+            return Err(SimError::UnexpectedResponse {
+                context: format!("D{q}: {msg} updates a busy entry that does not exist"),
+            });
+        }
+        // Hardware directories collect snoop responses in a vector of
+        // responders, not a bare count: a response from a node that
+        // already answered is a duplicate (or the echo of a duplicated
+        // snoop) and must not decrement the outstanding count again.
+        if bdirupd.is_some_and(|b| b.as_str() == "write")
+            && nxtbdirpv.is_some_and(|p| p.as_str() == "dec")
+        {
+            if let (Some(b), Some(s)) = (busy, sender) {
+                if b.answered.contains(s) {
+                    if self.chaos.is_some() {
+                        return Ok(self.discard_stray(q, vc, &msg, "D"));
+                    }
+                    return Err(SimError::UnexpectedResponse {
+                        context: format!("D{q}: {msg} is a second response from {s}"),
+                    });
+                }
+            }
+        }
+
         let mut plan: Vec<SimMsg> = Vec::new();
         if let Some(l) = locmsg {
             let target = if l.as_str() == "retry" {
-                sender.expect("retry goes to the sender")
+                sender.expect("checked above")
             } else {
-                requester.expect("local response needs a requester")
+                requester.expect("checked above")
             };
             let mut out = SimMsg::new(l.as_str(), addr, Endpoint::Dir(q), Endpoint::Node(target));
             // Data-bearing responses forward the incoming payload.
@@ -622,6 +871,7 @@ impl Sim {
                         requester: sender.expect("requests come from nodes"),
                         req: msg.name,
                         saved_pv: dirpv,
+                        answered: PresenceVector::new(),
                     },
                 );
             }
@@ -632,6 +882,9 @@ impl Sim {
                 }
                 if nxtbdirpv.map(|s| s.as_str()) == Some("dec") {
                     e.pending = e.pending.saturating_sub(1);
+                    if let Some(s) = sender {
+                        e.answered.set(s);
+                    }
                 }
             }
             Some("dealloc") => {
@@ -702,10 +955,15 @@ impl Sim {
                 continue;
             };
             let key = [Value::Sym(msg.name)];
-            let row = self.m.row(&key).ok_or_else(|| SimError::NoRow {
-                controller: "M",
-                key: format!("{key:?}"),
-            })?;
+            let Some(row) = self.m.row(&key) else {
+                if self.chaos.is_some() {
+                    return Ok(CtrlStep(self.discard_stray(q, vc, &msg, "M")));
+                }
+                return Err(SimError::NoRow {
+                    controller: "M",
+                    key: format!("{key:?}"),
+                });
+            };
             let row_idx = row.idx;
             let out = row.get_sym("outmsg");
             let mut plan = Vec::new();
@@ -771,22 +1029,41 @@ impl Sim {
         let Endpoint::Node(node) = msg.dest else {
             panic!("VC3 carries node responses");
         };
-        let ns = self.nodes.get_mut(&node).expect("node");
         let addr = msg.addr;
-        let pend = ns.pend.expect("response without pending transaction");
-        assert_eq!(
-            pend.addr, addr,
-            "response for a different address than the pending op"
-        );
+        // A duplicated or delayed response can arrive after its
+        // transaction completed (no pend) or after an abandoned op was
+        // replaced by one for another address.
+        let pend = match self.nodes[&node].pend {
+            Some(p) if p.addr == addr => p,
+            other => {
+                let why = if other.is_none() {
+                    "no pending transaction"
+                } else {
+                    "a pending transaction for a different address"
+                };
+                if self.chaos.is_some() {
+                    return Ok(CtrlStep(self.discard_stray(q, VcId::Vc(3), &msg, "N")));
+                }
+                return Err(SimError::UnexpectedResponse {
+                    context: format!("{node} received {msg} but has {why}"),
+                });
+            }
+        };
+        let ns = self.nodes.get_mut(&node).expect("node");
         let key = [
             Value::Sym(msg.name),
             Value::Sym(ns.cachest(addr)), // I/O addresses are never cached → "I"
             Value::Sym(ns.pendst()),
         ];
-        let row = self.n.row(&key).ok_or_else(|| SimError::NoRow {
-            controller: "N",
-            key: format!("{key:?}"),
-        })?;
+        let Some(row) = self.n.row(&key) else {
+            if self.chaos.is_some() {
+                return Ok(CtrlStep(self.discard_stray(q, VcId::Vc(3), &msg, "N")));
+            }
+            return Err(SimError::NoRow {
+                controller: "N",
+                key: format!("{key:?}"),
+            });
+        };
         debug_assert!(row.get_sym("outmsg").is_none(), "responses emit nothing");
         let nxtcachest = row.get_sym("nxtcachest");
         let nxtpendst = row.get_sym("nxtpendst");
@@ -820,6 +1097,7 @@ impl Sim {
         let mut err = None;
         match cpures.as_str() {
             "done" => {
+                self.nodes.get_mut(&node).expect("node").redo_streak = 0;
                 let lat = self.stats.steps.saturating_sub(pend.issued_at);
                 let agg = self.latency.entry(pend.op.inmsg()).or_default();
                 agg.count += 1;
@@ -858,12 +1136,53 @@ impl Sim {
             "redo" => {
                 // Retried: re-issue the processor op from the front.
                 self.stats.retries += 1;
-                let idx = self
-                    .node_list
-                    .iter()
-                    .position(|&x| x == node)
-                    .expect("node index");
-                self.workload.queues[idx].push_front(pend.op);
+                let max_streak = self.chaos.as_ref().map(|f| f.plan.max_retries as u64);
+                // A retried writeback cannot be re-issued through the
+                // workload path — the cache line is already gone, so a
+                // fresh issue would send an empty writeback. Drain the
+                // buffered data instead; the evict is then
+                // architecturally complete.
+                let wb_payload = self
+                    .chaos_lossy()
+                    .then_some(pend.msg)
+                    .flatten()
+                    .is_some_and(|m| m.name.as_str() == "wb" && m.payload.is_some());
+                if wb_payload {
+                    self.failsafe_writeback(&pend);
+                    let ns = self.nodes.get_mut(&node).expect("node");
+                    ns.retries += 1;
+                    ns.redo_streak = 0;
+                    return Ok(CtrlStep(Progress::Worked));
+                }
+                let ns = self.nodes.get_mut(&node).expect("node");
+                ns.retries += 1;
+                ns.redo_streak += 1;
+                let streak = ns.redo_streak;
+                if max_streak.is_some_and(|m| streak > m) {
+                    // Chaos mode: a fault broke the transaction this op
+                    // keeps colliding with (e.g. a dropped snoop
+                    // response left the line busy forever). Abandon the
+                    // op instead of retrying until the step budget.
+                    ns.redo_streak = 0;
+                    self.stats.abandoned += 1;
+                    self.abandoned.push(format!(
+                        "{node}: {:?} on 0x{addr:x} abandoned after {streak} consecutive retries",
+                        pend.op
+                    ));
+                    self.trace_event("abandon", || {
+                        vec![
+                            ("node", node.to_string().into()),
+                            ("op", format!("{:?}", pend.op).into()),
+                        ]
+                    });
+                } else {
+                    let idx = self
+                        .node_list
+                        .iter()
+                        .position(|&x| x == node)
+                        .expect("node index");
+                    self.workload.queues[idx].push_front(pend.op);
+                }
             }
             _ => {}
         }
@@ -899,11 +1218,15 @@ impl Sim {
             panic!("VC1 carries snoops to nodes");
         };
         if self.snoop_collides(node, &msg) {
-            let ns = self.nodes.get_mut(&node).expect("node");
-            assert!(
-                ns.held_snoop.is_none(),
-                "second held snoop at {node} — the directory must serialise per address"
-            );
+            if self.nodes[&node].held_snoop.is_some() {
+                // A duplicated snoop would be the second held one; the
+                // directory serialises per address, so outside chaos
+                // mode this cannot happen.
+                if self.chaos.is_some() {
+                    return Ok(CtrlStep(self.discard_stray(q, VcId::Vc(1), &msg, "RAC")));
+                }
+                panic!("second held snoop at {node} — the directory must serialise per address");
+            }
             self.channels.pop(q, VcId::Vc(1));
             let ns = self.nodes.get_mut(&node).expect("node");
             ns.held_snoop = Some(msg);
@@ -956,10 +1279,20 @@ impl Sim {
         let addr = msg.addr;
         let linest = self.nodes[&node].cachest(addr);
         let key = [Value::Sym(msg.name), Value::Sym(linest)];
-        let row = self.r.row(&key).ok_or_else(|| SimError::NoRow {
-            controller: "R",
-            key: format!("{key:?}"),
-        })?;
+        let row = match self.r.row(&key) {
+            Some(r) => r,
+            None => {
+                if let Some((q, vc)) = pop_from {
+                    if self.chaos.is_some() {
+                        return Ok(CtrlStep(self.discard_stray(q, vc, &msg, "R")));
+                    }
+                }
+                return Err(SimError::NoRow {
+                    controller: "R",
+                    key: format!("{key:?}"),
+                });
+            }
+        };
         let row_idx = row.idx;
         let rsp = row.get_sym("rspmsg").expect("snoops are answered");
         let nxt = row.get_sym("nxtlinest");
@@ -991,8 +1324,12 @@ impl Sim {
         // The owner's modified data is written back over the dedicated
         // writeback datapath before the invalidation completes (the
         // Figure-4 narrative: "the remote node writes back its modified
-        // line A to memory before receiving sinv(A)").
-        if msg.name.as_str() == "sinv" && linest.as_str() == "M" {
+        // line A to memory before receiving sinv(A)"). A lossy fault
+        // plan extends this to every snoop of a modified line: the
+        // data-bearing snoop response can be dropped in flight, and the
+        // datapath write is what keeps a fault from turning into data
+        // loss after the owner has already downgraded.
+        if linest.as_str() == "M" && (msg.name.as_str() == "sinv" || self.chaos_lossy()) {
             if let Some(v) = cache_value {
                 let h = self.home_quad(addr) as usize;
                 self.quads[h].mem.insert(addr, v);
@@ -1103,6 +1440,15 @@ impl Sim {
         if outmsg.is_some() {
             let pendst = nxtpendst.expect("a sent request has a pending state");
             let issued_at = self.stats.steps;
+            // I/O ops are outside the fault boundary (the injector
+            // never faults I/O messages), so they get no timeout: a
+            // spurious retransmitted iowrite would re-apply its value
+            // to the un-serialised I/O space.
+            let deadline = match &self.chaos {
+                Some(f) if !op.is_io() => issued_at + f.plan.timeout_steps,
+                _ => u64::MAX,
+            };
+            let sent = plan.first().copied();
             let ns = self.nodes.get_mut(&node).expect("node");
             ns.pend = Some(PendTxn {
                 st: pendst,
@@ -1110,6 +1456,9 @@ impl Sim {
                 op,
                 value,
                 issued_at,
+                attempts: 0,
+                deadline,
+                msg: sent,
             });
             self.stats.issued += 1;
             self.trace_event("issue", || {
@@ -1142,9 +1491,99 @@ impl Sim {
         out
     }
 
+    /// Chaos-mode housekeeping at the start of a step: deliver limbo
+    /// messages whose delay expired (postponing any whose buffer is
+    /// full), then fire pending-operation timeouts — retransmitting the
+    /// stored original request with exponential backoff, or abandoning
+    /// the op once its retry budget is spent. Everything runs in fixed
+    /// deterministic order (limbo by `(release, seq)`, nodes in
+    /// node-list order) so chaos runs stay byte-reproducible.
+    fn chaos_tick(&mut self) {
+        if self.chaos.is_none() {
+            return;
+        }
+        let now = self.stats.steps;
+        let due = self.chaos.as_mut().expect("chaos").due(now);
+        for (quad, vc, msg) in due {
+            if self.channels.free(quad, vc) == 0 {
+                // Buffer full: the message stays in flight one more step.
+                self.chaos
+                    .as_mut()
+                    .expect("chaos")
+                    .park(quad, vc, msg, now, 1);
+            } else {
+                self.trace_event("fault_release", || {
+                    vec![
+                        ("msg", msg.to_string().into()),
+                        ("vc", vc.to_string().into()),
+                    ]
+                });
+                self.channels.send(quad, vc, msg);
+                self.stats.msgs += 1;
+            }
+        }
+        let (timeout_steps, max_retries) = {
+            let p = &self.chaos.as_ref().expect("chaos").plan;
+            (p.timeout_steps, p.max_retries)
+        };
+        for i in 0..self.node_list.len() {
+            let node = self.node_list[i];
+            let Some(p) = self.nodes[&node].pend else {
+                continue;
+            };
+            if p.deadline > now {
+                continue;
+            }
+            if p.attempts >= max_retries {
+                self.failsafe_writeback(&p);
+                self.nodes.get_mut(&node).expect("node").pend = None;
+                self.stats.abandoned += 1;
+                self.abandoned.push(format!(
+                    "{node}: {:?} on 0x{:x} abandoned after {} retransmissions",
+                    p.op, p.addr, p.attempts
+                ));
+                self.trace_event("abandon", || {
+                    vec![
+                        ("node", node.to_string().into()),
+                        ("op", format!("{:?}", p.op).into()),
+                    ]
+                });
+                continue;
+            }
+            let Some(msg) = p.msg else {
+                continue;
+            };
+            let vc = self.vc_for(&msg);
+            let quad = msg.dest.quad();
+            if self.channels.free(quad, vc) == 0 {
+                // Cannot retransmit into a full buffer; retry shortly
+                // without consuming an attempt.
+                if let Some(pd) = &mut self.nodes.get_mut(&node).expect("node").pend {
+                    pd.deadline = now + 4;
+                }
+                continue;
+            }
+            if let Some(pd) = &mut self.nodes.get_mut(&node).expect("node").pend {
+                pd.attempts += 1;
+                pd.deadline = now + (timeout_steps << pd.attempts.min(6));
+            }
+            self.stats.timeouts += 1;
+            self.stats.retransmits += 1;
+            self.trace_event("retransmit", || {
+                vec![
+                    ("node", node.to_string().into()),
+                    ("msg", msg.to_string().into()),
+                ]
+            });
+            self.channels.send(quad, vc, msg);
+            self.stats.msgs += 1;
+        }
+    }
+
     /// One engine step: every controller gets one attempt. Returns the
     /// number that made progress plus the blocked descriptions.
     pub fn step(&mut self) -> Result<(usize, Vec<BlockedReason>), SimError> {
+        self.chaos_tick();
         let mut order = self.controllers();
         if let Some(rng) = &mut self.rng {
             rng.shuffle(&mut order);
@@ -1178,6 +1617,38 @@ impl Sim {
                 .values()
                 .all(|n| n.pend.is_none() && n.held_snoop.is_none())
             && self.workload.remaining() == 0
+            && self.chaos.as_ref().map(|f| f.limbo_len()).unwrap_or(0) == 0
+    }
+
+    /// Chaos mode: will future steps produce events on their own (limbo
+    /// releases or pending-operation timeouts)? When true, a
+    /// zero-progress step is not a deadlock yet.
+    fn chaos_pending_events(&self) -> bool {
+        match &self.chaos {
+            Some(f) => {
+                f.limbo_len() > 0
+                    || self
+                        .nodes
+                        .values()
+                        .any(|n| n.pend.is_some_and(|p| p.deadline != u64::MAX))
+            }
+            None => false,
+        }
+    }
+
+    /// Chaos mode: transactions wedged at the directory (busy entries
+    /// that will never complete because a fault ate a message).
+    fn chaos_stuck(&self) -> bool {
+        self.chaos.is_some() && self.quads.iter().any(|q| !q.busy.is_empty())
+    }
+
+    /// Abandoned-op diagnoses plus any permanently-busy transactions.
+    fn diagnosis(&self) -> Vec<String> {
+        let mut d = self.abandoned.clone();
+        for line in self.debug_busy() {
+            d.push(format!("stuck transaction: {line}"));
+        }
+        d
     }
 
     /// Run until quiescence, deadlock, or the step budget.
@@ -1195,6 +1666,7 @@ impl Sim {
                     Outcome::Quiescent => "quiescent",
                     Outcome::Deadlock(_) => "deadlock",
                     Outcome::StepLimit => "step_limit",
+                    Outcome::Stalled { .. } => "stalled",
                 };
                 vec![("kind", kind.into()), ("steps", self.stats.steps.into())]
             });
@@ -1210,7 +1682,17 @@ impl Sim {
             let (worked, blocked) = self.step()?;
             if worked == 0 {
                 if self.quiescent() {
+                    if !self.abandoned.is_empty() || self.chaos_stuck() {
+                        return Ok(Outcome::Stalled {
+                            diagnosis: self.diagnosis(),
+                        });
+                    }
                     return Ok(Outcome::Quiescent);
+                }
+                // Chaos mode: timeouts or limbo releases will still
+                // fire; not a deadlock yet.
+                if self.chaos_pending_events() {
+                    continue;
                 }
                 // No progress but work remains: deadlock.
                 let mut channels: Vec<String> = blocked
@@ -1222,11 +1704,20 @@ impl Sim {
                 }
                 channels.sort();
                 channels.dedup();
-                return Ok(Outcome::Deadlock(DeadlockInfo {
+                let info = DeadlockInfo {
                     blocked: blocked.into_iter().map(|(w, _)| w).collect(),
                     channels,
                     queues: self.channels.snapshot(),
-                }));
+                };
+                if self.stats.faults_injected > 0 {
+                    // Injected faults caused this; report it as graceful
+                    // degradation, keeping hard Deadlock for genuine
+                    // protocol/assignment bugs.
+                    let mut diagnosis = self.diagnosis();
+                    diagnosis.push(info.to_string());
+                    return Ok(Outcome::Stalled { diagnosis });
+                }
+                return Ok(Outcome::Deadlock(info));
             }
         }
     }
@@ -1245,6 +1736,12 @@ impl Sim {
         reg.counter("sim.retries").add(self.stats.retries);
         reg.counter("sim.msgs").add(self.stats.msgs);
         reg.counter("sim.read_checks").add(self.stats.read_checks);
+        reg.counter("sim.faults_injected")
+            .add(self.stats.faults_injected);
+        reg.counter("sim.timeouts").add(self.stats.timeouts);
+        reg.counter("sim.retransmits").add(self.stats.retransmits);
+        reg.counter("sim.strays").add(self.stats.strays);
+        reg.counter("sim.abandoned").add(self.stats.abandoned);
         for (table, hit, total) in self.coverage_report() {
             reg.counter(&format!("sim.rows_hit.{table}"))
                 .add(hit as u64);
@@ -1380,6 +1877,41 @@ impl Sim {
                 (name, hit, total)
             })
             .collect()
+    }
+
+    /// Row indices of `controller` exercised by this run, ascending
+    /// (for unioning coverage across runs, e.g. by `ccsql fuzz`).
+    pub fn covered_rows(&self, controller: &'static str) -> Vec<usize> {
+        let mut v: Vec<usize> = self
+            .coverage
+            .keys()
+            .filter(|(c, _)| *c == controller)
+            .map(|(_, i)| *i)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The symbolic value of column `col` in row `row_idx` of
+    /// `controller`'s table (`None` for NULL, non-symbol values, or
+    /// out-of-range indices). The coverage-closing fuzz driver uses
+    /// this to map never-hit rows back to the stimulus (`inmsg`) that
+    /// could exercise them.
+    pub fn row_field(&self, controller: &str, row_idx: usize, col: &str) -> Option<&'static str> {
+        let rel = match controller {
+            "D" => &self.d.rel,
+            "M" => &self.m.rel,
+            "N" => &self.n.rel,
+            "R" => &self.r.rel,
+            _ => return None,
+        };
+        if row_idx >= rel.len() {
+            return None;
+        }
+        match rel.get(row_idx, col) {
+            Some(Value::Sym(s)) => Some(s.as_str()),
+            _ => None,
+        }
     }
 
     /// Row indices of `controller` never exercised by this run.

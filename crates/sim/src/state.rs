@@ -30,6 +30,12 @@ pub struct BusyEntry {
     /// Sharer set at transaction start (base for `inc`/`dec` presence
     /// vector operations at completion).
     pub saved_pv: PresenceVector,
+    /// Responders whose snoop response has been collected. Hardware
+    /// directories track *which* nodes answered, not just how many —
+    /// which makes a duplicated snoop response (or the extra `idone` a
+    /// duplicated snoop provokes) idempotent instead of corrupting the
+    /// outstanding-response count.
+    pub answered: PresenceVector,
 }
 
 /// Per-quad protocol-engine state: directory, busy directory, home
@@ -91,6 +97,18 @@ pub struct PendTxn {
     pub value: u64,
     /// Engine step at which the operation was issued (latency base).
     pub issued_at: u64,
+    /// Retransmission attempts made so far (chaos mode only).
+    pub attempts: u32,
+    /// Engine step at which the protocol boundary declares this
+    /// attempt timed out and retransmits (`u64::MAX` = no timeout,
+    /// the non-chaos default).
+    pub deadline: u64,
+    /// The exact request message sent for this operation, kept so a
+    /// timeout can retransmit it verbatim. Re-issuing through the
+    /// workload path instead would lose the write-back payload: the
+    /// cache line is removed when the op is issued, so the data only
+    /// survives inside this message.
+    pub msg: Option<crate::msg::SimMsg>,
 }
 
 /// Per-node state: cache contents and the (single) pending transaction.
@@ -110,6 +128,11 @@ pub struct NodeState {
     pub held_snoop: Option<crate::msg::SimMsg>,
     /// Retries observed by this node.
     pub retries: u64,
+    /// Consecutive retries of the current operation without a
+    /// completion in between; chaos mode abandons the op when this
+    /// exceeds the plan's retry budget (a fault may have wedged the
+    /// transaction it keeps colliding with).
+    pub redo_streak: u64,
 }
 
 impl NodeState {
@@ -157,6 +180,7 @@ mod tests {
                 requester: NodeId::new(0, 0),
                 req: Sym::intern("readex"),
                 saved_pv: PresenceVector::new(),
+                answered: PresenceVector::new(),
             },
         );
         assert_eq!(q.bdirpv_encoding(7), "gone");

@@ -37,6 +37,20 @@ if grep -q 'identical=false' "$BENCH_DIR/run1.txt"; then
     exit 1
 fi
 
+echo "==> ccsql fuzz --quick (chaos smoke: clean audit, live fault path, determinism)"
+cargo run --quiet --release -p ccsql-cli -- fuzz --quick --seed 1 \
+    > "$BENCH_DIR/fuzz1.txt"
+cargo run --quiet --release -p ccsql-cli -- fuzz --quick --seed 1 \
+    > "$BENCH_DIR/fuzz2.txt"
+# Same seed twice => byte-identical JSONL (chaos is deterministic).
+diff "$BENCH_DIR/fuzz1.txt" "$BENCH_DIR/fuzz2.txt"
+grep -q '"type":"fuzz-summary"' "$BENCH_DIR/fuzz1.txt"
+grep -q '"audit_failures":0' "$BENCH_DIR/fuzz1.txt"
+if grep '"type":"fuzz-summary"' "$BENCH_DIR/fuzz1.txt" | grep -q '"faults_injected":0'; then
+    echo "fuzz injected no faults — the chaos path is dead" >&2
+    exit 1
+fi
+
 echo "==> ccsql lint (clean specs must stay clean; seeded bugs must be caught)"
 cargo test -q -p ccsql-lint
 cargo run --quiet --release -p ccsql-cli -- lint specs/fig3.ccsql
