@@ -12,6 +12,7 @@
 //!           [--chaos] [--fault-seed N] [--faults drop=R,...] [--coverage-report]
 //! ccsql fuzz [--rounds N] [--seed N] [--out FILE.jsonl] [--quick]
 //! ccsql mc [--nodes N] [--quota N] [--resp-depth N] [--budget N] [--threads N]
+//!          [--no-symmetry]
 //! ccsql bench [--threads N] [--quick] [--out DIR]
 //! ccsql fig4 [--fixed]
 //! ccsql query "SELECT …"
@@ -38,7 +39,7 @@ use ccsql::liveness::BusyGraph;
 use ccsql::report::deadlock_report;
 use ccsql::vc::VcAssignment;
 use ccsql::{codegen, invariants};
-use ccsql_mc::{explore_threads, McOutcome, McStats, Model};
+use ccsql_mc::{explore_threads, explore_with, McOpts, McOutcome, McStats, Model};
 use ccsql_protocol::states;
 use ccsql_protocol::topology::NodeId;
 use ccsql_relalg::report;
@@ -64,6 +65,7 @@ USAGE:
                    [--coverage-report]
     ccsql fuzz     [--rounds N] [--seed N] [--out FILE.jsonl] [--quick]
     ccsql mc       [--nodes N] [--quota N] [--resp-depth N] [--budget N] [--threads N]
+                   [--no-symmetry]
     ccsql bench    [--threads N] [--quick] [--out DIR]
     ccsql fig4     [--fixed]
     ccsql query    \"SELECT ... FROM D ...\"
@@ -81,6 +83,12 @@ THREADS:
     --threads N  worker threads for the parallel BFS (mc), the dependency
                  closure (deadlock) and bench; default: available parallelism.
                  Results are byte-identical for every thread count.
+
+SYMMETRY:
+    mc explores the node-permutation quotient by default (one canonical
+    representative per orbit; up to nodes! fewer states, same verdict).
+    --no-symmetry explores the full space instead; bench runs both and
+    cross-checks them.
 ";
 
 /// Parsed `--flag value` options.
@@ -734,18 +742,25 @@ fn cmd_mc(opts: &Opts) -> Result<String, String> {
     let resp_depth = opts.num("--resp-depth", 2)? as usize;
     let budget = opts.num("--budget", 1_000_000)? as usize;
     let threads = opts.num("--threads", default_threads() as u64)? as usize;
-    if !(2..=4).contains(&nodes) {
-        return Err("nodes must be 2..=4".into());
-    }
-    if !(1..=3).contains(&quota) {
-        return Err("quota must be 1..=3".into());
+    let symmetry = !opts.flag("--no-symmetry");
+    if nodes < 2 {
+        return Err("nodes must be at least 2".into());
     }
     let m = Model {
         nodes,
         quota,
         resp_depth,
     };
-    let (out, stats) = explore_threads(&m, budget, threads);
+    m.validate()?;
+    let (out, stats) = explore_with(
+        &m,
+        m.initial(),
+        &McOpts {
+            budget,
+            threads,
+            symmetry,
+        },
+    );
     let mut text = String::new();
     writeln!(
         text,
@@ -760,6 +775,27 @@ fn cmd_mc(opts: &Opts) -> Result<String, String> {
         stats.elapsed
     )
     .unwrap();
+    if stats.symmetry {
+        writeln!(
+            text,
+            "symmetry: {} orbit representatives for {} full states \
+             (orbit reduction {:.2}x), arena {} bytes ({} bytes/state)",
+            stats.states,
+            stats.orbit_states,
+            stats.orbit_states as f64 / (stats.states.max(1)) as f64,
+            stats.arena_bytes,
+            stats.arena_bytes.checked_div(stats.states).unwrap_or(0),
+        )
+        .unwrap();
+    } else {
+        writeln!(
+            text,
+            "symmetry: off, arena {} bytes ({} bytes/state)",
+            stats.arena_bytes,
+            stats.arena_bytes.checked_div(stats.states).unwrap_or(0),
+        )
+        .unwrap();
+    }
     match out {
         McOutcome::Verified => {
             writeln!(text, "verified — all safety properties hold").unwrap();
@@ -845,7 +881,67 @@ fn cmd_bench(opts: &Opts) -> Result<String, String> {
         m.nodes, m.quota, st1.states, st1.transitions, st1.depth
     )
     .unwrap();
-    let mc_json = bench_mc_json(&m, budget, threads, hardware, &out1, &st1, &st_n, mc_same);
+
+    // ---- Leg 1b: the same space under symmetry reduction -------------
+    // Three gates beyond 1-thread/N-thread identity:
+    //   * when both modes complete, the verdicts must agree and the sum
+    //     of orbit sizes must equal the full state count *exactly*;
+    //   * the reduced count must be strictly below the full count at
+    //     >= 3 nodes (the orbit quotient must actually bite);
+    //   * when the full run exhausts its budget, the symmetry run must
+    //     not be worse (that is the whole point of the quotient).
+    let sym_opts = McOpts {
+        budget,
+        threads: 1,
+        symmetry: true,
+    };
+    let (sym_out1, sym1) = explore_with(&m, m.initial(), &sym_opts);
+    let (sym_out_n, sym_n) = explore_with(
+        &m,
+        m.initial(),
+        &McOpts {
+            threads,
+            ..sym_opts
+        },
+    );
+    let mut sym_same = sym_out1 == sym_out_n
+        && sym1.states == sym_n.states
+        && sym1.orbit_states == sym_n.orbit_states
+        && sym1.transitions == sym_n.transitions
+        && sym1.dedup_hits == sym_n.dedup_hits
+        && sym1.depth == sym_n.depth
+        && sym1.levels == sym_n.levels
+        && sym1.frontier_peak == sym_n.frontier_peak
+        && sym1.witness == sym_n.witness;
+    if out1 == McOutcome::Verified {
+        sym_same &= sym_out1 == McOutcome::Verified && sym1.orbit_states == st1.states as u64;
+    }
+    if m.nodes >= 3 {
+        sym_same &= sym1.states < st1.states;
+    }
+    identical &= sym_same;
+    let reduction = sym1.orbit_states as f64 / sym1.states.max(1) as f64;
+    writeln!(
+        text,
+        "bench mc-sym: nodes={} quota={} budget={budget} threads={threads} \
+         outcome={sym_out1:?} states={} orbit_states={} reduction={reduction:.2}x \
+         arena_bytes={} identical={sym_same}",
+        m.nodes, m.quota, sym1.states, sym1.orbit_states, sym1.arena_bytes
+    )
+    .unwrap();
+    let mc_json = bench_mc_json(BenchMc {
+        m: &m,
+        budget,
+        threads,
+        hardware,
+        outcome: &out1,
+        st1: &st1,
+        st_n: &st_n,
+        sym_outcome: &sym_out1,
+        sym1: &sym1,
+        sym_n: &sym_n,
+        identical: mc_same && sym_same,
+    });
     let mc_path = format!("{out_dir}/BENCH_mc.json");
     std::fs::write(&mc_path, mc_json).map_err(|e| format!("cannot write {mc_path}: {e}"))?;
 
@@ -944,37 +1040,61 @@ fn per_sec(count: f64, secs: f64) -> f64 {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn bench_mc_json(
-    m: &Model,
+/// Inputs of [`bench_mc_json`] (full + symmetry legs share a file).
+struct BenchMc<'a> {
+    m: &'a Model,
     budget: usize,
     threads: usize,
     hardware: usize,
-    outcome: &McOutcome,
-    st1: &McStats,
-    st_n: &McStats,
+    outcome: &'a McOutcome,
+    st1: &'a McStats,
+    st_n: &'a McStats,
+    sym_outcome: &'a McOutcome,
+    sym1: &'a McStats,
+    sym_n: &'a McStats,
     identical: bool,
-) -> String {
-    let s1 = st1.elapsed.as_secs_f64();
-    let sn = st_n.elapsed.as_secs_f64();
+}
+
+fn bench_mc_json(b: BenchMc) -> String {
+    let s1 = b.st1.elapsed.as_secs_f64();
+    let sn = b.st_n.elapsed.as_secs_f64();
+    let y1 = b.sym1.elapsed.as_secs_f64();
+    let yn = b.sym_n.elapsed.as_secs_f64();
     ccsql_obs::json::JsonObj::new()
         .str("bench", "mc")
-        .u64("nodes", m.nodes as u64)
-        .u64("quota", m.quota as u64)
-        .u64("budget", budget as u64)
-        .u64("threads", threads as u64)
-        .u64("hardware_threads", hardware as u64)
-        .str("outcome", &format!("{outcome:?}"))
-        .u64("states", st1.states as u64)
-        .u64("transitions", st1.transitions)
-        .u64("depth", st1.depth as u64)
-        .u64("levels", st1.levels as u64)
+        .u64("nodes", b.m.nodes as u64)
+        .u64("quota", b.m.quota as u64)
+        .u64("budget", b.budget as u64)
+        .u64("threads", b.threads as u64)
+        .u64("hardware_threads", b.hardware as u64)
+        .str("outcome", &format!("{:?}", b.outcome))
+        .u64("states", b.st1.states as u64)
+        .u64("transitions", b.st1.transitions)
+        .u64("depth", b.st1.depth as u64)
+        .u64("levels", b.st1.levels as u64)
         .f64("secs_1t", s1)
         .f64("secs_nt", sn)
-        .f64("states_per_sec_1t", per_sec(st1.states as f64, s1))
-        .f64("states_per_sec_nt", per_sec(st_n.states as f64, sn))
+        .f64("states_per_sec_1t", per_sec(b.st1.states as f64, s1))
+        .f64("states_per_sec_nt", per_sec(b.st_n.states as f64, sn))
         .f64("speedup", per_sec(s1, sn))
-        .raw("identical", if identical { "true" } else { "false" })
+        .str("sym_outcome", &format!("{:?}", b.sym_outcome))
+        .u64("sym_states", b.sym1.states as u64)
+        .u64("sym_orbit_states", b.sym1.orbit_states)
+        .u64("sym_transitions", b.sym1.transitions)
+        .u64("sym_depth", b.sym1.depth as u64)
+        .f64("sym_secs_1t", y1)
+        .f64("sym_secs_nt", yn)
+        .f64("sym_speedup", per_sec(y1, yn))
+        .f64(
+            "orbit_reduction",
+            b.sym1.orbit_states as f64 / b.sym1.states.max(1) as f64,
+        )
+        .u64("arena_bytes", b.sym1.arena_bytes as u64)
+        .f64(
+            "bytes_per_state",
+            b.sym1.arena_bytes as f64 / b.sym1.states.max(1) as f64,
+        )
+        .raw("identical", if b.identical { "true" } else { "false" })
         .finish()
 }
 
@@ -1448,7 +1568,37 @@ mod tests {
         let err = run(&argv("mc --budget 10")).unwrap_err();
         assert!(err.contains("budget"), "{err}");
         assert!(run(&argv("mc --nodes 9")).is_err());
+        assert!(run(&argv("mc --nodes 1")).is_err());
         assert!(run(&argv("mc --quota 0")).is_err());
+        assert!(run(&argv("mc --resp-depth 7")).is_err());
+    }
+
+    #[test]
+    fn mc_symmetry_reduces_and_agrees_with_full() {
+        // Symmetry on by default: the report shows the orbit reduction.
+        let sym = run(&argv("mc --nodes 3 --quota 1")).unwrap();
+        assert!(sym.contains("orbit reduction"), "{sym}");
+        assert!(sym.contains("verified"), "{sym}");
+        let full = run(&argv("mc --nodes 3 --quota 1 --no-symmetry")).unwrap();
+        assert!(full.contains("symmetry: off"), "{full}");
+        assert!(full.contains("verified"), "{full}");
+        // The symmetry run's orbit total equals the full run's count:
+        // "N orbit representatives for M full states" vs "M distinct".
+        let full_states: usize = full
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .expect("full state count leads the report");
+        assert!(
+            sym.contains(&format!("for {full_states} full states")),
+            "sym run does not account for exactly {full_states} states:\n{sym}"
+        );
+        let sym_states: usize = sym.split_whitespace().next().unwrap().parse().unwrap();
+        assert!(sym_states < full_states, "{sym_states} !< {full_states}");
+        // The previously budget-bound ASURA config now verifies outright.
+        let asura = run(&argv("mc --nodes 4 --quota 2 --budget 400000")).unwrap();
+        assert!(asura.contains("verified"), "{asura}");
     }
 
     #[test]

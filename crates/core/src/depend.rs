@@ -151,11 +151,37 @@ impl AnalysisConfig {
     }
 }
 
+/// Below this many (placement, controller) work units per worker, the
+/// direct-row generation runs sequentially: spawning a thread costs more
+/// than deriving a unit's rows (BENCH_depend.json once recorded a 13×
+/// *slowdown* from parallelising the 40-unit workload).
+const PAR_MIN_UNITS_PER_WORKER: usize = 32;
+
+/// Below this many probe rows per worker, a composition round runs
+/// sequentially — the same spawn-cost guard as the relalg solver's
+/// chunk loops.
+const PAR_MIN_ROWS_PER_WORKER: usize = 4096;
+
 /// Run `run` over `0..n` split into at most `threads` contiguous
 /// chunks on scoped threads; chunk outputs come back in chunk order,
 /// so concatenating them reproduces the sequential iteration order.
-fn par_chunks<R: Send>(n: usize, threads: usize, run: impl Fn(Range<usize>) -> R + Sync) -> Vec<R> {
-    let workers = threads.max(1).min(n.max(1));
+///
+/// `min_per_worker` is the spawn-cost guard: the worker count is capped
+/// at `n / min_per_worker`, so small workloads degrade gracefully to an
+/// inline sequential run (and mid-sized ones to fewer workers) instead
+/// of paying thread spawn/join for sub-millisecond work. The output is
+/// identical for every `threads` value either way.
+fn par_chunks<R: Send>(
+    n: usize,
+    threads: usize,
+    min_per_worker: usize,
+    run: impl Fn(Range<usize>) -> R + Sync,
+) -> Vec<R> {
+    let workers = threads
+        .max(1)
+        .min(n / min_per_worker.max(1))
+        .max(1)
+        .min(n.max(1));
     if workers <= 1 {
         return vec![run(0..n)];
     }
@@ -281,12 +307,17 @@ pub fn protocol_dependency_table(
             units.push((placement, ctrl, gen.table(ctrl.name)?));
         }
     }
-    let unit_rows: Vec<Vec<Vec<DepRow>>> = par_chunks(units.len(), cfg.threads, |range| {
-        units[range]
-            .iter()
-            .map(|&(p, ctrl, table)| controller_dependency_rows(ctrl, table, v, p))
-            .collect()
-    });
+    let unit_rows: Vec<Vec<Vec<DepRow>>> = par_chunks(
+        units.len(),
+        cfg.threads,
+        PAR_MIN_UNITS_PER_WORKER,
+        |range| {
+            units[range]
+                .iter()
+                .map(|&(p, ctrl, table)| controller_dependency_rows(ctrl, table, v, p))
+                .collect()
+        },
+    );
     let mut generated = unit_rows.into_iter().flatten();
     for &placement in &cfg.placements {
         let before = rows.len();
@@ -337,30 +368,31 @@ pub fn protocol_dependency_table(
         // worker owns a contiguous chunk of left rows and emits its
         // candidates in (left, mode, right) order, so concatenating the
         // chunks reproduces the sequential candidate order exactly.
-        let candidate_chunks: Vec<Vec<DepRow>> = par_chunks(rows.len(), cfg.threads, |range| {
-            let mut out: Vec<DepRow> = Vec::new();
-            for li in range {
-                let left = &rows[li];
-                for &mode in &modes {
-                    let key = (placement_id(left.placement), match_key(&left.output, mode));
-                    if let Some(cands) = index.get(&key) {
-                        for &ri in cands {
-                            out.push(DepRow {
-                                input: left.input,
-                                output: rows[ri].output,
-                                placement: left.placement,
-                                provenance: Provenance::Composed {
-                                    left: li,
-                                    right: ri,
-                                    mode,
-                                },
-                            });
+        let candidate_chunks: Vec<Vec<DepRow>> =
+            par_chunks(rows.len(), cfg.threads, PAR_MIN_ROWS_PER_WORKER, |range| {
+                let mut out: Vec<DepRow> = Vec::new();
+                for li in range {
+                    let left = &rows[li];
+                    for &mode in &modes {
+                        let key = (placement_id(left.placement), match_key(&left.output, mode));
+                        if let Some(cands) = index.get(&key) {
+                            for &ri in cands {
+                                out.push(DepRow {
+                                    input: left.input,
+                                    output: rows[ri].output,
+                                    placement: left.placement,
+                                    provenance: Provenance::Composed {
+                                        left: li,
+                                        right: ri,
+                                        mode,
+                                    },
+                                });
+                            }
                         }
                     }
                 }
-            }
-            out
-        });
+                out
+            });
         // Round barrier: merge + dedup sequentially, in chunk order.
         let mut added = false;
         for r in candidate_chunks.into_iter().flatten() {
@@ -634,13 +666,36 @@ mod tests {
             (1, 8),
             (0, 4),
         ] {
-            let chunks = par_chunks(n, threads, |r| r.collect::<Vec<usize>>());
+            let chunks = par_chunks(n, threads, 1, |r| r.collect::<Vec<usize>>());
             let flat: Vec<usize> = chunks.into_iter().flatten().collect();
             assert_eq!(
                 flat,
                 (0..n).collect::<Vec<usize>>(),
                 "n={n} threads={threads}"
             );
+        }
+    }
+
+    #[test]
+    fn spawn_cost_guard_caps_workers_by_workload() {
+        // The guard runs small workloads inline (one chunk), mid-sized
+        // ones on fewer workers than requested, and never changes the
+        // concatenated output.
+        for (n, threads, min, want_chunks) in [
+            (40, 4, 32, 1),     // the regressing depend workload: inline
+            (64, 4, 32, 2),     // 2×32 units → 2 workers despite threads=4
+            (40, 4, 1, 4),      // min=1 keeps the old behaviour
+            (8192, 4, 4096, 2), // solver-sized guard
+            (4095, 8, 4096, 1),
+        ] {
+            let chunks = par_chunks(n, threads, min, |r| r.collect::<Vec<usize>>());
+            assert_eq!(
+                chunks.len(),
+                want_chunks,
+                "n={n} threads={threads} min={min}"
+            );
+            let flat: Vec<usize> = chunks.into_iter().flatten().collect();
+            assert_eq!(flat, (0..n).collect::<Vec<usize>>());
         }
     }
 

@@ -1,21 +1,33 @@
 //! Breadth-first explicit-state exploration (the Murphi-style engine),
-//! parallelised level-synchronously.
+//! parallelised level-synchronously, with optional symmetry reduction.
 //!
 //! The exploration proceeds in BFS *levels*. All distinct states live in
-//! a single append-only arena in discovery order; a level is a
-//! contiguous range of arena indices, so the frontier is two integers
-//! and no state is ever cloned on the hot path (it is moved into the
-//! arena once and referenced by index afterwards).
+//! a single append-only arena in discovery order — stored as bit-packed
+//! [`Compact`] words (16 bytes each, see [`crate::compact`]), unpacked
+//! only at the model boundary — so a level is a contiguous range of
+//! arena indices, the frontier is two integers, and no state is ever
+//! cloned on the hot path (only the single witness row is materialised
+//! when a violation ends the run).
+//!
+//! With [`McOpts::symmetry`] on, every successor is canonicalised to
+//! the lexicographically-least member of its node-permutation orbit
+//! before fingerprinting, so the BFS explores the *quotient* graph: one
+//! representative per orbit, dividing the reachable space by up to `n!`
+//! on fully node-permutable states. Soundness rests on the initial
+//! state and every checked property being permutation-invariant (see
+//! DESIGN.md §11); the equivalence gates in `tests/symmetry.rs` pin the
+//! on/off verdicts against each other at small configurations.
 //!
 //! Each level runs in two phases:
 //!
 //! 1. **Scan (parallel)** — the level range is split into one
 //!    contiguous chunk per worker (`std::thread::scope`, the same
 //!    pattern as the relalg solver). Workers check safety properties,
-//!    generate successors, fingerprint them with the fast
-//!    [`ccsql_obs::hash`] hasher and probe the *read-only* visited set;
-//!    survivors are collected per worker in discovery order together
-//!    with per-worker transition/dedup counters.
+//!    generate successors, pack (and optionally canonicalise) them,
+//!    fingerprint the packed word with the fast [`ccsql_obs::hash`]
+//!    hasher and probe the *read-only* visited set; survivors are
+//!    collected per worker in discovery order together with per-worker
+//!    transition/dedup counters.
 //! 2. **Merge (sequential)** — worker outputs are folded in chunk
 //!    order, which is exactly the order a 1-thread scan would have
 //!    produced. New states are deduplicated across workers and appended
@@ -30,6 +42,7 @@
 //! small tables and a future parallel merge can take one shard per
 //! worker without changing the observable order.
 
+use crate::compact::{canon, orbit_size, pack, unpack, Compact};
 use crate::model::Model;
 use crate::state::State;
 use ccsql_obs::hash::{fx_hash_one, FxBuildHasher, FxHashMap};
@@ -50,12 +63,31 @@ pub enum McOutcome {
     BudgetExceeded,
 }
 
+/// Exploration options.
+#[derive(Clone, Copy, Debug)]
+pub struct McOpts {
+    /// Distinct-state budget (quotient states when `symmetry` is on).
+    pub budget: usize,
+    /// Worker threads (results are identical for every count).
+    pub threads: usize,
+    /// Canonicalise states to their orbit representative before
+    /// visiting: explore the symmetry-reduced quotient graph.
+    pub symmetry: bool,
+}
+
 /// Exploration statistics.
 #[derive(Debug)]
 pub struct McStats {
-    /// Distinct states visited.
+    /// Distinct states visited (orbit representatives when symmetry
+    /// reduction is on).
     pub states: usize,
-    /// Transitions fired.
+    /// Full states represented: the sum of orbit sizes over `states`.
+    /// Equals `states` with symmetry off; with symmetry on it equals
+    /// the state count a symmetry-off run would report, which the bench
+    /// uses as an exactness gate.
+    pub orbit_states: u64,
+    /// Transitions fired (from orbit representatives only, under
+    /// symmetry).
     pub transitions: u64,
     /// Transitions whose target state had already been seen.
     pub dedup_hits: u64,
@@ -67,9 +99,15 @@ pub struct McStats {
     pub levels: usize,
     /// Worker threads used.
     pub threads: usize,
+    /// Whether symmetry reduction was on.
+    pub symmetry: bool,
+    /// Peak bytes held by the packed state arena (16 bytes per state).
+    pub arena_bytes: usize,
     /// The violating (or stuck) state, when the outcome is
     /// [`McOutcome::Violation`] or [`McOutcome::Stuck`] — identical for
-    /// every thread count by the lowest-(depth, BFS-order) rule.
+    /// every thread count by the lowest-(depth, BFS-order) rule. Under
+    /// symmetry it is the orbit representative: a genuine violating
+    /// state, possibly a node-renumbering of the one a full run reports.
     pub witness: Option<State>,
     /// Wall-clock time.
     pub elapsed: Duration,
@@ -87,13 +125,14 @@ const PAR_MIN_LEVEL: usize = 128;
 /// does not commit gigabytes before the first state is explored.
 const RESERVE_CAP: usize = 1 << 18;
 
-/// The visited set: all distinct states in BFS discovery order plus a
-/// sharded fingerprint index. `map` holds the first arena index per
-/// fingerprint; genuine 64-bit collisions (different states, same
-/// fingerprint) overflow into a per-shard list that stays empty in
-/// practice but keeps the checker exact.
+/// The visited set: all distinct states — as packed 16-byte words — in
+/// BFS discovery order plus a sharded fingerprint index. `map` holds
+/// the first arena index per fingerprint; genuine 64-bit collisions
+/// (different states, same fingerprint) overflow into a per-shard list
+/// that stays empty in practice but keeps the checker exact (the final
+/// compare is on the full 128-bit word).
 struct Visited {
-    arena: Vec<State>,
+    arena: Vec<Compact>,
     shards: Vec<Shard>,
 }
 
@@ -126,23 +165,27 @@ impl Visited {
         self.arena.len()
     }
 
+    fn bytes(&self) -> usize {
+        self.arena.len() * std::mem::size_of::<Compact>()
+    }
+
     /// Read-only membership probe (safe to call from many workers).
-    fn contains(&self, fp: u64, st: &State) -> bool {
+    fn contains(&self, fp: u64, c: Compact) -> bool {
         let shard = &self.shards[shard_of(fp)];
         match shard.map.get(&fp) {
-            Some(&i) if self.arena[i as usize] == *st => true,
+            Some(&i) if self.arena[i as usize] == c => true,
             Some(_) => shard
                 .overflow
                 .iter()
-                .any(|&(f, i)| f == fp && self.arena[i as usize] == *st),
+                .any(|&(f, i)| f == fp && self.arena[i as usize] == c),
             None => false,
         }
     }
 
-    /// Move `st` into the arena unless already present; returns whether
+    /// Append `c` to the arena unless already present; returns whether
     /// it was new.
-    fn insert(&mut self, fp: u64, st: State) -> bool {
-        if self.contains(fp, &st) {
+    fn insert(&mut self, fp: u64, c: Compact) -> bool {
+        if self.contains(fp, c) {
             return false;
         }
         let idx = self.arena.len() as u32;
@@ -156,7 +199,7 @@ impl Visited {
                 shard.overflow.push((fp, idx));
             }
         }
-        self.arena.push(st);
+        self.arena.push(c);
         true
     }
 }
@@ -171,10 +214,10 @@ enum LevelEvent {
 
 /// Per-worker scan output for one chunk of a level.
 struct ChunkOut {
-    /// Fingerprinted candidate successors, in discovery order. May
-    /// still contain states another worker also found this level; the
-    /// merge resolves those.
-    cands: Vec<(u64, State)>,
+    /// Fingerprinted candidate successors (packed, canonical under
+    /// symmetry), in discovery order. May still contain states another
+    /// worker also found this level; the merge resolves those.
+    cands: Vec<(u64, Compact)>,
     transitions: u64,
     dedup_hits: u64,
     /// Lowest-index event in this chunk, if any.
@@ -182,7 +225,7 @@ struct ChunkOut {
 }
 
 /// Scan arena indices `range` against the read-only visited set.
-fn scan_chunk(model: &Model, visited: &Visited, range: Range<usize>) -> ChunkOut {
+fn scan_chunk(model: &Model, visited: &Visited, range: Range<usize>, symmetry: bool) -> ChunkOut {
     let mut out = ChunkOut {
         cands: Vec::new(),
         transitions: 0,
@@ -190,14 +233,14 @@ fn scan_chunk(model: &Model, visited: &Visited, range: Range<usize>) -> ChunkOut
         event: None,
     };
     for i in range {
-        let s = &visited.arena[i];
-        if let Some(prop) = model.check(s) {
+        let s = unpack(visited.arena[i]);
+        if let Some(prop) = model.check(&s) {
             if out.event.is_none() {
                 out.event = Some((i as u32, LevelEvent::Violation(prop)));
             }
             continue; // a violating state is terminal
         }
-        let succ = model.successors(s);
+        let succ = model.successors(&s);
         if succ.is_empty() && !s.quiescent() {
             if out.event.is_none() {
                 out.event = Some((i as u32, LevelEvent::Stuck));
@@ -206,29 +249,35 @@ fn scan_chunk(model: &Model, visited: &Visited, range: Range<usize>) -> ChunkOut
         }
         for t in succ {
             out.transitions += 1;
-            let fp = fx_hash_one(&t);
-            if visited.contains(fp, &t) {
+            let mut c = pack(&t);
+            if symmetry {
+                c = canon(c);
+            }
+            let fp = fx_hash_one(&c);
+            if visited.contains(fp, c) {
                 out.dedup_hits += 1;
             } else {
-                out.cands.push((fp, t));
+                out.cands.push((fp, c));
             }
         }
     }
     out
 }
 
-/// Scan one level, splitting it into contiguous per-worker chunks.
-/// Chunk outputs come back in chunk order, so folding them left to
-/// right reproduces the 1-thread scan order exactly.
+/// Scan one level, splitting it into contiguous per-worker chunks. The
+/// level is borrowed as an index range into the arena — nothing is
+/// cloned. Chunk outputs come back in chunk order, so folding them left
+/// to right reproduces the 1-thread scan order exactly.
 fn scan_level(
     model: &Model,
     visited: &Visited,
-    level: Range<usize>,
+    level: &Range<usize>,
     threads: usize,
+    symmetry: bool,
 ) -> Vec<ChunkOut> {
     let n = level.len();
     if threads <= 1 || n < PAR_MIN_LEVEL {
-        return vec![scan_chunk(model, visited, level)];
+        return vec![scan_chunk(model, visited, level.start..level.end, symmetry)];
     }
     let workers = threads.min(n);
     let chunk = n.div_ceil(workers);
@@ -237,7 +286,7 @@ fn scan_level(
             .map(|w| {
                 let lo = (level.start + w * chunk).min(level.end);
                 let hi = (level.start + (w + 1) * chunk).min(level.end);
-                s.spawn(move || scan_chunk(model, visited, lo..hi))
+                s.spawn(move || scan_chunk(model, visited, lo..hi, symmetry))
             })
             .collect();
         handles
@@ -248,30 +297,53 @@ fn scan_level(
 }
 
 /// Explore the model's state space up to `budget` distinct states
-/// (single worker).
+/// (single worker, no symmetry reduction).
 pub fn explore(model: &Model, budget: usize) -> (McOutcome, McStats) {
     explore_threads(model, budget, 1)
 }
 
-/// Explore with `threads` workers. Guaranteed byte-identical to
-/// [`explore`] in outcome, statistics and witness.
+/// Explore with `threads` workers, no symmetry reduction. Guaranteed
+/// byte-identical to [`explore`] in outcome, statistics and witness.
 pub fn explore_threads(model: &Model, budget: usize, threads: usize) -> (McOutcome, McStats) {
     explore_from(model, model.initial(), budget, threads)
 }
 
 /// Explore from an explicit initial state (used by the equivalence
-/// tests to seed a reachable bug).
+/// tests to seed a reachable bug), no symmetry reduction.
 pub fn explore_from(
     model: &Model,
     init: State,
     budget: usize,
     threads: usize,
 ) -> (McOutcome, McStats) {
+    explore_with(
+        model,
+        init,
+        &McOpts {
+            budget,
+            threads,
+            symmetry: false,
+        },
+    )
+}
+
+/// Explore with explicit [`McOpts`] — the full interface: budget,
+/// worker count, and symmetry reduction.
+pub fn explore_with(model: &Model, init: State, opts: &McOpts) -> (McOutcome, McStats) {
+    model
+        .validate()
+        .expect("model parameters exceed the packed-state bounds");
     let start = Instant::now();
-    let threads = threads.max(1);
+    let threads = opts.threads.max(1);
+    let budget = opts.budget;
+    let symmetry = opts.symmetry;
     let mut visited = Visited::with_capacity(budget.min(RESERVE_CAP));
-    let fp0 = fx_hash_one(&init);
-    visited.insert(fp0, init);
+    let mut c0 = pack(&init);
+    if symmetry {
+        c0 = canon(c0);
+    }
+    let mut orbit_states: u64 = if symmetry { orbit_size(c0) } else { 0 };
+    visited.insert(fx_hash_one(&c0), c0);
 
     let mut transitions = 0u64;
     let mut dedup_hits = 0u64;
@@ -284,7 +356,7 @@ pub fn explore_from(
         levels += 1;
         frontier_peak = frontier_peak.max(level.len());
 
-        let chunks = scan_level(model, &visited, level.clone(), threads);
+        let chunks = scan_level(model, &visited, &level, threads, symmetry);
 
         // Fold per-worker counters and pick the lowest-BFS-order event.
         let mut event: Option<(u32, LevelEvent)> = None;
@@ -298,7 +370,7 @@ pub fn explore_from(
             }
         }
         if let Some((i, ev)) = event {
-            witness = Some(visited.arena[i as usize].clone());
+            witness = Some(unpack(visited.arena[i as usize]));
             break match ev {
                 LevelEvent::Violation(prop) => McOutcome::Violation(prop),
                 LevelEvent::Stuck => McOutcome::Stuck,
@@ -309,11 +381,14 @@ pub fn explore_from(
         let next_start = visited.len();
         for c in chunks {
             for (fp, st) in c.cands {
-                if visited.contains(fp, &st) {
+                if visited.contains(fp, st) {
                     dedup_hits += 1;
                 } else {
                     if visited.len() >= budget {
                         break 'bfs McOutcome::BudgetExceeded;
+                    }
+                    if symmetry {
+                        orbit_states += orbit_size(st);
                     }
                     visited.insert(fp, st);
                 }
@@ -325,14 +400,20 @@ pub fn explore_from(
         level = next_start..visited.len();
     };
 
+    if !symmetry {
+        orbit_states = visited.len() as u64;
+    }
     let stats = McStats {
         states: visited.len(),
+        orbit_states,
         transitions,
         dedup_hits,
         frontier_peak,
         depth: levels - 1,
         levels,
         threads,
+        symmetry,
+        arena_bytes: visited.bytes(),
         witness,
         elapsed: start.elapsed(),
     };
@@ -348,10 +429,14 @@ fn record_mc_metrics(stats: &McStats) {
     let reg = ccsql_obs::global();
     reg.counter("mc.runs").inc();
     reg.counter("mc.states").add(stats.states as u64);
+    reg.counter("mc.orbit_states").add(stats.orbit_states);
     reg.counter("mc.transitions").add(stats.transitions);
     reg.counter("mc.dedup_hits").add(stats.dedup_hits);
     reg.counter("mc.levels").add(stats.levels as u64);
     reg.gauge("mc.threads").set(stats.threads as f64);
+    reg.gauge("mc.symmetry")
+        .set(if stats.symmetry { 1.0 } else { 0.0 });
+    reg.gauge("mc.arena_bytes").set(stats.arena_bytes as f64);
     reg.gauge("mc.frontier_peak")
         .set(stats.frontier_peak as f64);
     reg.gauge("mc.depth").set(stats.depth as f64);
@@ -367,11 +452,14 @@ fn record_mc_metrics(stats: &McStats) {
         "explore",
         vec![
             ("states", (stats.states as u64).into()),
+            ("orbit_states", stats.orbit_states.into()),
             ("transitions", stats.transitions.into()),
             ("dedup_hits", stats.dedup_hits.into()),
             ("frontier_peak", (stats.frontier_peak as u64).into()),
             ("depth", (stats.depth as u64).into()),
             ("threads", (stats.threads as u64).into()),
+            ("symmetry", u64::from(stats.symmetry).into()),
+            ("arena_bytes", (stats.arena_bytes as u64).into()),
             ("elapsed_us", (stats.elapsed.as_micros() as u64).into()),
         ],
     );
@@ -394,6 +482,8 @@ mod tests {
         assert!(stats.transitions >= stats.states as u64 - 1);
         assert!(stats.depth > 2);
         assert!(stats.witness.is_none());
+        assert_eq!(stats.orbit_states, stats.states as u64);
+        assert_eq!(stats.arena_bytes, stats.states * 16);
     }
 
     #[test]
@@ -425,6 +515,36 @@ mod tests {
         let s4 = count(4);
         assert!(s3 > 4 * s2, "2→3 nodes: {s2} → {s3}");
         assert!(s4 > 4 * s3, "3→4 nodes: {s3} → {s4}");
+    }
+
+    #[test]
+    fn symmetry_reduces_states_but_agrees_on_the_verdict() {
+        let m = Model {
+            nodes: 3,
+            quota: 1,
+            resp_depth: 2,
+        };
+        let (full_out, full) = explore(&m, 10_000_000);
+        let (sym_out, sym) = explore_with(
+            &m,
+            m.initial(),
+            &McOpts {
+                budget: 10_000_000,
+                threads: 1,
+                symmetry: true,
+            },
+        );
+        assert_eq!(full_out, sym_out);
+        assert!(
+            sym.states < full.states,
+            "{} !< {}",
+            sym.states,
+            full.states
+        );
+        // The quotient represents the full space *exactly*.
+        assert_eq!(sym.orbit_states, full.states as u64);
+        assert!(sym.symmetry);
+        assert!(!full.symmetry);
     }
 
     #[test]
@@ -463,25 +583,27 @@ mod tests {
     fn visited_set_handles_fingerprint_collisions() {
         let m = Model::default();
         let mut v = Visited::with_capacity(4);
-        let a = m.initial();
-        let mut b = m.initial();
-        b.cache[0] = crate::state::Cache::S;
-        // Force both states under one fingerprint: the exact compare
-        // must still tell them apart via the overflow list.
+        let a = pack(&m.initial());
+        let mut b_state = m.initial();
+        b_state.cache[0] = crate::state::Cache::S;
+        let b = pack(&b_state);
+        // Force both states under one fingerprint: the exact 128-bit
+        // compare must still tell them apart via the overflow list.
         let fp = 0xdead_beef_u64;
-        assert!(v.insert(fp, a.clone()));
-        assert!(v.contains(fp, &a));
-        assert!(!v.contains(fp, &b));
-        assert!(v.insert(fp, b.clone()));
-        assert!(v.contains(fp, &b));
+        assert!(v.insert(fp, a));
+        assert!(v.contains(fp, a));
+        assert!(!v.contains(fp, b));
+        assert!(v.insert(fp, b));
+        assert!(v.contains(fp, b));
         assert!(!v.insert(fp, a));
         assert_eq!(v.len(), 2);
+        assert_eq!(v.bytes(), 32);
     }
 
     #[test]
     fn thread_counts_agree_in_module() {
         // Quick in-crate equivalence check; the full matrix lives in
-        // tests/parallel.rs.
+        // tests/parallel.rs (and tests/symmetry.rs for the quotient).
         let m = Model {
             nodes: 3,
             quota: 1,
@@ -495,5 +617,6 @@ mod tests {
         assert_eq!(s1.dedup_hits, s4.dedup_hits);
         assert_eq!(s1.depth, s4.depth);
         assert_eq!(s1.frontier_peak, s4.frontier_peak);
+        assert_eq!(s1.orbit_states, s4.orbit_states);
     }
 }

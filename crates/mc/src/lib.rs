@@ -12,10 +12,14 @@
 //! exponential growth of its state space against the table-size-bounded
 //! cost of the SQL analyses.
 
+pub mod compact;
 pub mod explore;
 pub mod model;
 pub mod state;
 
-pub use explore::{explore, explore_from, explore_threads, McOutcome, McStats};
+pub use compact::{canon, orbit_size, pack, unpack, Compact};
+pub use explore::{
+    explore, explore_from, explore_threads, explore_with, McOpts, McOutcome, McStats,
+};
 pub use model::Model;
 pub use state::State;

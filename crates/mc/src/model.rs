@@ -29,6 +29,27 @@ impl Model {
         State::initial(self.nodes, self.quota)
     }
 
+    /// Check the parameters fit the 128-bit packed encoding the
+    /// explorer's visited arena uses ([`crate::compact`]). The CLI
+    /// surfaces this as a friendly error; [`crate::explore::explore_with`]
+    /// asserts it.
+    pub fn validate(&self) -> Result<(), String> {
+        use crate::compact::{MAX_NODES, MAX_QUOTA, MAX_RESP_DEPTH};
+        if !(1..=MAX_NODES).contains(&self.nodes) {
+            return Err(format!("nodes must be 1..={MAX_NODES}, got {}", self.nodes));
+        }
+        if !(1..=MAX_QUOTA).contains(&self.quota) {
+            return Err(format!("quota must be 1..={MAX_QUOTA}, got {}", self.quota));
+        }
+        if !(1..=MAX_RESP_DEPTH).contains(&self.resp_depth) {
+            return Err(format!(
+                "resp-depth must be 1..={MAX_RESP_DEPTH}, got {}",
+                self.resp_depth
+            ));
+        }
+        Ok(())
+    }
+
     /// All successor states of `s` (each enabled rule firing once).
     pub fn successors(&self, s: &State) -> Vec<State> {
         let mut out = Vec::new();
@@ -403,6 +424,41 @@ mod tests {
         s.cache[0] = Cache::M;
         s.cache[1] = Cache::M;
         assert!(m.check(&s).is_some());
+    }
+
+    #[test]
+    fn check_is_permutation_invariant_on_corrupt_states() {
+        // The quotient construction is only sound if no property can
+        // tell orbit members apart; spot-check it on violating states
+        // (the sweep over random walks lives in tests/canon.rs).
+        let m = Model {
+            nodes: 3,
+            quota: 2,
+            resp_depth: 2,
+        };
+        let mut s = m.initial();
+        s.cache = vec![Cache::M, Cache::S, Cache::I];
+        for perm in [[0, 1, 2], [1, 0, 2], [2, 1, 0], [1, 2, 0]] {
+            assert_eq!(m.check(&s), m.check(&s.permuted(&perm)), "{perm:?}");
+        }
+    }
+
+    #[test]
+    fn validate_bounds_parameters() {
+        assert!(Model::default().validate().is_ok());
+        let bad = |nodes, quota, resp_depth| {
+            Model {
+                nodes,
+                quota,
+                resp_depth,
+            }
+            .validate()
+            .is_err()
+        };
+        assert!(bad(6, 1, 2));
+        assert!(bad(2, 4, 2));
+        assert!(bad(2, 1, 4));
+        assert!(bad(0, 1, 2));
     }
 
     #[test]

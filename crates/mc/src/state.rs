@@ -136,6 +136,37 @@ impl State {
         self.pv & (1 << i) != 0
     }
 
+    /// Apply the node permutation `perm` (old index `i` becomes
+    /// `perm[i]`): every per-node field, the presence bitset and the
+    /// busy transaction's requester move together. Used by the
+    /// symmetry-reduction property tests; the hot-path canonicaliser
+    /// works on the packed form ([`crate::compact::canon`]).
+    pub fn permuted(&self, perm: &[usize]) -> State {
+        let n = self.nodes();
+        assert_eq!(perm.len(), n, "permutation arity mismatch");
+        let mut t = State::initial(n, 0);
+        let mut pv = 0u16;
+        for (i, &j) in perm.iter().enumerate() {
+            t.cache[j] = self.cache[i];
+            t.pend[j] = self.pend[i];
+            t.req[j] = self.req[i];
+            t.snoop[j] = self.snoop[i];
+            t.sresp[j] = self.sresp[i];
+            t.resp[j] = self.resp[i].clone();
+            t.quota[j] = self.quota[i];
+            if self.in_pv(i) {
+                pv |= 1 << j;
+            }
+        }
+        t.dir = self.dir;
+        t.pv = pv;
+        t.busy = self.busy.map(|mut b| {
+            b.requester = perm[b.requester as usize] as u8;
+            b
+        });
+        t
+    }
+
     /// True when nothing is in flight and no node has a pending op.
     pub fn quiescent(&self) -> bool {
         self.busy.is_none()
@@ -158,6 +189,20 @@ mod tests {
         assert_eq!(s.nodes(), 3);
         assert_eq!(s.sharers(), 0);
         assert!(!s.in_pv(0));
+    }
+
+    #[test]
+    fn permutation_moves_every_node_field_together() {
+        let mut s = State::initial(3, 2);
+        s.cache = vec![Cache::M, Cache::S, Cache::I];
+        s.pv = 0b011;
+        s.quota = vec![0, 1, 2];
+        let t = s.permuted(&[2, 0, 1]);
+        assert_eq!(t.cache, vec![Cache::S, Cache::I, Cache::M]);
+        assert_eq!(t.pv, 0b101);
+        assert_eq!(t.quota, vec![1, 2, 0]);
+        // Identity round-trips.
+        assert_eq!(t.permuted(&[1, 2, 0]), s);
     }
 
     #[test]

@@ -12,14 +12,29 @@ use ccsql_mc::{explore_from, explore_threads, McOutcome, McStats, Model, State};
 
 /// All deterministic fields of [`McStats`] (everything but wall-clock
 /// time and the thread count itself).
-fn deterministic_fields(s: &McStats) -> (usize, u64, u64, usize, usize, usize, Option<&State>) {
+#[allow(clippy::type_complexity)]
+fn deterministic_fields(
+    s: &McStats,
+) -> (
+    usize,
+    u64,
+    u64,
+    u64,
+    usize,
+    usize,
+    usize,
+    usize,
+    Option<&State>,
+) {
     (
         s.states,
+        s.orbit_states,
         s.transitions,
         s.dedup_hits,
         s.frontier_peak,
         s.depth,
         s.levels,
+        s.arena_bytes,
         s.witness.as_ref(),
     )
 }

@@ -441,6 +441,11 @@ impl TableSpec {
     }
 }
 
+/// Minimum rows per worker before a chunk loop goes parallel: below
+/// this, thread spawn/join dominates the work (the 0.95× "speedup" the
+/// depend bench once recorded) and the loop runs inline instead.
+const PAR_MIN_ROWS_PER_WORKER: usize = 4096;
+
 /// Extend every row of `current` with every value in `vals`, keeping the
 /// candidates that satisfy `pred` (bound against `current ++ new column`).
 fn extend_filter<C: EvalContext + Sync>(
@@ -470,7 +475,11 @@ fn extend_filter<C: EvalContext + Sync>(
 
     let n = current.len();
     let mut out = Relation::new(out_schema.clone());
-    if threads <= 1 || n < 4096 {
+    // Spawn-cost guard: give each worker at least PAR_MIN_ROWS_PER_WORKER
+    // rows, degrading to fewer workers (or an inline run) on small
+    // inputs. The chunk-order merge keeps the output identical either way.
+    let workers = threads.max(1).min(n / PAR_MIN_ROWS_PER_WORKER).max(1);
+    if workers <= 1 {
         let data = run_chunk(0..n)?;
         for chunk in data.chunks_exact(arity + 1) {
             out.push_row_unchecked(chunk);
@@ -478,9 +487,9 @@ fn extend_filter<C: EvalContext + Sync>(
         return Ok(out);
     }
 
-    let chunk = n.div_ceil(threads);
+    let chunk = n.div_ceil(workers);
     let results: Vec<Result<Vec<Value>>> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
+        let handles: Vec<_> = (0..workers)
             .map(|t| {
                 // Clamp the start too: with ceil-division the trailing
                 // worker's nominal start can exceed `n`; it must get an
@@ -525,16 +534,17 @@ fn filter_rows<C: EvalContext + Sync>(
         Ok(data)
     };
     let mut out = Relation::new(rel.schema().clone());
-    if threads <= 1 || n < 4096 {
+    let workers = threads.max(1).min(n / PAR_MIN_ROWS_PER_WORKER).max(1);
+    if workers <= 1 {
         let data = run_chunk(0..n)?;
         for chunk in data.chunks_exact(arity.max(1)) {
             out.push_row_unchecked(chunk);
         }
         return Ok(out);
     }
-    let chunk = n.div_ceil(threads);
+    let chunk = n.div_ceil(workers);
     let results: Vec<Result<Vec<Value>>> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
+        let handles: Vec<_> = (0..workers)
             .map(|t| {
                 let lo = (t * chunk).min(n);
                 let hi = ((t + 1) * chunk).min(n);

@@ -23,6 +23,10 @@ echo "==> parallel equivalence (1 vs 2 vs 8 threads)"
 cargo test -q -p ccsql-mc --test parallel
 cargo test -q -p ccsql thread_count_does_not_change_the_table
 
+echo "==> symmetry reduction (canon laws + on/off verdict equivalence at 2-3 nodes, 1/2/8 threads)"
+cargo test -q -p ccsql-mc --test canon
+cargo test -q -p ccsql-mc --test symmetry
+
 echo "==> ccsql bench --quick (nondeterminism gate: two runs must print identically)"
 BENCH_DIR="$(mktemp -d)"
 trap 'rm -rf "$BENCH_DIR"' EXIT
@@ -34,6 +38,17 @@ diff "$BENCH_DIR/run1.txt" "$BENCH_DIR/run2.txt"
 grep -q 'identical=true' "$BENCH_DIR/run1.txt"
 if grep -q 'identical=false' "$BENCH_DIR/run1.txt"; then
     echo "bench reported nondeterminism" >&2
+    exit 1
+fi
+# The symmetry leg must have run, agreed with the full leg, and
+# genuinely reduced the state count (the quick config has 4 nodes, so
+# the orbit quotient must be strictly smaller than the full space —
+# cmd_bench hard-fails the run into identical=false otherwise).
+grep -q 'bench mc-sym:' "$BENCH_DIR/run1.txt"
+SYM_STATES=$(sed -n 's/.*mc-sym:.* states=\([0-9]*\) .*/\1/p' "$BENCH_DIR/run1.txt")
+FULL_STATES=$(sed -n 's/^bench mc:.* states=\([0-9]*\) .*/\1/p' "$BENCH_DIR/run1.txt")
+if [ "$SYM_STATES" -ge "$FULL_STATES" ]; then
+    echo "symmetry did not reduce the state count ($SYM_STATES >= $FULL_STATES)" >&2
     exit 1
 fi
 
