@@ -21,6 +21,7 @@
 //! ccsql walk [--request MSG --dirst ST --sharers N]
 //! ccsql export [--table NAME] [--invariants]
 //! ccsql stats [<command> …]
+//! ccsql profile FILE.ccsql [--quick] [--threads N]
 //! ```
 //!
 //! The global `--metrics=FILE.jsonl` and `--trace[=N]` flags (accepted
@@ -28,6 +29,13 @@
 //! every stage then records stage-prefixed counters, gauges and
 //! histograms (`solver.rows_pruned`, `mc.states_per_sec`, …) which are
 //! exported as JSON lines after the command finishes.
+//!
+//! `--trace-out FILE.json` additionally records the flight recorder's
+//! hierarchical span tree across the whole pipeline and writes it as
+//! Chrome trace-event JSON (loadable in `ui.perfetto.dev`), and
+//! `--heartbeat[=MS]` turns on live progress lines on stderr for the
+//! long-running stages (mc, fuzz, solve) — provably without changing
+//! any result byte (see `ccsql_obs::heartbeat`).
 //!
 //! The library entry point [`run`] returns the rendered output, so the
 //! whole surface is unit-testable.
@@ -54,7 +62,8 @@ pub const USAGE: &str = "\
 ccsql — table-driven cache coherence design & early error detection (IPPS 2003)
 
 USAGE:
-    ccsql [--metrics=FILE.jsonl] [--trace[=N]] <command> ...
+    ccsql [--metrics=FILE.jsonl] [--trace[=N]] [--trace-out FILE.json]
+          [--heartbeat[=MS]] <command> ...
 
     ccsql gen      [--table NAME] [--format ascii|csv|md] [--stats]
     ccsql check    [--liveness]
@@ -74,10 +83,15 @@ USAGE:
     ccsql walk     [--request MSG --dirst ST --sharers N]
     ccsql export   [--table NAME] [--invariants]
     ccsql stats    [<command> ...]
+    ccsql profile  FILE.ccsql [--quick] [--threads N] [--nodes N] [--quota N]
+                   [--budget N] [--ops N] [--seed N]
 
 GLOBAL FLAGS (accepted anywhere):
-    --metrics=FILE.jsonl  record stage metrics and export them as JSON lines
-    --trace[=N]           also record structured events (ring capacity N, default 4096)
+    --metrics=FILE.jsonl   record stage metrics and export them as JSON lines
+    --trace[=N]            also record structured events (ring capacity N, default 4096)
+    --trace-out FILE.json  record pipeline spans and write a Chrome/Perfetto trace
+    --heartbeat[=MS]       live progress on stderr every MS ms (default 1000; 0 = off);
+                           never changes any result byte
 
 THREADS:
     --threads N  worker threads for the parallel BFS (mc), the dependency
@@ -126,32 +140,76 @@ impl<'a> Opts<'a> {
 /// Run the CLI on `args` (without the program name); returns the
 /// rendered output or an error message.
 ///
-/// Global observability flags (`--metrics=FILE.jsonl`, `--trace[=N]`)
-/// are stripped before the command dispatch; when `--metrics` is given
-/// the global registry and event ring are exported as JSON lines to
-/// the file after the command finishes — on the error path too, so a
-/// failing check still leaves its metrics behind.
+/// Global observability flags (`--metrics=FILE.jsonl`, `--trace[=N]`,
+/// `--trace-out FILE.json`, `--heartbeat[=MS]`) are stripped before the
+/// command dispatch; when `--metrics` is given the global registry and
+/// event ring are exported as JSON lines to the file after the command
+/// finishes — on the error path too, so a failing check still leaves
+/// its metrics behind. `--trace-out` likewise writes the flight
+/// recorder's span tree as Chrome trace-event JSON after the dispatch.
+/// The `profile` command implies both, defaulting the artifact paths to
+/// `ccsql-profile.trace.json` / `ccsql-profile.metrics.jsonl`.
 pub fn run(args: &[String]) -> Result<String, String> {
-    let (rest, metrics_path) = strip_obs_flags(args)?;
-    let result = dispatch(&rest);
-    if let Some(path) = &metrics_path {
-        let jsonl = ccsql_obs::json::export_jsonl(ccsql_obs::global(), &[ccsql_obs::global_ring()]);
-        std::fs::write(path, jsonl).map_err(|e| format!("cannot write {path}: {e}"))?;
+    let (rest, mut obs) = strip_obs_flags(args)?;
+    // Paths the user asked for are written even when the command fails
+    // (a failing check should still leave its metrics behind); paths we
+    // only *defaulted* for `profile` are not — a bad `profile` argument
+    // must not litter the working directory.
+    let (mut metrics_defaulted, mut trace_defaulted) = (false, false);
+    if rest.first().is_some_and(|c| c == "profile") {
+        ccsql_obs::set_enabled(true);
+        ccsql_obs::set_trace_enabled(true);
+        ccsql_obs::flight::set_enabled(true);
+        if obs.trace_out.is_none() {
+            obs.trace_out = Some("ccsql-profile.trace.json".into());
+            trace_defaulted = true;
+        }
+        if obs.metrics.is_none() {
+            obs.metrics = Some("ccsql-profile.metrics.jsonl".into());
+            metrics_defaulted = true;
+        }
     }
-    result
+    let result = dispatch(&rest);
+    if let Some(path) = obs.metrics.filter(|_| result.is_ok() || !metrics_defaulted) {
+        let jsonl = ccsql_obs::json::export_jsonl(ccsql_obs::global(), &[ccsql_obs::global_ring()]);
+        std::fs::write(&path, jsonl).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
+    let mut trace_note = String::new();
+    if let Some(path) = &obs.trace_out.filter(|_| result.is_ok() || !trace_defaulted) {
+        let spans = ccsql_obs::flight::snapshot();
+        let json = ccsql_obs::flight::chrome_trace_json(&spans);
+        std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+        trace_note = format!("trace: {} span(s) -> {path}\n", spans.len());
+    }
+    result.map(|mut out| {
+        out.push_str(&trace_note);
+        out
+    })
 }
 
-/// Strip and apply the global `--metrics=PATH` / `--trace[=N]` flags;
-/// returns the remaining arguments and the metrics export path.
-fn strip_obs_flags(args: &[String]) -> Result<(Vec<String>, Option<String>), String> {
+/// Global observability flags stripped from the command line by
+/// [`strip_obs_flags`]: where to export metrics JSONL and the Perfetto
+/// trace. (The `--trace[=N]` / `--heartbeat[=MS]` switches act directly
+/// on the `ccsql_obs` globals and need no path.)
+#[derive(Default)]
+struct ObsSetup {
+    metrics: Option<String>,
+    trace_out: Option<String>,
+}
+
+/// Strip and apply the global observability flags; returns the
+/// remaining arguments and the export paths.
+fn strip_obs_flags(args: &[String]) -> Result<(Vec<String>, ObsSetup), String> {
     let mut rest = Vec::with_capacity(args.len());
-    let mut metrics_path = None;
-    for a in args {
+    let mut obs = ObsSetup::default();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
         if let Some(path) = a.strip_prefix("--metrics=") {
             if path.is_empty() {
                 return Err("--metrics expects --metrics=FILE.jsonl".into());
             }
-            metrics_path = Some(path.to_string());
+            obs.metrics = Some(path.to_string());
         } else if a == "--metrics" {
             return Err("--metrics expects --metrics=FILE.jsonl (use `=`)".into());
         } else if a == "--trace" {
@@ -162,14 +220,36 @@ fn strip_obs_flags(args: &[String]) -> Result<(Vec<String>, Option<String>), Str
                 .map_err(|_| format!("--trace expects a number, got {n:?}"))?;
             ccsql_obs::set_trace_cap(cap);
             ccsql_obs::set_trace_enabled(true);
+        } else if a == "--trace-out" {
+            i += 1;
+            match args.get(i) {
+                Some(path) if !path.starts_with("--") => obs.trace_out = Some(path.clone()),
+                _ => return Err("--trace-out expects a file path".into()),
+            }
+        } else if let Some(path) = a.strip_prefix("--trace-out=") {
+            if path.is_empty() {
+                return Err("--trace-out expects a file path".into());
+            }
+            obs.trace_out = Some(path.to_string());
+        } else if a == "--heartbeat" {
+            ccsql_obs::heartbeat::set_heartbeat_ms(ccsql_obs::heartbeat::DEFAULT_HEARTBEAT_MS);
+        } else if let Some(n) = a.strip_prefix("--heartbeat=") {
+            let ms: u64 = n
+                .parse()
+                .map_err(|_| format!("--heartbeat expects milliseconds, got {n:?}"))?;
+            ccsql_obs::heartbeat::set_heartbeat_ms(ms);
         } else {
             rest.push(a.clone());
         }
+        i += 1;
     }
-    if metrics_path.is_some() || ccsql_obs::trace_enabled() {
+    if obs.trace_out.is_some() {
+        ccsql_obs::flight::set_enabled(true);
+    }
+    if obs.metrics.is_some() || ccsql_obs::trace_enabled() {
         ccsql_obs::set_enabled(true);
     }
-    Ok((rest, metrics_path))
+    Ok((rest, obs))
 }
 
 fn dispatch(args: &[String]) -> Result<String, String> {
@@ -193,6 +273,7 @@ fn dispatch(args: &[String]) -> Result<String, String> {
         "walk" => cmd_walk(&opts),
         "export" => cmd_export(&opts),
         "stats" => cmd_stats(&args[1..]),
+        "profile" => cmd_profile(&opts),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
     }
@@ -561,7 +642,30 @@ fn cmd_fuzz(opts: &Opts) -> Result<String, String> {
         .flat_map(|q| (0..2).map(move |n| NodeId::new(q, n)))
         .collect();
 
+    // Live-progress plumbing for `--heartbeat`: published once per round
+    // here, only ever *read* by the ticker thread — the fuzz results are
+    // a pure function of `--seed` with or without it.
+    use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+    use std::sync::Arc;
+    let hb_round = Arc::new(AtomicU64::new(0));
+    let hb_rows = Arc::new(AtomicU64::new(0));
+    let hb_faults = Arc::new(AtomicU64::new(0));
+    let _ticker = {
+        let (r, c, f) = (hb_round.clone(), hb_rows.clone(), hb_faults.clone());
+        let total = rounds as u64;
+        ccsql_obs::heartbeat::Ticker::start("fuzz", move || {
+            vec![
+                ("round", r.load(Relaxed).into()),
+                ("rounds_total", total.into()),
+                ("rows_covered", c.load(Relaxed).into()),
+                ("faults_injected", f.load(Relaxed).into()),
+            ]
+        })
+    };
+
     for round in 0..rounds {
+        let round_span = ccsql_obs::flight::span("fuzz", "round");
+        round_span.arg("round", round as u64);
         let wl_seed = wl_rng.next_u64();
         let fault_seed = fault_rng.next_u64();
         let rate = if round == 0 {
@@ -675,6 +779,24 @@ fn cmd_fuzz(opts: &Opts) -> Result<String, String> {
                 .finish(),
         );
         jsonl.push('\n');
+
+        round_span.arg("kind", kind.as_str());
+        round_span.arg("outcome", outcome);
+        round_span.arg("new_rows", new_rows as u64);
+        ccsql_obs::emit(
+            "fuzz",
+            "round",
+            vec![
+                ("round", (round as u64).into()),
+                ("kind", kind.as_str().into()),
+                ("outcome", outcome.into()),
+                ("new_rows", (new_rows as u64).into()),
+                ("rows_covered", (rows_covered as u64).into()),
+            ],
+        );
+        hb_round.store(round as u64 + 1, Relaxed);
+        hb_rows.store(rows_covered as u64, Relaxed);
+        hb_faults.store(faults_total, Relaxed);
     }
 
     let rows_covered: usize = covered.iter().map(|s| s.len()).sum();
@@ -1022,6 +1144,20 @@ fn cmd_bench(opts: &Opts) -> Result<String, String> {
     std::fs::write(&dep_path, dep_json).map_err(|e| format!("cannot write {dep_path}: {e}"))?;
 
     writeln!(text, "wrote BENCH_mc.json, BENCH_depend.json").unwrap();
+    ccsql_obs::counter_add("bench.runs", 1);
+    ccsql_obs::counter_add("bench.mc_states", st1.states as u64);
+    ccsql_obs::counter_add("bench.depend_rows", dep1.rows.len() as u64);
+    ccsql_obs::counter_add("bench.solver_rows", solver_rows as u64);
+    ccsql_obs::emit(
+        "bench",
+        "summary",
+        vec![
+            ("mc_states", (st1.states as u64).into()),
+            ("depend_rows", (dep1.rows.len() as u64).into()),
+            ("solver_rows", (solver_rows as u64).into()),
+            ("identical", u64::from(identical).into()),
+        ],
+    );
     if identical {
         Ok(text)
     } else {
@@ -1077,6 +1213,7 @@ fn bench_mc_json(b: BenchMc) -> String {
         .f64("states_per_sec_1t", per_sec(b.st1.states as f64, s1))
         .f64("states_per_sec_nt", per_sec(b.st_n.states as f64, sn))
         .f64("speedup", per_sec(s1, sn))
+        .u64("peak_frontier", b.st1.frontier_peak as u64)
         .str("sym_outcome", &format!("{:?}", b.sym_outcome))
         .u64("sym_states", b.sym1.states as u64)
         .u64("sym_orbit_states", b.sym1.orbit_states)
@@ -1084,12 +1221,16 @@ fn bench_mc_json(b: BenchMc) -> String {
         .u64("sym_depth", b.sym1.depth as u64)
         .f64("sym_secs_1t", y1)
         .f64("sym_secs_nt", yn)
+        .f64("sym_states_per_sec_1t", per_sec(b.sym1.states as f64, y1))
+        .f64("sym_states_per_sec_nt", per_sec(b.sym_n.states as f64, yn))
         .f64("sym_speedup", per_sec(y1, yn))
+        .u64("sym_peak_frontier", b.sym1.frontier_peak as u64)
         .f64(
             "orbit_reduction",
             b.sym1.orbit_states as f64 / b.sym1.states.max(1) as f64,
         )
         .u64("arena_bytes", b.sym1.arena_bytes as u64)
+        .u64("visited_bytes", b.sym1.visited_bytes as u64)
         .f64(
             "bytes_per_state",
             b.sym1.arena_bytes as f64 / b.sym1.states.max(1) as f64,
@@ -1181,12 +1322,207 @@ fn cmd_stats(inner: &[String]) -> Result<String, String> {
         }
     }
     out.push_str("\n=== metrics ===\n");
-    out.push_str(&ccsql_obs::global().snapshot().render());
+    let snap = ccsql_obs::global().snapshot();
+    out.push_str(&snap.render());
+    let (mut hists, mut samples) = (0u64, 0u64);
+    for m in &snap.metrics {
+        if let ccsql_obs::MetricValue::Histogram(h) = m.value {
+            hists += 1;
+            samples += h.count;
+        }
+    }
+    writeln!(out, "histograms: {hists} with {samples} sample(s)").unwrap();
+    let ring = ccsql_obs::global_ring();
+    let retained = ring.snapshot().len();
+    let (pushed, dropped) = (ring.pushed(), ring.dropped());
+    writeln!(
+        out,
+        "events: pushed={pushed} retained={retained} dropped={dropped}"
+    )
+    .unwrap();
+    if dropped > 0 {
+        writeln!(
+            out,
+            "warning: event ring dropped {dropped} event(s); raise the cap with --trace=N"
+        )
+        .unwrap();
+    }
     if inner_failed {
         Err(out)
     } else {
         Ok(out)
     }
+}
+
+/// `ccsql profile <spec>` — run the whole pipeline once (parse → lint
+/// → solve → dependency closure → model check → simulate) with the
+/// flight recorder on, and print a per-stage self-time / throughput /
+/// memory report. [`run`] defaults the artifacts to
+/// `ccsql-profile.trace.json` (Perfetto) and
+/// `ccsql-profile.metrics.jsonl` unless `--trace-out` / `--metrics=`
+/// say otherwise.
+fn cmd_profile(opts: &Opts) -> Result<String, String> {
+    let value_flags = [
+        "--threads",
+        "--nodes",
+        "--quota",
+        "--budget",
+        "--ops",
+        "--seed",
+    ];
+    let path = positional(opts, &value_flags)
+        .first()
+        .copied()
+        .ok_or_else(|| "profile expects a .ccsql spec file (try specs/fig3.ccsql)".to_string())?;
+    let quick = opts.flag("--quick");
+    let threads = opts.num("--threads", default_threads() as u64)? as usize;
+    let nodes = opts.num("--nodes", if quick { 2 } else { 3 })? as usize;
+    let quota = opts.num("--quota", 1)? as u8;
+    let budget = opts.num("--budget", 1_000_000)? as usize;
+    let ops = opts.num("--ops", if quick { 40 } else { 200 })? as usize;
+    let seed = opts.num("--seed", 1)?;
+
+    // `run()` switches the recorder on for `profile`; repeat here so the
+    // command is self-sufficient when dispatched indirectly (e.g.
+    // `ccsql stats profile …`).
+    ccsql_obs::set_enabled(true);
+    ccsql_obs::set_trace_enabled(true);
+    ccsql_obs::flight::set_enabled(true);
+
+    let pipeline = ccsql_obs::flight::span("profile", "pipeline");
+
+    // Stage 1: parse.
+    let sf = {
+        let s = ccsql_obs::flight::span("parse", "specfile");
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        s.arg("bytes", text.len());
+        let sf =
+            ccsql_relalg::specfile::parse_specfile(&text).map_err(|e| format!("{path}: {e}"))?;
+        s.arg("columns", sf.spec.columns.len());
+        sf
+    };
+
+    // Stage 2: lint — early error detection before any time is spent.
+    let ctx = ccsql_protocol::ProtocolSpec::eval_context();
+    let lint_report = ccsql_lint::lint_specfiles(&[&sf], &ctx);
+    if lint_report.failed() {
+        return Err(format!(
+            "{}\nlint found problems in {path}; profile needs a clean spec",
+            lint_report.render_human()
+        ));
+    }
+
+    // Stage 3: solve — the spec's own table plus the eight protocol
+    // controller tables (per-controller and per-column spans come from
+    // the solver itself).
+    let (spec_rel, _) = ccsql_relalg::specfile::solve_specfile(&sf).map_err(|e| e.to_string())?;
+    let gen = generate()?;
+    let mut solver_rows = spec_rel.len();
+    for c in &gen.spec.controllers {
+        solver_rows += gen.table(c.name).map_err(|e| e.to_string())?.len();
+    }
+
+    // Stage 4: dependency closure on the deadlock-free v2 assignment
+    // (per-round spans come from `ccsql::depend`).
+    let cfg = AnalysisConfig {
+        transitive_closure: !quick,
+        threads,
+        ..AnalysisConfig::default()
+    };
+    let deps =
+        protocol_dependency_table(&gen, &VcAssignment::v2(), &cfg).map_err(|e| e.to_string())?;
+
+    // Stage 5: model check (per-level spans come from `ccsql_mc`).
+    let m = Model {
+        nodes,
+        quota,
+        resp_depth: 2,
+    };
+    m.validate()?;
+    let (mc_out, mc_stats) = explore_with(
+        &m,
+        m.initial(),
+        &McOpts {
+            budget,
+            threads,
+            symmetry: true,
+        },
+    );
+
+    // Stage 6: simulate one seeded workload.
+    let sim_cfg = SimConfig {
+        quads: 2,
+        nodes_per_quad: 2,
+        vc_capacity: 2,
+        dedicated_mem_path: true,
+        schedule: Schedule::Random(seed),
+        max_steps: 10_000_000,
+    };
+    let sim_nodes: Vec<NodeId> = (0..2)
+        .flat_map(|q| (0..2).map(move |n| NodeId::new(q, n)))
+        .collect();
+    let wl = Workload::random(&sim_nodes, ops, 16, Mix::default(), seed);
+    let mut sim = Sim::new(&gen, sim_cfg, wl);
+    let sim_out = sim.run().map_err(|e| e.to_string())?;
+    let sim_steps = sim.stats.steps;
+
+    drop(pipeline);
+
+    // The report. Times are wall-clock and therefore vary run to run;
+    // the span *structure* (stages, names, nesting) is deterministic and
+    // gated in `scripts/verify.sh`.
+    let spans = ccsql_obs::flight::snapshot();
+    let summary = ccsql_obs::flight::stage_summary(&spans);
+    let total_self: u64 = summary.iter().map(|s| s.self_us).sum();
+    let mut text = String::new();
+    writeln!(text, "profile: {path}").unwrap();
+    writeln!(
+        text,
+        "{:<10} {:>6} {:>12} {:>12} {:>6}",
+        "stage", "spans", "total_ms", "self_ms", "self%"
+    )
+    .unwrap();
+    for s in &summary {
+        writeln!(
+            text,
+            "{:<10} {:>6} {:>12.3} {:>12.3} {:>5.1}%",
+            s.stage,
+            s.spans,
+            s.total_us as f64 / 1e3,
+            s.self_us as f64 / 1e3,
+            100.0 * s.self_us as f64 / total_self.max(1) as f64
+        )
+        .unwrap();
+    }
+    let mc_secs = mc_stats.elapsed.as_secs_f64();
+    writeln!(
+        text,
+        "throughput: solver {solver_rows} rows; depend {} rows; \
+         mc {} states ({:.0} states/sec); sim {sim_steps} steps",
+        deps.rows.len(),
+        mc_stats.states,
+        per_sec(mc_stats.states as f64, mc_secs),
+    )
+    .unwrap();
+    writeln!(
+        text,
+        "memory: mc arena {} bytes, visited index {} bytes, peak frontier {} states",
+        mc_stats.arena_bytes, mc_stats.visited_bytes, mc_stats.frontier_peak
+    )
+    .unwrap();
+    let sim_label = match &sim_out {
+        Outcome::Quiescent => "quiescent",
+        Outcome::Stalled { .. } => "stalled",
+        Outcome::StepLimit => "step limit",
+        Outcome::Deadlock(_) => "deadlock",
+    };
+    writeln!(
+        text,
+        "outcomes: lint clean; mc {:?} (nodes={nodes} quota={quota} budget={budget}); sim {sim_label}",
+        mc_out
+    )
+    .unwrap();
+    Ok(text)
 }
 
 fn cmd_fig4(opts: &Opts) -> Result<String, String> {
@@ -1631,6 +1967,8 @@ mod tests {
         assert!(out.contains("=== metrics ==="), "{out}");
         assert!(out.contains("mc.states"), "{out}");
         assert!(out.contains("mc.states_per_sec"), "{out}");
+        assert!(out.contains("histograms:"), "{out}");
+        assert!(out.contains("events: pushed="), "{out}");
     }
 
     /// Minimal JSON validator: checks the whole document is one
@@ -1764,6 +2102,163 @@ mod tests {
         assert!(run(&argv("mc --threads abc")).is_err());
         let ok = run(&argv("deadlock --assignment v2 --threads 2")).unwrap();
         assert!(ok.contains("absence of deadlocks"));
+    }
+
+    /// Heartbeats must never change a result byte: the ticker only
+    /// *reads* atomics the workload publishes, and writes only to stderr
+    /// and the event ring — stdout is compared byte for byte here, at
+    /// both thread counts for mc and across seeds for fuzz.
+    #[test]
+    fn heartbeat_is_result_neutral() {
+        // The mc report's only nondeterministic bytes are the elapsed
+        // wall-clock on the "N thread(s), <time>" line; blank that one
+        // token and byte-compare the rest.
+        let normalize = |s: String| -> String {
+            s.lines()
+                .map(|l| match l.find("thread(s), ") {
+                    Some(i) => format!("{}<wallclock>", &l[..i + "thread(s), ".len()]),
+                    None => l.to_string(),
+                })
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        for t in ["1", "2"] {
+            ccsql_obs::heartbeat::set_heartbeat_ms(0);
+            let cmd = format!("mc --nodes 3 --quota 1 --threads {t}");
+            let base = normalize(run(&argv(&cmd)).unwrap());
+            let hb = normalize(run(&argv(&format!("{cmd} --heartbeat=1"))).unwrap());
+            ccsql_obs::heartbeat::set_heartbeat_ms(0);
+            assert_eq!(base, hb, "heartbeat changed mc output at {t} thread(s)");
+        }
+        for seed in ["1", "2"] {
+            ccsql_obs::heartbeat::set_heartbeat_ms(0);
+            let cmd = format!("fuzz --quick --seed {seed}");
+            let base = run(&argv(&cmd)).unwrap();
+            let hb = run(&argv(&format!("{cmd} --heartbeat=1"))).unwrap();
+            ccsql_obs::heartbeat::set_heartbeat_ms(0);
+            assert_eq!(base, hb, "heartbeat changed fuzz output for seed {seed}");
+        }
+    }
+
+    /// Pull `"key":N` out of one serialized trace event.
+    fn event_num(chunk: &str, key: &str) -> u64 {
+        let pat = format!("\"{key}\":");
+        let at = chunk
+            .find(&pat)
+            .unwrap_or_else(|| panic!("no {key} in {chunk}"))
+            + pat.len();
+        chunk[at..]
+            .bytes()
+            .take_while(|b| b.is_ascii_digit())
+            .fold(0u64, |n, b| n * 10 + u64::from(b - b'0'))
+    }
+
+    #[test]
+    fn profile_writes_valid_perfetto_trace_and_report() {
+        let tmp = std::env::temp_dir();
+        let trace = tmp.join("ccsql_profile_test.trace.json");
+        let metrics = tmp.join("ccsql_profile_test.metrics.jsonl");
+        let spec = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/fig3.ccsql");
+        let out = run(&[
+            "--trace-out".into(),
+            trace.display().to_string(),
+            format!("--metrics={}", metrics.display()),
+            "profile".into(),
+            spec.into(),
+            "--quick".into(),
+        ])
+        .unwrap();
+        for line in [
+            "stage",
+            "throughput: solver",
+            "memory: mc arena",
+            "outcomes: lint clean",
+        ] {
+            assert!(out.contains(line), "missing {line:?} in:\n{out}");
+        }
+        let text = std::fs::read_to_string(&trace).unwrap();
+        json_check::parse(&text).unwrap_or_else(|e| panic!("trace is not JSON: {e}"));
+        for stage in ["profile", "parse", "lint", "solve", "depend", "mc", "sim"] {
+            assert!(
+                text.contains(&format!("\"cat\":\"{stage}\"")),
+                "no {stage} span in trace"
+            );
+        }
+        // Timestamps are non-decreasing in file order (spans are appended
+        // at begin time under one lock), and "X" events nest properly on
+        // each thread track: a span never outlives its enclosing span.
+        let mut last_ts = 0u64;
+        let mut stacks: std::collections::HashMap<u64, Vec<u64>> = Default::default();
+        for chunk in text.split("{\"ph\":\"X\"").skip(1) {
+            let (tid, ts, dur) = (
+                event_num(chunk, "tid"),
+                event_num(chunk, "ts"),
+                event_num(chunk, "dur"),
+            );
+            assert!(ts >= last_ts, "ts went backwards: {ts} < {last_ts}");
+            last_ts = ts;
+            let stack = stacks.entry(tid).or_default();
+            while stack.last().is_some_and(|&end| end <= ts) {
+                stack.pop();
+            }
+            if let Some(&end) = stack.last() {
+                assert!(
+                    ts + dur <= end,
+                    "span [{ts},{}] escapes [..,{end}]",
+                    ts + dur
+                );
+            }
+            stack.push(ts + dur);
+        }
+        let m = std::fs::read_to_string(&metrics).unwrap();
+        assert!(m.contains("\"mc."), "no mc metrics in: {m}");
+        let _ = std::fs::remove_file(&trace);
+        let _ = std::fs::remove_file(&metrics);
+        // Bad flag forms are rejected up front.
+        assert!(run(&argv("sim --trace-out")).is_err());
+        assert!(run(&argv("sim --trace-out --seed 1")).is_err());
+        assert!(run(&argv("sim --trace-out=")).is_err());
+        assert!(run(&argv("sim --heartbeat=abc")).is_err());
+        assert!(run(&argv("profile")).is_err());
+    }
+
+    /// Every long-running subcommand honors the global `--metrics=` flag
+    /// (fuzz, bench and lint each leave their own counters behind).
+    #[test]
+    fn metrics_flag_covers_fuzz_bench_lint() {
+        let tmp = std::env::temp_dir();
+        let p = tmp.join("ccsql_metrics_fuzz.jsonl");
+        let mut args = vec![format!("--metrics={}", p.display())];
+        args.extend(argv("fuzz --quick --seed 1"));
+        run(&args).unwrap();
+        let text = std::fs::read_to_string(&p).unwrap();
+        assert!(text.contains("\"fuzz.rounds\""), "{text}");
+        let _ = std::fs::remove_file(&p);
+
+        let p = tmp.join("ccsql_metrics_bench.jsonl");
+        let dir = tmp.join("ccsql_metrics_bench_out");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut args = vec![format!("--metrics={}", p.display())];
+        args.extend(argv("bench --quick --threads 2 --out"));
+        args.push(dir.display().to_string());
+        run(&args).unwrap();
+        let text = std::fs::read_to_string(&p).unwrap();
+        assert!(text.contains("\"bench.runs\""), "{text}");
+        assert!(text.contains("\"bench.mc_states\""), "{text}");
+        let _ = std::fs::remove_file(&p);
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let p = tmp.join("ccsql_metrics_lint.jsonl");
+        let spec = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/fig3.ccsql");
+        let args = vec![
+            format!("--metrics={}", p.display()),
+            "lint".into(),
+            spec.into(),
+        ];
+        run(&args).unwrap();
+        let text = std::fs::read_to_string(&p).unwrap();
+        assert!(text.contains("\"ccsql_lint.tables\""), "{text}");
+        let _ = std::fs::remove_file(&p);
     }
 
     #[test]

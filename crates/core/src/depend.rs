@@ -281,6 +281,7 @@ pub fn protocol_dependency_table(
     cfg: &AnalysisConfig,
 ) -> ccsql_relalg::Result<DependencyTable> {
     let _span = ccsql_obs::span("depend", "build");
+    let fspan = ccsql_obs::flight::span("depend", "build");
     let mut rows: Vec<DepRow> = Vec::new();
     let mut seen: FxHashMap<(Assignment, Assignment, u8), usize> = FxHashMap::default();
     let mut dedup_hits: u64 = 0;
@@ -307,6 +308,7 @@ pub fn protocol_dependency_table(
             units.push((placement, ctrl, gen.table(ctrl.name)?));
         }
     }
+    let direct_span = ccsql_obs::flight::span("depend", "direct");
     let unit_rows: Vec<Vec<Vec<DepRow>>> = par_chunks(
         units.len(),
         cfg.threads,
@@ -340,8 +342,12 @@ pub fn protocol_dependency_table(
         }
     }
     let direct = rows.len();
+    direct_span.arg("units", units.len());
+    direct_span.arg("rows", direct);
+    drop(direct_span);
 
     if !cfg.compose {
+        fspan.arg("rows", rows.len());
         record_depend_metrics(direct, rows.len(), dedup_hits, cfg.threads);
         return Ok(DependencyTable { rows });
     }
@@ -352,7 +358,12 @@ pub fn protocol_dependency_table(
     if cfg.ignore_messages {
         modes.push(MatchMode::IgnoreMessages);
     }
+    let mut round = 0u64;
     loop {
+        round += 1;
+        let round_span = ccsql_obs::flight::span("depend", "round");
+        round_span.arg("round", round);
+        round_span.arg("rows_in", rows.len());
         // Index current rows by (placement, input key) — the build side
         // of the hash join.
         let mut index: FxHashMap<(u8, Key), Vec<usize>> = FxHashMap::default();
@@ -402,10 +413,13 @@ pub fn protocol_dependency_table(
                 dedup_hits += 1;
             }
         }
+        round_span.arg("rows_out", rows.len());
         if !cfg.transitive_closure || !added {
             break;
         }
     }
+    fspan.arg("rows", rows.len());
+    fspan.arg("rounds", round);
     record_depend_metrics(direct, rows.len(), dedup_hits, cfg.threads);
     Ok(DependencyTable { rows })
 }

@@ -58,6 +58,8 @@ pub fn lint_table(
 /// each, plus the message-flow checks across all of them using their
 /// `flow` / `extern` directives.
 pub fn lint_specfiles(files: &[&SpecFile], ctx: &dyn EvalContext) -> LintReport {
+    let fspan = ccsql_obs::flight::span("lint", "specfiles");
+    fspan.arg("files", files.len());
     let mut report = LintReport::new();
     let mut model = FlowModel::default();
     for f in files {
@@ -111,6 +113,7 @@ pub fn lint_specfiles(files: &[&SpecFile], ctx: &dyn EvalContext) -> LintReport 
 /// external boundary ([`ProtocolSpec::flow_env`]) and the selected
 /// virtual-channel assignment.
 pub fn lint_protocol(p: &ProtocolSpec, vc: &VcAssignment) -> LintReport {
+    let _fspan = ccsql_obs::flight::span("lint", "protocol");
     let ctx = ProtocolSpec::eval_context();
     let mut report = LintReport::new();
     let mut model = FlowModel::default();
@@ -179,6 +182,15 @@ fn finish(mut report: LintReport) -> LintReport {
     );
     ccsql_obs::counter_add("ccsql_lint.diag.warn", report.count(Severity::Warn) as u64);
     ccsql_obs::counter_add("ccsql_lint.diag.info", report.count(Severity::Info) as u64);
+    ccsql_obs::emit(
+        "lint",
+        "report",
+        vec![
+            ("errors", (report.count(Severity::Error) as u64).into()),
+            ("warnings", (report.count(Severity::Warn) as u64).into()),
+            ("infos", (report.count(Severity::Info) as u64).into()),
+        ],
+    );
     report
 }
 

@@ -46,7 +46,10 @@ use crate::compact::{canon, orbit_size, pack, unpack, Compact};
 use crate::model::Model;
 use crate::state::State;
 use ccsql_obs::hash::{fx_hash_one, FxBuildHasher, FxHashMap};
+use ccsql_obs::FieldValue;
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Why the exploration stopped.
@@ -103,6 +106,10 @@ pub struct McStats {
     pub symmetry: bool,
     /// Peak bytes held by the packed state arena (16 bytes per state).
     pub arena_bytes: usize,
+    /// Approximate bytes held by the visited-set fingerprint index
+    /// (shard map + overflow *entries*, not table capacity, so the
+    /// figure is deterministic across allocators and thread counts).
+    pub visited_bytes: usize,
     /// The violating (or stuck) state, when the outcome is
     /// [`McOutcome::Violation`] or [`McOutcome::Stuck`] — identical for
     /// every thread count by the lowest-(depth, BFS-order) rule. Under
@@ -169,6 +176,18 @@ impl Visited {
         self.arena.len() * std::mem::size_of::<Compact>()
     }
 
+    /// Approximate bytes held by the fingerprint index: 12 bytes per
+    /// map/overflow entry (`u64` fingerprint + `u32` arena index).
+    /// Counts entries rather than capacity so the number is a pure
+    /// function of the explored graph.
+    fn index_bytes(&self) -> usize {
+        let entry = std::mem::size_of::<u64>() + std::mem::size_of::<u32>();
+        self.shards
+            .iter()
+            .map(|s| (s.map.len() + s.overflow.len()) * entry)
+            .sum()
+    }
+
     /// Read-only membership probe (safe to call from many workers).
     fn contains(&self, fp: u64, c: Compact) -> bool {
         let shard = &self.shards[shard_of(fp)];
@@ -202,6 +221,60 @@ impl Visited {
         self.arena.push(c);
         true
     }
+}
+
+/// Progress counters published by the BFS loop (one batch of relaxed
+/// stores per level) and read by the heartbeat ticker. The hot loop
+/// never reads these, so the ticker cannot perturb the exploration —
+/// see `ccsql_obs::heartbeat` for the full neutrality argument.
+#[derive(Default)]
+struct Progress {
+    states: AtomicU64,
+    frontier: AtomicU64,
+    levels: AtomicU64,
+    transitions: AtomicU64,
+    orbit_states: AtomicU64,
+    arena_bytes: AtomicU64,
+}
+
+/// Start the mc heartbeat ticker (inert when `--heartbeat` is off),
+/// deriving states/sec, budget fraction and a budget-exhaustion ETA
+/// from the published counters and the monotonic start instant.
+fn start_heartbeat(
+    progress: &Arc<Progress>,
+    budget: usize,
+    t0: Instant,
+) -> ccsql_obs::heartbeat::Ticker {
+    let p = Arc::clone(progress);
+    let budget_f = budget as f64;
+    ccsql_obs::heartbeat::Ticker::start("mc", move || {
+        let round1 = |x: f64| (x * 10.0).round() / 10.0;
+        let states = p.states.load(Ordering::Relaxed);
+        let secs = t0.elapsed().as_secs_f64().max(1e-9);
+        let rate = states as f64 / secs;
+        let frac = (states as f64 / budget_f).min(1.0);
+        let mut fields: Vec<(&'static str, FieldValue)> = vec![
+            ("states", states.into()),
+            ("frontier", p.frontier.load(Ordering::Relaxed).into()),
+            ("level", p.levels.load(Ordering::Relaxed).into()),
+            ("transitions", p.transitions.load(Ordering::Relaxed).into()),
+            ("arena_bytes", p.arena_bytes.load(Ordering::Relaxed).into()),
+            ("states_per_sec", round1(rate).into()),
+            ("budget_frac", ((frac * 1000.0).round() / 1000.0).into()),
+        ];
+        let orbit = p.orbit_states.load(Ordering::Relaxed);
+        if orbit > states {
+            let red = orbit as f64 / states.max(1) as f64;
+            fields.push(("orbit_reduction", ((red * 100.0).round() / 100.0).into()));
+        }
+        if rate > 0.0 && frac < 1.0 {
+            fields.push((
+                "eta_budget_s",
+                round1((budget_f - states as f64) / rate).into(),
+            ));
+        }
+        fields
+    })
 }
 
 /// A property violation or stuck state found while scanning a level,
@@ -337,6 +410,18 @@ pub fn explore_with(model: &Model, init: State, opts: &McOpts) -> (McOutcome, Mc
     let threads = opts.threads.max(1);
     let budget = opts.budget;
     let symmetry = opts.symmetry;
+    let run_span = ccsql_obs::flight::span("mc", "explore");
+    run_span.arg("budget", budget as u64);
+    run_span.arg("threads", threads as u64);
+    run_span.arg("symmetry", u64::from(symmetry));
+    // Heartbeat plumbing exists only when `--heartbeat` is on: the
+    // default path allocates nothing and stores nothing.
+    let progress: Option<Arc<Progress>> = if ccsql_obs::heartbeat::heartbeat_ms() > 0 {
+        Some(Arc::new(Progress::default()))
+    } else {
+        None
+    };
+    let _ticker = progress.as_ref().map(|p| start_heartbeat(p, budget, start));
     let mut visited = Visited::with_capacity(budget.min(RESERVE_CAP));
     let mut c0 = pack(&init);
     if symmetry {
@@ -355,6 +440,9 @@ pub fn explore_with(model: &Model, init: State, opts: &McOpts) -> (McOutcome, Mc
     let outcome = 'bfs: loop {
         levels += 1;
         frontier_peak = frontier_peak.max(level.len());
+        let level_span = ccsql_obs::flight::span("mc", "level");
+        level_span.arg("depth", levels as u64 - 1);
+        level_span.arg("width", level.len());
 
         let chunks = scan_level(model, &visited, &level, threads, symmetry);
 
@@ -394,6 +482,17 @@ pub fn explore_with(model: &Model, init: State, opts: &McOpts) -> (McOutcome, Mc
                 }
             }
         }
+        level_span.arg("new_states", visited.len() - next_start);
+        if let Some(p) = &progress {
+            p.states.store(visited.len() as u64, Ordering::Relaxed);
+            p.frontier
+                .store((visited.len() - next_start) as u64, Ordering::Relaxed);
+            p.levels.store(levels as u64, Ordering::Relaxed);
+            p.transitions.store(transitions, Ordering::Relaxed);
+            p.orbit_states.store(orbit_states, Ordering::Relaxed);
+            p.arena_bytes
+                .store(visited.bytes() as u64, Ordering::Relaxed);
+        }
         if visited.len() == next_start {
             break McOutcome::Verified;
         }
@@ -414,9 +513,25 @@ pub fn explore_with(model: &Model, init: State, opts: &McOpts) -> (McOutcome, Mc
         threads,
         symmetry,
         arena_bytes: visited.bytes(),
+        visited_bytes: visited.index_bytes(),
         witness,
         elapsed: start.elapsed(),
     };
+    run_span.arg("states", stats.states);
+    run_span.arg("transitions", stats.transitions);
+    run_span.arg("levels", stats.levels);
+    run_span.arg("frontier_peak", stats.frontier_peak);
+    run_span.arg("arena_bytes", stats.arena_bytes);
+    run_span.arg("visited_bytes", stats.visited_bytes);
+    run_span.arg(
+        "outcome",
+        match &outcome {
+            McOutcome::Verified => "verified",
+            McOutcome::Violation(_) => "violation",
+            McOutcome::Stuck => "stuck",
+            McOutcome::BudgetExceeded => "budget_exceeded",
+        },
+    );
     record_mc_metrics(&stats);
     (outcome, stats)
 }
@@ -437,6 +552,8 @@ fn record_mc_metrics(stats: &McStats) {
     reg.gauge("mc.symmetry")
         .set(if stats.symmetry { 1.0 } else { 0.0 });
     reg.gauge("mc.arena_bytes").set(stats.arena_bytes as f64);
+    reg.gauge("mc.visited_bytes")
+        .set(stats.visited_bytes as f64);
     reg.gauge("mc.frontier_peak")
         .set(stats.frontier_peak as f64);
     reg.gauge("mc.depth").set(stats.depth as f64);
@@ -460,6 +577,7 @@ fn record_mc_metrics(stats: &McStats) {
             ("threads", (stats.threads as u64).into()),
             ("symmetry", u64::from(stats.symmetry).into()),
             ("arena_bytes", (stats.arena_bytes as u64).into()),
+            ("visited_bytes", (stats.visited_bytes as u64).into()),
             ("elapsed_us", (stats.elapsed.as_micros() as u64).into()),
         ],
     );
@@ -484,6 +602,8 @@ mod tests {
         assert!(stats.witness.is_none());
         assert_eq!(stats.orbit_states, stats.states as u64);
         assert_eq!(stats.arena_bytes, stats.states * 16);
+        // One 12-byte index entry per state, absent fp collisions.
+        assert_eq!(stats.visited_bytes, stats.states * 12);
     }
 
     #[test]

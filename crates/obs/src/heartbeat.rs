@@ -1,0 +1,197 @@
+//! Live progress heartbeats: a monotonic-clock ticker thread for the
+//! long-running stages (`mc`, `fuzz`, `solve`).
+//!
+//! A [`Ticker`] wakes every `--heartbeat[=MS]` interval, calls a
+//! caller-supplied snapshot closure, and emits one progress line to
+//! **stderr** plus one structured record onto the global event ring
+//! (exported as JSONL by `--metrics=FILE`). On drop it signals the
+//! thread, which emits a final tick — so even a run shorter than the
+//! interval leaves at least one record — and joins it.
+//!
+//! ## Why heartbeats are provably result-neutral
+//!
+//! The information flow is one-way: the workload publishes progress by
+//! storing into shared atomics (once per BFS level / fuzz round — never
+//! per state), and the ticker only *loads* those atomics. The workload
+//! never reads anything the ticker writes, takes no lock the hot loop
+//! contends on, and the ticker writes only to stderr and the event ring
+//! — never to the stdout result. Outputs are therefore byte-identical
+//! with heartbeats on or off; `crates/cli` gates this in tests.
+//!
+//! ## Monotonic-clock rule
+//!
+//! All timing here (tick scheduling, elapsed seconds in records) uses
+//! [`Instant`], never `SystemTime`: wall clocks can jump backwards
+//! (NTP, suspend), which would yield negative rates and non-monotonic
+//! `t_ms` fields.
+
+use crate::trace::FieldValue;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Heartbeat interval in milliseconds; 0 = disabled (the default).
+static HEARTBEAT_MS: AtomicU64 = AtomicU64::new(0);
+
+/// Default interval when `--heartbeat` is given without a value.
+pub const DEFAULT_HEARTBEAT_MS: u64 = 1000;
+
+/// Current heartbeat interval in milliseconds (0 = off).
+#[inline]
+pub fn heartbeat_ms() -> u64 {
+    HEARTBEAT_MS.load(Ordering::Relaxed)
+}
+
+/// Set the heartbeat interval; 0 disables ticking.
+pub fn set_heartbeat_ms(ms: u64) {
+    HEARTBEAT_MS.store(ms, Ordering::Relaxed);
+}
+
+type Snap = dyn Fn() -> Vec<(&'static str, FieldValue)> + Send + 'static;
+
+struct Shared {
+    stopped: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// A live-progress ticker for one stage. Construct with
+/// [`Ticker::start`]; drop to stop (final tick + join). Inert — no
+/// thread spawned — when the heartbeat interval is 0.
+pub struct Ticker {
+    inner: Option<(Arc<Shared>, JoinHandle<()>)>,
+}
+
+impl Ticker {
+    /// Start a ticker for `stage`. `snap` must only *read* shared state
+    /// (atomics published by the workload) — see the module docs for
+    /// the neutrality argument. Returns an inert ticker when heartbeats
+    /// are disabled.
+    pub fn start<F>(stage: &'static str, snap: F) -> Ticker
+    where
+        F: Fn() -> Vec<(&'static str, FieldValue)> + Send + 'static,
+    {
+        let ms = heartbeat_ms();
+        if ms == 0 {
+            return Ticker { inner: None };
+        }
+        let shared = Arc::new(Shared {
+            stopped: Mutex::new(false),
+            cv: Condvar::new(),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let snap: Box<Snap> = Box::new(snap);
+        let handle = std::thread::Builder::new()
+            .name(format!("heartbeat-{stage}"))
+            .spawn(move || {
+                let epoch = Instant::now();
+                let mut stopped = thread_shared.stopped.lock().unwrap();
+                while !*stopped {
+                    let (guard, _timeout) = thread_shared
+                        .cv
+                        .wait_timeout(stopped, Duration::from_millis(ms))
+                        .unwrap();
+                    stopped = guard;
+                    if !*stopped {
+                        emit_tick(stage, epoch, &snap, false);
+                    }
+                }
+                drop(stopped);
+                // Final tick: a run shorter than one interval still
+                // leaves a record, and the last record reflects the
+                // end-of-run counters.
+                emit_tick(stage, epoch, &snap, true);
+            })
+            .expect("spawn heartbeat thread");
+        Ticker {
+            inner: Some((shared, handle)),
+        }
+    }
+
+    /// Is a ticker thread actually running?
+    pub fn active(&self) -> bool {
+        self.inner.is_some()
+    }
+}
+
+impl Drop for Ticker {
+    fn drop(&mut self) {
+        if let Some((shared, handle)) = self.inner.take() {
+            *shared.stopped.lock().unwrap() = true;
+            shared.cv.notify_all();
+            let _ = handle.join();
+        }
+    }
+}
+
+fn emit_tick(stage: &'static str, epoch: Instant, snap: &Snap, fin: bool) {
+    let secs = epoch.elapsed().as_secs_f64();
+    let mut fields = snap();
+    fields.push(("t_s", FieldValue::F64((secs * 10.0).round() / 10.0)));
+    if fin {
+        fields.push(("final", FieldValue::U64(1)));
+    }
+    let mut line = format!("ccsql[{stage}] +{secs:.1}s");
+    for (k, v) in &fields {
+        if *k == "t_s" {
+            continue;
+        }
+        line.push(' ');
+        line.push_str(k);
+        line.push('=');
+        line.push_str(&v.to_string());
+    }
+    eprintln!("{line}");
+    // Structured record straight onto the global ring (bypassing the
+    // `--trace` gate: `--heartbeat` is its own opt-in), so
+    // `--metrics=FILE` exports heartbeats as JSONL event records.
+    crate::global_ring().push(stage, "heartbeat", fields);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn disabled_ticker_is_inert() {
+        set_heartbeat_ms(0);
+        let t = Ticker::start("test_hb_off", Vec::new);
+        assert!(!t.active());
+        drop(t);
+        assert!(!crate::global_ring()
+            .snapshot()
+            .iter()
+            .any(|e| e.stage == "test_hb_off"));
+    }
+
+    #[test]
+    fn ticker_emits_final_record_and_reads_atomics() {
+        set_heartbeat_ms(2);
+        let counter = Arc::new(AtomicU64::new(0));
+        let seen = Arc::clone(&counter);
+        let t = Ticker::start("test_hb_on", move || {
+            vec![("states", FieldValue::U64(seen.load(Ordering::Relaxed)))]
+        });
+        assert!(t.active());
+        counter.store(42, Ordering::Relaxed);
+        std::thread::sleep(Duration::from_millis(10));
+        drop(t); // stop + final tick + join
+        set_heartbeat_ms(0);
+        let ticks: Vec<_> = crate::global_ring()
+            .snapshot()
+            .into_iter()
+            .filter(|e| e.stage == "test_hb_on" && e.name == "heartbeat")
+            .collect();
+        assert!(!ticks.is_empty(), "at least the final tick lands");
+        let last = ticks.last().unwrap();
+        assert!(
+            last.fields.contains(&("final", FieldValue::U64(1))),
+            "{last:?}"
+        );
+        assert!(
+            last.fields.contains(&("states", FieldValue::U64(42))),
+            "ticker reads the published atomic: {last:?}"
+        );
+    }
+}

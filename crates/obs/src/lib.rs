@@ -19,6 +19,16 @@
 //! * [`json`] — a hand-rolled JSON writer and the JSONL exporter
 //!   (`--metrics=out.jsonl` in the CLI); no serde.
 //!
+//! Two more on top of those (the flight recorder, PR 6):
+//!
+//! * [`flight`] — a hierarchical span tree with stable ids, per-span
+//!   counters and per-thread parent tracking, exported as Chrome
+//!   trace-event / Perfetto JSON (`--trace-out FILE.json`).
+//! * [`heartbeat`] — a monotonic-clock ticker thread emitting live
+//!   stderr progress lines and ring records for long `mc`/`fuzz`/solve
+//!   runs (`--heartbeat[=MS]`); provably result-neutral (see the module
+//!   docs).
+//!
 //! [`rng`] additionally provides the deterministic splitmix64 PRNG the
 //! simulator uses for seeded workloads and scheduling, replacing the
 //! external `rand` crate, and [`hash`] the `FxHash`-style fast hasher
@@ -41,7 +51,9 @@
 //! `mc.states_per_sec`, … (see DESIGN.md § Observability for the full
 //! schema).
 
+pub mod flight;
 pub mod hash;
+pub mod heartbeat;
 pub mod json;
 pub mod metrics;
 pub mod rng;

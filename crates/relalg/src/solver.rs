@@ -250,6 +250,7 @@ impl TableSpec {
     ) -> Result<(Relation, GenStats)> {
         self.validate()?;
         let start = Instant::now();
+        let fspan = ccsql_obs::flight::span("solve", &self.name);
         let schema = Schema::from_syms(&self.column_names())?;
         let result = match mode {
             GenMode::Monolithic => self.generate_monolithic(&schema, ctx),
@@ -262,6 +263,9 @@ impl TableSpec {
             stats.elapsed = start.elapsed();
             stats.rows = rel.len();
             stats.columns = rel.arity();
+            fspan.arg("rows", stats.rows);
+            fspan.arg("columns", stats.columns);
+            fspan.arg("candidates", stats.candidates);
             record_gen_metrics(&self.name, &stats);
             (rel, stats)
         })
@@ -369,6 +373,7 @@ impl TableSpec {
 
         for k in 1..self.columns.len() {
             let step_start = Instant::now();
+            let col_span = ccsql_obs::flight::span("solve", self.columns[k].name.as_str());
             let sub_schema = Schema::from_syms(&all_names[..=k])?;
             // Constraints that become checkable once column k exists.
             let ready: Vec<usize> = (0..self.columns.len())
@@ -384,6 +389,8 @@ impl TableSpec {
             let step_cands = current.len() as u64 * vals.len() as u64;
             candidates += step_cands;
             current = extend_filter(&current, &sub_schema, vals, &bound, ctx, threads)?;
+            col_span.arg("candidates", step_cands);
+            col_span.arg("rows", current.len());
             per_column.push((self.columns[k].name, current.len()));
             steps.push(GenStep {
                 column: self.columns[k].name,

@@ -1658,7 +1658,11 @@ impl Sim {
     /// and, when `ccsql_obs` global metrics are enabled, merged once
     /// into the global registry.
     pub fn run(&mut self) -> Result<Outcome, SimError> {
+        let fspan = ccsql_obs::flight::span("sim", "run");
         let out = self.run_inner();
+        fspan.arg("steps", self.stats.steps);
+        fspan.arg("issued", self.stats.issued);
+        fspan.arg("completed", self.stats.completed);
         self.flush_metrics();
         if let Ok(o) = &out {
             self.trace_event("outcome", || {

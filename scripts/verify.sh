@@ -66,6 +66,34 @@ if grep '"type":"fuzz-summary"' "$BENCH_DIR/fuzz1.txt" | grep -q '"faults_inject
     exit 1
 fi
 
+echo "==> ccsql profile (flight-recorder smoke: valid trace, every stage spanned, stable span structure)"
+cargo run --quiet --release -p ccsql-cli -- profile specs/fig3.ccsql --quick \
+    --trace-out "$BENCH_DIR/prof1.json" "--metrics=$BENCH_DIR/prof1.jsonl" \
+    > "$BENCH_DIR/prof1.txt"
+cargo run --quiet --release -p ccsql-cli -- profile specs/fig3.ccsql --quick \
+    --trace-out "$BENCH_DIR/prof2.json" "--metrics=$BENCH_DIR/prof2.jsonl" \
+    > "$BENCH_DIR/prof2.txt"
+# The trace must be one well-formed JSON document with at least one span
+# for every pipeline stage.
+for stage in profile parse lint solve depend mc sim; do
+    grep -q "\"cat\":\"$stage\"" "$BENCH_DIR/prof1.json" || {
+        echo "profile trace has no $stage span" >&2
+        exit 1
+    }
+done
+grep -q '"displayTimeUnit"' "$BENCH_DIR/prof1.json"
+grep -q 'throughput: solver' "$BENCH_DIR/prof1.txt"
+grep -q 'memory: mc arena' "$BENCH_DIR/prof1.txt"
+# Span *structure* (stage/name sequence) is a pure function of control
+# flow — only the timestamps may differ between the two runs.
+structure() {
+    tr '{' '\n' < "$1" | sed -n 's/.*"cat":"\([a-z]*\)","name":"\([^"]*\)".*/\1 \2/p'
+}
+structure "$BENCH_DIR/prof1.json" > "$BENCH_DIR/spans1.txt"
+structure "$BENCH_DIR/prof2.json" > "$BENCH_DIR/spans2.txt"
+test -s "$BENCH_DIR/spans1.txt"
+diff "$BENCH_DIR/spans1.txt" "$BENCH_DIR/spans2.txt"
+
 echo "==> ccsql lint (clean specs must stay clean; seeded bugs must be caught)"
 cargo test -q -p ccsql-lint
 cargo run --quiet --release -p ccsql-cli -- lint specs/fig3.ccsql
