@@ -17,7 +17,7 @@
 //! ccsql fig4 [--fixed]
 //! ccsql query "SELECT …"
 //! ccsql lint [--json] [--protocol] [--assignment v0|v1|v2] FILE.ccsql …
-//! ccsql solve FILE.ccsql [--format ascii|csv|md] [--no-lint]
+//! ccsql solve FILE.ccsql [--format ascii|csv|md] [--no-lint] [--no-compile]
 //! ccsql walk [--request MSG --dirst ST --sharers N]
 //! ccsql export [--table NAME] [--invariants]
 //! ccsql stats [<command> …]
@@ -51,7 +51,7 @@ use ccsql_mc::{explore_threads, explore_with, McOpts, McOutcome, McStats, Model}
 use ccsql_protocol::states;
 use ccsql_protocol::topology::NodeId;
 use ccsql_relalg::report;
-use ccsql_relalg::GenMode;
+use ccsql_relalg::{GenMode, GenOptions};
 use ccsql_sim::{
     FaultPlan, FaultRates, Fig4, Mix, Outcome, Schedule, Sim, SimConfig, Workload, PATTERNS,
 };
@@ -79,7 +79,7 @@ USAGE:
     ccsql fig4     [--fixed]
     ccsql query    \"SELECT ... FROM D ...\"
     ccsql lint     [--json] [--protocol] [--assignment v0|v1|v2] FILE.ccsql ...
-    ccsql solve    FILE.ccsql [--format ascii|csv|md] [--no-lint]
+    ccsql solve    FILE.ccsql [--format ascii|csv|md] [--no-lint] [--no-compile]
     ccsql walk     [--request MSG --dirst ST --sharers N]
     ccsql export   [--table NAME] [--invariants]
     ccsql stats    [<command> ...]
@@ -1102,6 +1102,9 @@ fn cmd_bench(opts: &Opts) -> Result<String, String> {
     .unwrap();
 
     // ---- Leg 3: constraint solver ------------------------------------
+    // Compiled 1t and Nt (the identity gate), plus the interpreted
+    // `--no-compile` oracle at 1t — the compiled tables must be
+    // byte-identical to the oracle's, not just set-equal.
     let t0 = std::time::Instant::now();
     let gen1 = GeneratedProtocol::generate(GenMode::Incremental).map_err(|e| e.to_string())?;
     let solve_secs_1 = t0.elapsed().as_secs_f64();
@@ -1109,19 +1112,29 @@ fn cmd_bench(opts: &Opts) -> Result<String, String> {
     let gen_n = GeneratedProtocol::generate(GenMode::IncrementalParallel { threads })
         .map_err(|e| e.to_string())?;
     let solve_secs_n = t0.elapsed().as_secs_f64();
+    let t0 = std::time::Instant::now();
+    let gen_i = GeneratedProtocol::generate_with(GenOptions::interpreted(GenMode::Incremental))
+        .map_err(|e| e.to_string())?;
+    let interp_secs = t0.elapsed().as_secs_f64();
     let mut solver_same = true;
     let mut solver_rows = 0usize;
+    let mut solver_candidates = 0u64;
+    let mut compile_secs = 0.0f64;
     for c in &gen1.spec.controllers {
         let a = gen1.table(c.name).map_err(|e| e.to_string())?;
         let b = gen_n.table(c.name).map_err(|e| e.to_string())?;
+        let i = gen_i.table(c.name).map_err(|e| e.to_string())?;
         solver_rows += a.len();
         solver_same &= a.len() == b.len() && a.set_eq(b);
+        solver_same &= a.len() == i.len() && a.rows().eq(i.rows());
+        solver_candidates += gen1.stats[c.name].candidates;
+        compile_secs += gen1.stats[c.name].compile.as_secs_f64();
     }
     identical &= solver_same;
     writeln!(
         text,
         "bench solver: mode=incremental threads={threads} tables={} rows={solver_rows} \
-         identical={solver_same}",
+         candidates={solver_candidates} identical={solver_same}",
         gen1.spec.controllers.len()
     )
     .unwrap();
@@ -1136,8 +1149,11 @@ fn cmd_bench(opts: &Opts) -> Result<String, String> {
         secs_n: dep_secs_n,
         identical: dep_same,
         solver_rows,
+        solver_candidates,
         solve_secs_1,
         solve_secs_n,
+        compile_secs,
+        interp_secs,
         solver_identical: solver_same,
     });
     let dep_path = format!("{out_dir}/BENCH_depend.json");
@@ -1250,8 +1266,11 @@ struct BenchDepend {
     secs_n: f64,
     identical: bool,
     solver_rows: usize,
+    solver_candidates: u64,
     solve_secs_1: f64,
     solve_secs_n: f64,
+    compile_secs: f64,
+    interp_secs: f64,
     solver_identical: bool,
 }
 
@@ -1270,6 +1289,17 @@ fn bench_depend_json(b: BenchDepend) -> String {
             per_sec(b.solver_rows as f64, b.solve_secs_n),
         )
         .f64("speedup", per_sec(b.solve_secs_1, b.solve_secs_n))
+        .u64("candidates", b.solver_candidates)
+        .f64(
+            "candidates_per_sec",
+            per_sec(b.solver_candidates as f64, b.solve_secs_1),
+        )
+        .f64("compile_secs", b.compile_secs)
+        .f64("interp_secs_1t", b.interp_secs)
+        .f64(
+            "interp_rows_per_sec",
+            per_sec(b.solver_rows as f64, b.interp_secs),
+        )
         .raw(
             "identical",
             if b.solver_identical { "true" } else { "false" },
@@ -1643,7 +1673,12 @@ fn cmd_solve(opts: &Opts) -> Result<String, String> {
             ));
         }
     }
-    let (rel, failures) = ccsql_relalg::specfile::solve_specfile(&sf).map_err(|e| e.to_string())?;
+    // `--no-compile`: solve with the interpreted oracle instead of the
+    // compiled bytecode path; the outputs must be byte-identical (the
+    // differential gate in scripts/verify.sh diffs them).
+    let (rel, failures) =
+        ccsql_relalg::specfile::solve_specfile_with(&sf, !opts.flag("--no-compile"))
+            .map_err(|e| e.to_string())?;
     let mut out = String::new();
     writeln!(
         out,

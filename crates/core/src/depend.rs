@@ -25,7 +25,7 @@ use crate::vc::VcAssignment;
 use ccsql_obs::hash::FxHashMap;
 use ccsql_protocol::topology::{QuadPlacement, Role, PLACEMENTS};
 use ccsql_protocol::ControllerSpec;
-use ccsql_relalg::{Relation, Sym, Value};
+use ccsql_relalg::{ColumnarRelation, Relation, Sym, Value};
 use std::collections::HashMap;
 use std::ops::Range;
 
@@ -206,6 +206,133 @@ fn par_chunks<R: Send>(
     })
 }
 
+/// A resolved `(msg, src, dest, vc)` assignment *before* quad-placement
+/// canonicalisation — shared by all five placements of a controller.
+#[derive(Clone, Copy, Debug)]
+struct PreAssignment {
+    msg: Sym,
+    src: Role,
+    dest: Role,
+    vc: Sym,
+}
+
+impl PreAssignment {
+    #[inline]
+    fn canon(self, placement: QuadPlacement) -> Assignment {
+        Assignment {
+            msg: self.msg,
+            src: placement.canon(self.src),
+            dest: placement.canon(self.dest),
+            vc: self.vc,
+        }
+    }
+}
+
+/// A controller table pre-resolved for dependency extraction.
+///
+/// The old path re-did the whole string pipeline — `index_of_str` per
+/// triple, `Sym::as_str` + `Role::parse`, the `V` lookup by message
+/// *name* — for every row under every one of the five quad placements.
+/// This resolves each table **once**: the relation goes columnar as
+/// interned value ids, each triple's three columns are located once,
+/// and every *distinct* id-triple is resolved through a memo (the
+/// column domains are tiny, so almost every row is a memo hit). What
+/// remains per placement is a pure array scan plus the placement's role
+/// canonicalisation.
+struct ResolvedController {
+    ctrl_name: &'static str,
+    rows: usize,
+    /// Per input triple, per row: the resolved assignment (pre-canon).
+    inputs: Vec<Vec<Option<PreAssignment>>>,
+    /// Per output triple, per row: the resolved assignment (pre-canon).
+    outputs: Vec<Vec<Option<PreAssignment>>>,
+}
+
+impl ResolvedController {
+    fn new(ctrl: &ControllerSpec, table: &Relation, v: &VcAssignment) -> ResolvedController {
+        let cols = ColumnarRelation::from_relation(table);
+        let rows = cols.len();
+        let schema = table.schema();
+        let mut memo: FxHashMap<(u32, u32, u32), Option<PreAssignment>> = FxHashMap::default();
+        let mut resolve_triple = |t: &ccsql_protocol::MsgTriple| -> Vec<Option<PreAssignment>> {
+            let (Some(mi), Some(si), Some(di)) = (
+                schema.index_of_str(t.msg),
+                schema.index_of_str(t.src),
+                schema.index_of_str(t.dest),
+            ) else {
+                return vec![None; rows];
+            };
+            let (mc, sc, dc) = (cols.col(mi), cols.col(si), cols.col(di));
+            (0..rows)
+                .map(|i| {
+                    *memo
+                        .entry((mc[i], sc[i], dc[i]))
+                        .or_insert_with(|| resolve_ids(mc[i], sc[i], dc[i], v))
+                })
+                .collect()
+        };
+        let inputs = ctrl.input_triples.iter().map(&mut resolve_triple).collect();
+        let outputs = ctrl
+            .output_triples
+            .iter()
+            .map(&mut resolve_triple)
+            .collect();
+        ResolvedController {
+            ctrl_name: ctrl.name,
+            rows,
+            inputs,
+            outputs,
+        }
+    }
+
+    /// The individual dependency rows under one placement — the same
+    /// rows, in the same order, as the original per-row resolution.
+    fn dep_rows(&self, placement: QuadPlacement) -> Vec<DepRow> {
+        let mut out = Vec::new();
+        for ri in 0..self.rows {
+            for it in &self.inputs {
+                let Some(input) = it[ri] else {
+                    continue;
+                };
+                let input = input.canon(placement);
+                for ot in &self.outputs {
+                    let Some(output) = ot[ri] else {
+                        continue;
+                    };
+                    out.push(DepRow {
+                        input,
+                        output: output.canon(placement),
+                        placement,
+                        provenance: Provenance::Direct {
+                            controller: self.ctrl_name,
+                            row: ri,
+                        },
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Resolve one interned id-triple against `V`: decode, parse roles, look
+/// up the channel, drop dedicated paths.
+fn resolve_ids(m: u32, s: u32, d: u32, v: &VcAssignment) -> Option<PreAssignment> {
+    let msg = Value::from_vid(m).as_sym()?;
+    let src = Role::parse(Value::from_vid(s).as_sym()?.as_str())?;
+    let dest = Role::parse(Value::from_vid(d).as_sym()?.as_str())?;
+    let vc = v.lookup(msg.as_str(), src, dest)?;
+    if v.is_dedicated(vc) {
+        return None;
+    }
+    Some(PreAssignment {
+        msg,
+        src,
+        dest,
+        vc: Sym::intern(vc),
+    })
+}
+
 /// Extract the individual controller dependency table of one controller
 /// under one quad placement.
 ///
@@ -221,45 +348,7 @@ pub fn controller_dependency_rows(
     v: &VcAssignment,
     placement: QuadPlacement,
 ) -> Vec<DepRow> {
-    let mut out = Vec::new();
-    let schema = table.schema();
-    let resolve_triple = |row: &[Value], t: &ccsql_protocol::MsgTriple| -> Option<Assignment> {
-        let msg = row[schema.index_of_str(t.msg)?].as_sym()?;
-        let src = Role::parse(row[schema.index_of_str(t.src)?].as_sym()?.as_str())?;
-        let dest = Role::parse(row[schema.index_of_str(t.dest)?].as_sym()?.as_str())?;
-        let vc = v.lookup(msg.as_str(), src, dest)?;
-        if v.is_dedicated(vc) {
-            return None;
-        }
-        Some(Assignment {
-            msg,
-            src: placement.canon(src),
-            dest: placement.canon(dest),
-            vc: Sym::intern(vc),
-        })
-    };
-    for (ri, row) in table.rows().enumerate() {
-        for it in &ctrl.input_triples {
-            let Some(input) = resolve_triple(row, it) else {
-                continue;
-            };
-            for ot in &ctrl.output_triples {
-                let Some(output) = resolve_triple(row, ot) else {
-                    continue;
-                };
-                out.push(DepRow {
-                    input,
-                    output,
-                    placement,
-                    provenance: Provenance::Direct {
-                        controller: ctrl.name,
-                        row: ri,
-                    },
-                });
-            }
-        }
-    }
-    out
+    ResolvedController::new(ctrl, table, v).dep_rows(placement)
 }
 
 /// Composition match key: message (unless ignored), source, destination
@@ -299,13 +388,25 @@ pub fn protocol_dependency_table(
         }
     };
 
+    // Resolve every controller table once — columnar ids + memoised
+    // triple lookups — then fan the five placements out over the shared
+    // resolutions instead of re-resolving per placement.
+    let resolved: Vec<ResolvedController> = {
+        let _rspan = ccsql_obs::flight::span("depend", "resolve");
+        gen.spec
+            .controllers
+            .iter()
+            .map(|c| Ok(ResolvedController::new(c, gen.table(c.name)?, v)))
+            .collect::<ccsql_relalg::Result<_>>()?
+    };
+
     // Individual controller dependency tables: one work unit per
     // (placement, controller) pair, generated in parallel and merged in
     // unit order (placement-major), i.e. the sequential order.
-    let mut units: Vec<(QuadPlacement, &ControllerSpec, &Relation)> = Vec::new();
+    let mut units: Vec<(QuadPlacement, &ResolvedController)> = Vec::new();
     for &placement in &cfg.placements {
-        for ctrl in &gen.spec.controllers {
-            units.push((placement, ctrl, gen.table(ctrl.name)?));
+        for rc in &resolved {
+            units.push((placement, rc));
         }
     }
     let direct_span = ccsql_obs::flight::span("depend", "direct");
@@ -313,12 +414,7 @@ pub fn protocol_dependency_table(
         units.len(),
         cfg.threads,
         PAR_MIN_UNITS_PER_WORKER,
-        |range| {
-            units[range]
-                .iter()
-                .map(|&(p, ctrl, table)| controller_dependency_rows(ctrl, table, v, p))
-                .collect()
-        },
+        |range| units[range].iter().map(|&(p, rc)| rc.dep_rows(p)).collect(),
     );
     let mut generated = unit_rows.into_iter().flatten();
     for &placement in &cfg.placements {

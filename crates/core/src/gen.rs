@@ -6,7 +6,7 @@
 
 use ccsql_protocol::{ControllerSpec, ProtocolSpec};
 use ccsql_relalg::expr::SetContext;
-use ccsql_relalg::{Database, GenMode, GenStats, Relation};
+use ccsql_relalg::{Database, GenMode, GenOptions, GenStats, Relation};
 use std::collections::HashMap;
 
 /// The generated protocol: all controller tables plus generation
@@ -23,9 +23,16 @@ pub struct GeneratedProtocol {
 }
 
 impl GeneratedProtocol {
-    /// Generate every controller table with the given solver mode.
+    /// Generate every controller table with the given solver mode
+    /// (compiled constraint evaluation, the default).
     pub fn generate(mode: GenMode) -> ccsql_relalg::Result<GeneratedProtocol> {
         GeneratedProtocol::generate_spec(ProtocolSpec::asura(), mode)
+    }
+
+    /// Generate every controller table with explicit [`GenOptions`]
+    /// (e.g. the interpreted `--no-compile` oracle path).
+    pub fn generate_with(opts: GenOptions) -> ccsql_relalg::Result<GeneratedProtocol> {
+        GeneratedProtocol::generate_spec_with(ProtocolSpec::asura(), opts)
     }
 
     /// Generate a protocol *revision* (e.g. the direct owner-transfer
@@ -42,6 +49,14 @@ impl GeneratedProtocol {
         spec: ProtocolSpec,
         mode: GenMode,
     ) -> ccsql_relalg::Result<GeneratedProtocol> {
+        GeneratedProtocol::generate_spec_with(spec, mode.into())
+    }
+
+    /// Generate every controller table of `spec` with explicit options.
+    pub fn generate_spec_with(
+        spec: ProtocolSpec,
+        opts: GenOptions,
+    ) -> ccsql_relalg::Result<GeneratedProtocol> {
         let ctx = ProtocolSpec::eval_context();
         let mut db = Database::new();
         define_protocol_sets(&mut db);
@@ -51,8 +66,9 @@ impl GeneratedProtocol {
         // the ticker thread.
         let done = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
         let rows = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let cands = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
         let _ticker = {
-            let (done, rows) = (done.clone(), rows.clone());
+            let (done, rows, cands) = (done.clone(), rows.clone(), cands.clone());
             let total = spec.controllers.len() as u64;
             ccsql_obs::heartbeat::Ticker::start("solve", move || {
                 use std::sync::atomic::Ordering::Relaxed;
@@ -60,13 +76,15 @@ impl GeneratedProtocol {
                     ("tables_done", done.load(Relaxed).into()),
                     ("tables_total", total.into()),
                     ("rows", rows.load(Relaxed).into()),
+                    ("candidates", cands.load(Relaxed).into()),
                 ]
             })
         };
         for c in &spec.controllers {
-            let (rel, st) = c.spec.generate(mode, &ctx)?;
+            let (rel, st) = c.spec.generate_with(opts, &ctx)?;
             done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             rows.fetch_add(rel.len() as u64, std::sync::atomic::Ordering::Relaxed);
+            cands.fetch_add(st.candidates, std::sync::atomic::Ordering::Relaxed);
             db.put_table(c.name, rel);
             stats.insert(c.name, st);
         }
@@ -121,6 +139,25 @@ mod tests {
             assert!(g.stats.contains_key(name));
         }
         assert_eq!(g.table("D").unwrap().arity(), 30);
+    }
+
+    #[test]
+    fn all_eight_tables_identical_compiled_vs_interpreted() {
+        let compiled = GeneratedProtocol::generate_default().unwrap();
+        let interp =
+            GeneratedProtocol::generate_with(GenOptions::interpreted(GenMode::Incremental))
+                .unwrap();
+        for name in ["D", "M", "N", "R", "C", "IO", "L", "CFG"] {
+            let a = compiled.table(name).unwrap();
+            let b = interp.table(name).unwrap();
+            assert_eq!(a.len(), b.len(), "{name}: row count differs");
+            assert!(a.rows().eq(b.rows()), "{name}: rows differ");
+            // Same readiness accounting on both paths.
+            assert_eq!(
+                compiled.stats[name].candidates, interp.stats[name].candidates,
+                "{name}: candidate count differs"
+            );
+        }
     }
 
     #[test]

@@ -11,20 +11,20 @@
 //! the floor, and the solver silently prunes the row); two or more is
 //! nondeterminism (the table would hold conflicting reactions).
 //!
-//! Legal inputs are enumerated incrementally (constraints apply as soon
-//! as their columns are all assigned, pruning the partial product) and
-//! each remaining constraint is *partially evaluated* against the input
-//! row with [`Expr::reduce`] — a rule chain collapses to the single
-//! assignment its guards select, so the output search is near-linear.
-//! Residual reductions are memoised per constraint on the values of the
-//! input columns it actually mentions, which for rule chains shares the
-//! work across the full input product.
+//! The walk runs on the same compiled [`Program`] bytecode as the
+//! solver: every constraint is compiled once against an inputs-first
+//! schema, legal inputs are enumerated incrementally as interned
+//! value-id rows (a constraint applies as soon as its columns are all
+//! assigned, pruning the partial product), and the output search
+//! evaluates each residual constraint exactly once per branch at the
+//! earliest depth where its columns are assigned. This replaces the
+//! old per-row `Expr::reduce` partial evaluation and its per-constraint
+//! memo tables with straight-line bytecode over `u32` ids.
 
 use crate::diag::{codes, Diagnostic, LintReport, Severity};
 use ccsql_relalg::expr::EvalContext;
 use ccsql_relalg::solver::{ColumnRole, TableSpec};
-use ccsql_relalg::{Expr, Span, Sym, Value};
-use std::collections::HashMap;
+use ccsql_relalg::{compile_constraint, Expr, Program, Schema, Span, Sym, Value};
 
 /// Cap on the partial-row count during legal-input enumeration; above
 /// it the analysis reports CCL019 and bails.
@@ -56,35 +56,6 @@ pub fn lint_coverage(
     }
     let input_set: Vec<Sym> = inputs.iter().map(|c| c.name).collect();
 
-    // Resolve constraints and split them by dependency set. Every
-    // constraint is a row filter regardless of which column owns it.
-    struct C {
-        owner: Sym,
-        deps: Vec<Sym>,
-        expr: Expr,
-        input_only: bool,
-    }
-    let constraints: Vec<C> = spec
-        .columns
-        .iter()
-        .filter(|c| !c.constraint.is_true())
-        .map(|c| {
-            let expr = c.constraint.resolve_idents(&is_column);
-            let deps: Vec<Sym> = expr
-                .columns()
-                .into_iter()
-                .filter(|s| spec.columns.iter().any(|c| c.name == *s))
-                .collect();
-            let input_only = deps.iter().all(|d| input_set.contains(d));
-            C {
-                owner: c.name,
-                deps,
-                expr,
-                input_only,
-            }
-        })
-        .collect();
-
     let skipped = |report: &mut LintReport, why: String| {
         report.push(Diagnostic::new(
             codes::ANALYSIS_SKIPPED,
@@ -95,8 +66,68 @@ pub fn lint_coverage(
         ));
     };
 
+    // Compile every non-trivial constraint once against an inputs-first
+    // schema, so a constraint's program is evaluable as soon as a row
+    // prefix covers its columns (the solver's prefix-schema rule).
+    let eval_schema = match Schema::new(
+        input_set
+            .iter()
+            .chain(outputs.iter().map(|c| &c.name))
+            .map(|s| s.as_str()),
+    ) {
+        Ok(s) => s,
+        Err(_) => return, // duplicate column names: parser rejects these
+    };
+    struct C {
+        owner: Sym,
+        deps: Vec<Sym>,
+        prog: Program,
+        input_only: bool,
+    }
+    let mut constraints: Vec<C> = Vec::new();
+    for c in spec.columns.iter().filter(|c| !c.constraint.is_true()) {
+        let deps: Vec<Sym> = c
+            .constraint
+            .resolve_idents(&is_column)
+            .columns()
+            .into_iter()
+            .filter(|s| spec.columns.iter().any(|c| c.name == *s))
+            .collect();
+        let prog = match compile_constraint(&c.constraint, &eval_schema, ctx) {
+            Ok(p) => p,
+            Err(e) => {
+                skipped(
+                    report,
+                    format!(
+                        "input coverage skipped: constraint on `{}` does not \
+                         compile ({e})",
+                        c.name
+                    ),
+                );
+                return;
+            }
+        };
+        let input_only = deps.iter().all(|d| input_set.contains(d));
+        constraints.push(C {
+            owner: c.name,
+            deps,
+            prog,
+            input_only,
+        });
+    }
+    let mut regs = vec![
+        0u32;
+        constraints
+            .iter()
+            .map(|c| c.prog.num_regs())
+            .max()
+            .unwrap_or(0)
+    ];
+
     // --- Legal input enumeration -----------------------------------
-    let mut rows: Vec<Vec<Value>> = vec![Vec::new()];
+    // Rows are interned value ids over the input prefix of the eval
+    // schema, extended one column at a time.
+    let mut rows: Vec<Vec<u32>> = vec![Vec::new()];
     let mut applied = vec![false; constraints.len()];
     for (k, col) in inputs.iter().enumerate() {
         if rows.len().saturating_mul(col.values.len()) > ROW_BUDGET {
@@ -108,11 +139,12 @@ pub fn lint_coverage(
             );
             return;
         }
-        let mut next: Vec<Vec<Value>> = Vec::with_capacity(rows.len() * col.values.len());
+        let ids: Vec<u32> = col.values.iter().map(|v| v.vid()).collect();
+        let mut next: Vec<Vec<u32>> = Vec::with_capacity(rows.len() * ids.len());
         for row in &rows {
-            for v in &col.values {
+            for &id in &ids {
                 let mut r = row.clone();
-                r.push(*v);
+                r.push(id);
                 next.push(r);
             }
         }
@@ -125,16 +157,15 @@ pub fn lint_coverage(
             applied[ci] = true;
             let mut kept = Vec::with_capacity(next.len());
             for row in next.drain(..) {
-                let lookup = |s: Sym| assigned.iter().position(|a| *a == s).map(|i| row[i]);
-                match c.expr.reduce(&lookup, ctx) {
-                    Expr::True => kept.push(row),
-                    Expr::False => {}
-                    residual => {
+                match c.prog.eval_ids(&row, ctx, &mut regs) {
+                    Ok(true) => kept.push(row),
+                    Ok(false) => {}
+                    Err(e) => {
                         skipped(
                             report,
                             format!(
                                 "input coverage skipped: constraint on `{}` does not \
-                                 reduce over the input domain (`{residual}`)",
+                                 evaluate over the input domain ({e})",
                                 c.owner
                             ),
                         );
@@ -148,32 +179,34 @@ pub fn lint_coverage(
     }
 
     // --- Output completion count per legal input --------------------
-    let residuals: Vec<&C> = constraints.iter().filter(|c| !c.input_only).collect();
-    // Memo per residual constraint: values of the *input* columns it
-    // mentions → reduced expression.
-    let mut memos: Vec<HashMap<Vec<Value>, Expr>> = vec![HashMap::new(); residuals.len()];
+    // Each residual (not input-only) constraint becomes *ready* at the
+    // first output depth where all its columns are assigned; the search
+    // evaluates it exactly once per branch at that depth. An evaluation
+    // error means the completion cannot be decided — treated as
+    // unsatisfied, exactly like the solver dropping the row.
+    let mut ready_at: Vec<Vec<&Program>> = vec![Vec::new(); outputs.len()];
+    for c in constraints.iter().filter(|c| !c.input_only) {
+        let depth = c
+            .deps
+            .iter()
+            .filter_map(|d| outputs.iter().position(|o| o.name == *d))
+            .max()
+            .expect("residual constraint mentions at least one output");
+        ready_at[depth].push(&c.prog);
+    }
+    let out_ids: Vec<Vec<u32>> = outputs
+        .iter()
+        .map(|c| c.values.iter().map(|v| v.vid()).collect())
+        .collect();
+
     let mut uncovered: Vec<String> = Vec::new();
     let mut nondet: Vec<String> = Vec::new();
     let mut uncovered_total = 0usize;
     let mut nondet_total = 0usize;
 
     for row in &rows {
-        let lookup = |s: Sym| input_set.iter().position(|a| *a == s).map(|i| row[i]);
-        let mut reduced: Vec<Expr> = Vec::with_capacity(residuals.len());
-        for (ri, c) in residuals.iter().enumerate() {
-            let key: Vec<Value> = c
-                .deps
-                .iter()
-                .filter(|d| input_set.contains(d))
-                .map(|d| row[input_set.iter().position(|a| a == d).unwrap()])
-                .collect();
-            let e = memos[ri]
-                .entry(key)
-                .or_insert_with(|| c.expr.reduce(&lookup, ctx))
-                .clone();
-            reduced.push(e);
-        }
-        let n = count_completions(&outputs, &reduced, ctx, 2);
+        let mut buf = row.clone();
+        let n = count_completions(&out_ids, &ready_at, &mut buf, 0, ctx, &mut regs, 2);
         if n == 0 {
             uncovered_total += 1;
             if uncovered.len() < WITNESS_CAP {
@@ -245,58 +278,44 @@ fn emit_witnessed(
     }
 }
 
-fn render_row(cols: &[Sym], row: &[Value]) -> String {
+fn render_row(cols: &[Sym], row: &[u32]) -> String {
     let parts: Vec<String> = cols
         .iter()
         .zip(row)
-        .map(|(c, v)| format!("{c}={}", Expr::Lit(*v)))
+        .map(|(c, &id)| format!("{c}={}", Expr::Lit(Value::from_vid(id))))
         .collect();
     parts.join(", ")
 }
 
 /// Count complete output assignments satisfying all residuals, stopping
-/// at `cutoff`.
+/// at `cutoff`. `row` holds the legal input ids; outputs are pushed and
+/// popped in depth order, and each program runs at its ready depth.
+#[allow(clippy::too_many_arguments)]
 fn count_completions(
-    outputs: &[&ccsql_relalg::ColumnDef],
-    residuals: &[Expr],
+    out_ids: &[Vec<u32>],
+    ready_at: &[Vec<&Program>],
+    row: &mut Vec<u32>,
+    depth: usize,
     ctx: &dyn EvalContext,
+    regs: &mut [u32],
     cutoff: usize,
 ) -> usize {
-    fn go(
-        outputs: &[&ccsql_relalg::ColumnDef],
-        i: usize,
-        env: &mut HashMap<Sym, Value>,
-        residuals: &[Expr],
-        ctx: &dyn EvalContext,
-        cutoff: usize,
-    ) -> usize {
-        // Prune: reduce every residual under the current partial
-        // assignment; any false kills the branch.
-        let lookup = |s: Sym| env.get(&s).copied();
-        let mut remaining: Vec<Expr> = Vec::new();
-        for r in residuals {
-            match r.reduce(&lookup, ctx) {
-                Expr::True => {}
-                Expr::False => return 0,
-                e => remaining.push(e),
-            }
-        }
-        if i == outputs.len() {
-            // All outputs assigned; any residual not reduced to a
-            // truth value cannot be decided — treat as unsatisfied.
-            return usize::from(remaining.is_empty());
-        }
-        let mut n = 0usize;
-        for v in &outputs[i].values {
-            env.insert(outputs[i].name, *v);
-            n += go(outputs, i + 1, env, &remaining, ctx, cutoff - n);
-            env.remove(&outputs[i].name);
-            if n >= cutoff {
-                break;
-            }
-        }
-        n
+    if depth == out_ids.len() {
+        return 1;
     }
-    let mut env = HashMap::new();
-    go(outputs, 0, &mut env, residuals, ctx, cutoff)
+    let mut n = 0usize;
+    for &id in &out_ids[depth] {
+        row.push(id);
+        let ok = ready_at[depth]
+            .iter()
+            .all(|p| matches!(p.eval_ids(row, ctx, regs), Ok(true)));
+        if ok {
+            n += count_completions(out_ids, ready_at, row, depth + 1, ctx, regs, cutoff - n);
+        }
+        row.pop();
+        if n >= cutoff {
+            break;
+        }
+    }
+    n
 }

@@ -24,6 +24,15 @@ use std::fmt;
 pub trait EvalContext {
     /// Membership test for named set `name`.
     fn set_contains(&self, name: Sym, v: Value) -> Result<bool>;
+
+    /// Enumerate the members of named set `name`, when this context can.
+    /// `None` (the default) means the set is opaque or undefined, and
+    /// callers must test membership through
+    /// [`EvalContext::set_contains`]. Contexts that can enumerate let
+    /// the bytecode compiler turn a set call into a precomputed bitset.
+    fn set_members(&self, _name: Sym) -> Option<Vec<Value>> {
+        None
+    }
 }
 
 /// An empty context: any named-set reference errors.
@@ -60,6 +69,10 @@ impl EvalContext for SetContext {
             .get(&name)
             .map(|s| s.contains(&v))
             .ok_or_else(|| Error::NoSuchSet(name.to_string()))
+    }
+
+    fn set_members(&self, name: Sym) -> Option<Vec<Value>> {
+        self.sets.get(&name).map(|s| s.iter().copied().collect())
     }
 }
 
@@ -479,7 +492,7 @@ impl fmt::Debug for Expr {
 
 /// An expression bound to a schema: column references are indices, and
 /// the ternary form has been desugared. Evaluation is allocation-free.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum BoundExpr {
     /// Column by index.
     Col(usize),

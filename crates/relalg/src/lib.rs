@@ -36,6 +36,8 @@
 //! assert_eq!(r.len(), 1);
 //! ```
 
+pub mod columnar;
+pub mod compile;
 pub mod error;
 pub mod expr;
 pub mod index;
@@ -51,13 +53,15 @@ pub mod value;
 
 mod engine;
 
+pub use columnar::ColumnarRelation;
+pub use compile::{compile_constraint, Program};
 pub use engine::{Database, NamedSet};
 pub use error::{Error, Result, Span};
 pub use expr::{BoundExpr, EvalContext, Expr};
 pub use parser::{parse_expr, parse_query, Query};
 pub use relation::{Relation, RowRef};
 pub use schema::Schema;
-pub use solver::{ColumnDef, GenMode, GenStats, GenStep, TableSpec};
+pub use solver::{ColumnDef, GenMode, GenOptions, GenStats, GenStep, TableSpec};
 pub use specfile::{parse_specfile, SpecFile, SpecMeta};
 pub use symbol::Sym;
 pub use value::Value;

@@ -29,7 +29,36 @@
 //! Incremental generation can be parallelised over row chunks with
 //! [`GenMode::IncrementalParallel`] (std scoped threads;
 //! deterministic output order).
+//!
+//! ## The compiled hot path
+//!
+//! By default the incremental modes run **compiled**: each column
+//! constraint is lowered once per `generate` call to a bytecode
+//! [`Program`] (see [`crate::compile`]) and the intermediate table is
+//! kept columnar as interned value ids ([`ColumnarRelation`]), so the
+//! per-candidate work is a tight register loop over `u32`s instead of a
+//! recursive `Expr` walk over freshly materialised `Vec<Value>` rows.
+//! Three properties make this safe:
+//!
+//! * **compile-once-per-generate** — every intermediate schema is a
+//!   *prefix* of the full schema, so column indices bound against the
+//!   full schema are valid in every step, and readiness gating (a
+//!   constraint runs only once all its referenced columns exist)
+//!   guarantees a program never loads a column past the current arity;
+//! * **identical filter semantics** — programs evaluate exactly like
+//!   [`BoundExpr::eval_bool`] (property-tested in `tests/bytecode.rs`),
+//!   and filters only ever *remove* candidates from the fixed
+//!   cross-product order, so the rows and their order are byte-identical
+//!   to the interpreted path at any thread count;
+//! * **identical accounting** — readiness is computed from the
+//!   *original* constraints on both paths, so `candidates`, `per_column`
+//!   and `steps` match too.
+//!
+//! The interpreter remains available via [`GenOptions`] `compile: false`
+//! (CLI `--no-compile`) as the differential-testing oracle.
 
+use crate::columnar::ColumnarRelation;
+use crate::compile::{compile_constraint, Program};
 use crate::error::{Error, Result};
 use crate::expr::{BoundExpr, EvalContext, Expr, SetContext};
 use crate::relation::Relation;
@@ -108,6 +137,38 @@ pub enum GenMode {
     },
 }
 
+/// Generation options: the strategy plus whether the incremental modes
+/// run compiled (bytecode + columnar, the default) or interpreted
+/// (tree-walking `BoundExpr` over `Value` rows — the differential
+/// oracle). Monolithic generation is always interpreted; it exists as a
+/// correctness baseline, not a fast path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GenOptions {
+    /// Generation strategy.
+    pub mode: GenMode,
+    /// Lower constraints to bytecode and evaluate columnar (default).
+    pub compile: bool,
+}
+
+impl From<GenMode> for GenOptions {
+    fn from(mode: GenMode) -> GenOptions {
+        GenOptions {
+            mode,
+            compile: true,
+        }
+    }
+}
+
+impl GenOptions {
+    /// The given mode with compilation disabled (the oracle path).
+    pub fn interpreted(mode: GenMode) -> GenOptions {
+        GenOptions {
+            mode,
+            compile: false,
+        }
+    }
+}
+
 /// Statistics from one generation run.
 #[derive(Clone, Debug)]
 pub struct GenStats {
@@ -123,6 +184,9 @@ pub struct GenStats {
     /// one entry per incremental extension step, a single entry for
     /// monolithic generation.
     pub steps: Vec<GenStep>,
+    /// Time spent lowering constraints to bytecode (zero when
+    /// interpreted).
+    pub compile: Duration,
     /// Wall-clock time.
     pub elapsed: Duration,
 }
@@ -159,6 +223,10 @@ fn record_gen_metrics(table: &str, stats: &GenStats) {
     reg.counter("solver.rows_pruned").add(pruned);
     reg.histogram("solver.generate_us")
         .record(stats.elapsed.as_micros() as u64);
+    if !stats.compile.is_zero() {
+        reg.histogram("solver.compile_us")
+            .record(stats.compile.as_micros() as u64);
+    }
     for s in &stats.steps {
         reg.histogram("solver.step_us")
             .record(s.elapsed.as_micros() as u64);
@@ -228,35 +296,37 @@ impl TableSpec {
                     self.name, c.name
                 )));
             }
-            for col in c.constraint.columns() {
-                // `Ident`s that are not columns are symbolic literals, so
-                // only explicit `Col` references can be validated hard;
-                // we check that at least the *syntactic* reference set
-                // doesn't name something that is neither column nor used
-                // as a literal. A full check happens at bind time.
-                let _ = col;
-            }
             // Bind eagerly to surface unknown explicit Col references.
+            // (`Ident`s that are not columns bind as symbolic literals.)
             c.constraint.bind(&schema)?;
         }
         Ok(())
     }
 
-    /// Generate the table. See [`GenMode`].
+    /// Generate the table. See [`GenMode`]; compiled evaluation is on.
     pub fn generate<C: EvalContext + Sync>(
         &self,
         mode: GenMode,
+        ctx: &C,
+    ) -> Result<(Relation, GenStats)> {
+        self.generate_with(mode.into(), ctx)
+    }
+
+    /// Generate the table with explicit [`GenOptions`].
+    pub fn generate_with<C: EvalContext + Sync>(
+        &self,
+        opts: GenOptions,
         ctx: &C,
     ) -> Result<(Relation, GenStats)> {
         self.validate()?;
         let start = Instant::now();
         let fspan = ccsql_obs::flight::span("solve", &self.name);
         let schema = Schema::from_syms(&self.column_names())?;
-        let result = match mode {
+        let result = match opts.mode {
             GenMode::Monolithic => self.generate_monolithic(&schema, ctx),
-            GenMode::Incremental => self.generate_incremental(&schema, ctx, 1),
+            GenMode::Incremental => self.generate_incremental(&schema, ctx, 1, opts.compile),
             GenMode::IncrementalParallel { threads } => {
-                self.generate_incremental(&schema, ctx, threads.max(1))
+                self.generate_incremental(&schema, ctx, threads.max(1), opts.compile)
             }
         };
         result.map(|(rel, mut stats)| {
@@ -322,22 +392,18 @@ impl TableSpec {
                 rows: out.len(),
                 elapsed: Duration::ZERO,
             }],
+            compile: Duration::ZERO,
             elapsed: Duration::ZERO,
         };
         Ok((out, stats))
     }
 
-    fn generate_incremental<C: EvalContext + Sync>(
-        &self,
-        full_schema: &Schema,
-        ctx: &C,
-        threads: usize,
-    ) -> Result<(Relation, GenStats)> {
-        let all_names = self.column_names();
-        // For each constraint, the set of referenced columns that are
-        // actually columns of this table (Idents may be literals).
-        let deps: Vec<Vec<usize>> = self
-            .columns
+    /// Referenced-column indices per constraint, computed from the
+    /// *original* expressions (shared by the compiled and interpreted
+    /// paths so readiness — and therefore candidate accounting — is
+    /// identical on both).
+    fn constraint_deps(&self, full_schema: &Schema) -> Vec<Vec<usize>> {
+        self.columns
             .iter()
             .map(|c| {
                 c.constraint
@@ -346,7 +412,163 @@ impl TableSpec {
                     .filter_map(|n| full_schema.index_of(n))
                     .collect()
             })
+            .collect()
+    }
+
+    fn generate_incremental<C: EvalContext + Sync>(
+        &self,
+        full_schema: &Schema,
+        ctx: &C,
+        threads: usize,
+        compile: bool,
+    ) -> Result<(Relation, GenStats)> {
+        if compile {
+            self.generate_incremental_compiled(full_schema, ctx, threads)
+        } else {
+            self.generate_incremental_interp(full_schema, ctx, threads)
+        }
+    }
+
+    /// The compiled incremental path: constraints lowered once to
+    /// bytecode against the full schema (valid at every step because
+    /// intermediate schemas are prefixes), intermediate table held
+    /// columnar as value ids, decoded to a row-major [`Relation`] once
+    /// at the end.
+    fn generate_incremental_compiled<C: EvalContext + Sync>(
+        &self,
+        full_schema: &Schema,
+        ctx: &C,
+        threads: usize,
+    ) -> Result<(Relation, GenStats)> {
+        let all_names = self.column_names();
+        let deps = self.constraint_deps(full_schema);
+
+        let compile_start = Instant::now();
+        let programs: Vec<Program> = {
+            let _cspan = ccsql_obs::flight::span("solve", "compile");
+            self.columns
+                .iter()
+                .map(|c| compile_constraint(&c.constraint, full_schema, ctx))
+                .collect::<Result<_>>()?
+        };
+        let compile_time = compile_start.elapsed();
+        if ccsql_obs::enabled() {
+            ccsql_obs::global()
+                .counter("solver.programs_compiled")
+                .add(programs.len() as u64);
+        }
+
+        // Constant-true programs (unconstrained columns after folding)
+        // filter nothing; skipping them lets fully unconstrained
+        // extension steps take a bulk cross-product path with no
+        // evaluation at all.
+        let active = |ready: &[usize]| -> Vec<&Program> {
+            ready
+                .iter()
+                .map(|&ci| &programs[ci])
+                .filter(|p| p.const_result() != Some(true))
+                .collect()
+        };
+
+        let mut applied = vec![false; self.columns.len()];
+        let mut per_column = Vec::with_capacity(self.columns.len());
+        let mut steps = Vec::with_capacity(self.columns.len());
+        let mut candidates: u64 = 0;
+
+        // Seed: the first column's table, filtered by any constraint
+        // that only mentions it (or nothing).
+        let step_start = Instant::now();
+        let mut cur = ColumnarRelation::new(Schema::from_syms(&all_names[..1])?);
+        cur.col_mut(0)
+            .extend(self.columns[0].values.iter().map(|v| v.vid()));
+        let step_cands = cur.len() as u64;
+        candidates += step_cands;
+        let ready: Vec<usize> = (0..self.columns.len())
+            .filter(|&ci| !applied[ci] && deps[ci].iter().all(|&d| d < 1))
             .collect();
+        let progs = active(&ready);
+        if !progs.is_empty() {
+            cur = filter_ids(&cur, &progs, ctx, threads)?;
+        }
+        for &ci in &ready {
+            applied[ci] = true;
+        }
+        per_column.push((self.columns[0].name, cur.len()));
+        steps.push(GenStep {
+            column: self.columns[0].name,
+            candidates: step_cands,
+            rows: cur.len(),
+            elapsed: step_start.elapsed(),
+        });
+
+        for k in 1..self.columns.len() {
+            let step_start = Instant::now();
+            let col_span = ccsql_obs::flight::span("solve", self.columns[k].name.as_str());
+            let sub_schema = Schema::from_syms(&all_names[..=k])?;
+            // Constraints that become checkable once column k exists.
+            let ready: Vec<usize> = (0..self.columns.len())
+                .filter(|&ci| !applied[ci] && deps[ci].iter().all(|&d| d <= k))
+                .collect();
+            let progs = active(&ready);
+            for &ci in &ready {
+                applied[ci] = true;
+            }
+
+            let ext_ids: Vec<u32> = self.columns[k].values.iter().map(|v| v.vid()).collect();
+            let step_cands = cur.len() as u64 * ext_ids.len() as u64;
+            candidates += step_cands;
+            cur = extend_filter_ids(&cur, sub_schema, &ext_ids, &progs, ctx, threads)?;
+            col_span.arg("candidates", step_cands);
+            col_span.arg("rows", cur.len());
+            per_column.push((self.columns[k].name, cur.len()));
+            steps.push(GenStep {
+                column: self.columns[k].name,
+                candidates: step_cands,
+                rows: cur.len(),
+                elapsed: step_start.elapsed(),
+            });
+        }
+
+        // Any constraint not yet applied (e.g. one whose dependencies are
+        // all early columns but was registered late) — apply now.
+        let pending: Vec<usize> = (0..self.columns.len()).filter(|&i| !applied[i]).collect();
+        if !pending.is_empty() {
+            let progs = active(&pending);
+            if !progs.is_empty() {
+                cur = filter_ids(&cur, &progs, ctx, threads)?;
+            }
+        }
+
+        let stats = GenStats {
+            candidates,
+            rows: 0,
+            columns: 0,
+            per_column,
+            steps,
+            compile: compile_time,
+            elapsed: Duration::ZERO,
+        };
+        Ok((cur.to_relation(), stats))
+    }
+
+    /// The interpreted incremental path (the differential oracle).
+    /// Constraints are bound **once** against the full schema — valid in
+    /// every step because intermediate schemas are prefixes of it — and
+    /// each step evaluates its ready set as a short-circuit conjunction,
+    /// instead of the old per-step `Expr::all(…clone())` rebuild+rebind.
+    fn generate_incremental_interp<C: EvalContext + Sync>(
+        &self,
+        full_schema: &Schema,
+        ctx: &C,
+        threads: usize,
+    ) -> Result<(Relation, GenStats)> {
+        let all_names = self.column_names();
+        let deps = self.constraint_deps(full_schema);
+        let bounds: Vec<BoundExpr> = self
+            .columns
+            .iter()
+            .map(|c| c.constraint.bind(full_schema))
+            .collect::<Result<_>>()?;
 
         let mut applied = vec![false; self.columns.len()];
         let mut per_column = Vec::with_capacity(self.columns.len());
@@ -362,7 +584,16 @@ impl TableSpec {
         }
         let step_cands = current.len() as u64;
         candidates += step_cands;
-        current = self.apply_ready_constraints(current, 1, &deps, &mut applied, ctx, threads)?;
+        let ready: Vec<usize> = (0..self.columns.len())
+            .filter(|&ci| !applied[ci] && deps[ci].iter().all(|&d| d < 1))
+            .collect();
+        if !ready.is_empty() {
+            let preds: Vec<&BoundExpr> = ready.iter().map(|&ci| &bounds[ci]).collect();
+            current = filter_rows(&current, &preds, ctx, threads)?;
+        }
+        for &ci in &ready {
+            applied[ci] = true;
+        }
         per_column.push((self.columns[0].name, current.len()));
         steps.push(GenStep {
             column: self.columns[0].name,
@@ -379,8 +610,7 @@ impl TableSpec {
             let ready: Vec<usize> = (0..self.columns.len())
                 .filter(|&ci| !applied[ci] && deps[ci].iter().all(|&d| d <= k))
                 .collect();
-            let conj = Expr::all(ready.iter().map(|&ci| self.columns[ci].constraint.clone()));
-            let bound = conj.bind(&sub_schema)?;
+            let preds: Vec<&BoundExpr> = ready.iter().map(|&ci| &bounds[ci]).collect();
             for &ci in &ready {
                 applied[ci] = true;
             }
@@ -388,7 +618,7 @@ impl TableSpec {
             let vals = &self.columns[k].values;
             let step_cands = current.len() as u64 * vals.len() as u64;
             candidates += step_cands;
-            current = extend_filter(&current, &sub_schema, vals, &bound, ctx, threads)?;
+            current = extend_filter(&current, &sub_schema, vals, &preds, ctx, threads)?;
             col_span.arg("candidates", step_cands);
             col_span.arg("rows", current.len());
             per_column.push((self.columns[k].name, current.len()));
@@ -404,13 +634,8 @@ impl TableSpec {
         // all early columns but was registered late) — apply now.
         let pending: Vec<usize> = (0..self.columns.len()).filter(|&i| !applied[i]).collect();
         if !pending.is_empty() {
-            let conj = Expr::all(
-                pending
-                    .iter()
-                    .map(|&ci| self.columns[ci].constraint.clone()),
-            );
-            let bound = conj.bind(full_schema)?;
-            current = filter_rows(&current, &bound, ctx, threads)?;
+            let preds: Vec<&BoundExpr> = pending.iter().map(|&ci| &bounds[ci]).collect();
+            current = filter_rows(&current, &preds, ctx, threads)?;
         }
 
         let stats = GenStats {
@@ -419,32 +644,10 @@ impl TableSpec {
             columns: 0,
             per_column,
             steps,
+            compile: Duration::ZERO,
             elapsed: Duration::ZERO,
         };
         Ok((current, stats))
-    }
-
-    fn apply_ready_constraints<C: EvalContext + Sync>(
-        &self,
-        current: Relation,
-        present: usize,
-        deps: &[Vec<usize>],
-        applied: &mut [bool],
-        ctx: &C,
-        threads: usize,
-    ) -> Result<Relation> {
-        let ready: Vec<usize> = (0..self.columns.len())
-            .filter(|&ci| !applied[ci] && deps[ci].iter().all(|&d| d < present))
-            .collect();
-        if ready.is_empty() {
-            return Ok(current);
-        }
-        let conj = Expr::all(ready.iter().map(|&ci| self.columns[ci].constraint.clone()));
-        let bound = conj.bind(current.schema())?;
-        for &ci in &ready {
-            applied[ci] = true;
-        }
-        filter_rows(&current, &bound, ctx, threads)
     }
 }
 
@@ -453,13 +656,173 @@ impl TableSpec {
 /// depend bench once recorded) and the loop runs inline instead.
 const PAR_MIN_ROWS_PER_WORKER: usize = 4096;
 
+/// Split `0..n` into per-worker chunks and run `f` on each, inline when
+/// the input is too small to amortise thread spawn. Results come back
+/// in chunk order, so callers that concatenate them get output
+/// independent of the worker count.
+fn par_chunks<R: Send>(
+    n: usize,
+    threads: usize,
+    f: &(impl Fn(std::ops::Range<usize>) -> R + Sync),
+) -> Vec<R> {
+    let workers = threads.max(1).min(n / PAR_MIN_ROWS_PER_WORKER).max(1);
+    if workers <= 1 {
+        return vec![f(0..n)];
+    }
+    let chunk = n.div_ceil(workers);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|t| {
+                // Clamp the start too: with ceil-division the trailing
+                // worker's nominal start can exceed `n`; it must get an
+                // empty range, never an out-of-bounds one.
+                let lo = (t * chunk).min(n);
+                let hi = ((t + 1) * chunk).min(n);
+                s.spawn(move || f(lo..hi))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("solver worker panicked"))
+            .collect()
+    })
+}
+
+/// Evaluate every program against one candidate, short-circuiting like
+/// the conjunction the interpreter folds.
+#[inline]
+fn progs_pass(
+    progs: &[&Program],
+    col: impl Fn(usize) -> u32 + Copy,
+    ctx: &dyn EvalContext,
+    regs: &mut [u32],
+) -> Result<bool> {
+    for p in progs {
+        if !p.eval_cols(col, ctx, regs)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+fn scratch_regs(progs: &[&Program]) -> Vec<u32> {
+    vec![0u32; progs.iter().map(|p| p.num_regs()).max().unwrap_or(1)]
+}
+
+/// Extend every row of `cur` with every id in `ext_ids`, keeping the
+/// candidates every program accepts. Two-phase: workers record
+/// surviving `(row, extension)` pairs over their chunk, then the new
+/// columns are gathered column-at-a-time — sequential reads and writes,
+/// no per-candidate row materialisation. With no programs the result is
+/// the pure cross product, built by bulk repetition.
+fn extend_filter_ids<C: EvalContext + Sync>(
+    cur: &ColumnarRelation,
+    out_schema: Schema,
+    ext_ids: &[u32],
+    progs: &[&Program],
+    ctx: &C,
+    threads: usize,
+) -> Result<ColumnarRelation> {
+    let arity = cur.arity();
+    let n = cur.len();
+    let m = ext_ids.len();
+    let mut out = ColumnarRelation::new(out_schema);
+
+    if progs.is_empty() {
+        // Unconstrained step: cross product with no evaluation.
+        for c in 0..arity {
+            let src = cur.col(c);
+            let dst = out.col_mut(c);
+            dst.reserve(n * m);
+            for &id in src {
+                dst.extend(std::iter::repeat_n(id, m));
+            }
+        }
+        let dst = out.col_mut(arity);
+        dst.reserve(n * m);
+        for _ in 0..n {
+            dst.extend_from_slice(ext_ids);
+        }
+        return Ok(out);
+    }
+
+    let run_chunk = |rows: std::ops::Range<usize>| -> Result<Vec<(u32, u32)>> {
+        let mut keep: Vec<(u32, u32)> = Vec::new();
+        let mut regs = scratch_regs(progs);
+        for i in rows {
+            for &v in ext_ids {
+                let col = |c: usize| if c < arity { cur.col(c)[i] } else { v };
+                if progs_pass(progs, col, ctx, &mut regs)? {
+                    keep.push((i as u32, v));
+                }
+            }
+        }
+        Ok(keep)
+    };
+
+    let mut survivors: Vec<(u32, u32)> = Vec::new();
+    for r in par_chunks(n, threads, &run_chunk) {
+        survivors.extend(r?);
+    }
+    for c in 0..arity {
+        let src = cur.col(c);
+        out.col_mut(c)
+            .extend(survivors.iter().map(|&(r, _)| src[r as usize]));
+    }
+    out.col_mut(arity).extend(survivors.iter().map(|&(_, v)| v));
+    Ok(out)
+}
+
+/// Keep the rows of `cur` every program accepts (columnar id path).
+fn filter_ids<C: EvalContext + Sync>(
+    cur: &ColumnarRelation,
+    progs: &[&Program],
+    ctx: &C,
+    threads: usize,
+) -> Result<ColumnarRelation> {
+    let n = cur.len();
+    let run_chunk = |rows: std::ops::Range<usize>| -> Result<Vec<u32>> {
+        let mut keep: Vec<u32> = Vec::new();
+        let mut regs = scratch_regs(progs);
+        for i in rows {
+            let col = |c: usize| cur.col(c)[i];
+            if progs_pass(progs, col, ctx, &mut regs)? {
+                keep.push(i as u32);
+            }
+        }
+        Ok(keep)
+    };
+    let mut survivors: Vec<u32> = Vec::new();
+    for r in par_chunks(n, threads, &run_chunk) {
+        survivors.extend(r?);
+    }
+    let mut out = ColumnarRelation::new(cur.schema().clone());
+    for c in 0..cur.arity() {
+        let src = cur.col(c);
+        out.col_mut(c)
+            .extend(survivors.iter().map(|&r| src[r as usize]));
+    }
+    Ok(out)
+}
+
+/// Evaluate the bound predicates as a short-circuit conjunction.
+#[inline]
+fn preds_pass(preds: &[&BoundExpr], row: &[Value], ctx: &dyn EvalContext) -> Result<bool> {
+    for p in preds {
+        if !p.eval_bool(row, ctx)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
 /// Extend every row of `current` with every value in `vals`, keeping the
-/// candidates that satisfy `pred` (bound against `current ++ new column`).
+/// candidates satisfying every predicate (interpreted oracle path).
 fn extend_filter<C: EvalContext + Sync>(
     current: &Relation,
     out_schema: &Schema,
     vals: &[Value],
-    pred: &BoundExpr,
+    preds: &[&BoundExpr],
     ctx: &C,
     threads: usize,
 ) -> Result<Relation> {
@@ -472,7 +835,7 @@ fn extend_filter<C: EvalContext + Sync>(
             cand[..arity].copy_from_slice(r);
             for &v in vals {
                 cand[arity] = v;
-                if pred.eval_bool(&cand, ctx)? {
+                if preds_pass(preds, &cand, ctx)? {
                     data.extend_from_slice(&cand);
                 }
             }
@@ -482,37 +845,7 @@ fn extend_filter<C: EvalContext + Sync>(
 
     let n = current.len();
     let mut out = Relation::new(out_schema.clone());
-    // Spawn-cost guard: give each worker at least PAR_MIN_ROWS_PER_WORKER
-    // rows, degrading to fewer workers (or an inline run) on small
-    // inputs. The chunk-order merge keeps the output identical either way.
-    let workers = threads.max(1).min(n / PAR_MIN_ROWS_PER_WORKER).max(1);
-    if workers <= 1 {
-        let data = run_chunk(0..n)?;
-        for chunk in data.chunks_exact(arity + 1) {
-            out.push_row_unchecked(chunk);
-        }
-        return Ok(out);
-    }
-
-    let chunk = n.div_ceil(workers);
-    let results: Vec<Result<Vec<Value>>> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|t| {
-                // Clamp the start too: with ceil-division the trailing
-                // worker's nominal start can exceed `n`; it must get an
-                // empty range, never an out-of-bounds one.
-                let lo = (t * chunk).min(n);
-                let hi = ((t + 1) * chunk).min(n);
-                let run = &run_chunk;
-                s.spawn(move || run(lo..hi))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("solver worker panicked"))
-            .collect()
-    });
-    for r in results {
+    for r in par_chunks(n, threads, &run_chunk) {
         let data = r?;
         for chunk in data.chunks_exact(arity + 1) {
             out.push_row_unchecked(chunk);
@@ -521,10 +854,11 @@ fn extend_filter<C: EvalContext + Sync>(
     Ok(out)
 }
 
-/// Keep the rows of `rel` satisfying `pred` (parallel when large).
+/// Keep the rows of `rel` satisfying every predicate (parallel when
+/// large; interpreted oracle path).
 fn filter_rows<C: EvalContext + Sync>(
     rel: &Relation,
-    pred: &BoundExpr,
+    preds: &[&BoundExpr],
     ctx: &C,
     threads: usize,
 ) -> Result<Relation> {
@@ -534,37 +868,14 @@ fn filter_rows<C: EvalContext + Sync>(
         let mut data = Vec::new();
         for i in rows {
             let r = rel.row(i);
-            if pred.eval_bool(r, ctx)? {
+            if preds_pass(preds, r, ctx)? {
                 data.extend_from_slice(r);
             }
         }
         Ok(data)
     };
     let mut out = Relation::new(rel.schema().clone());
-    let workers = threads.max(1).min(n / PAR_MIN_ROWS_PER_WORKER).max(1);
-    if workers <= 1 {
-        let data = run_chunk(0..n)?;
-        for chunk in data.chunks_exact(arity.max(1)) {
-            out.push_row_unchecked(chunk);
-        }
-        return Ok(out);
-    }
-    let chunk = n.div_ceil(workers);
-    let results: Vec<Result<Vec<Value>>> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|t| {
-                let lo = (t * chunk).min(n);
-                let hi = ((t + 1) * chunk).min(n);
-                let run = &run_chunk;
-                s.spawn(move || run(lo..hi))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("solver worker panicked"))
-            .collect()
-    });
-    for r in results {
+    for r in par_chunks(n, threads, &run_chunk) {
         let data = r?;
         for chunk in data.chunks_exact(arity.max(1)) {
             out.push_row_unchecked(chunk);
@@ -672,6 +983,30 @@ mod tests {
             .unwrap();
         // Same rows, same order (chunks concatenated in order).
         assert!(seq.set_eq(&par));
+    }
+
+    #[test]
+    fn compiled_equals_interpreted_byte_for_byte() {
+        let spec = mini_spec();
+        let ctx = SetContext::new();
+        for mode in [
+            GenMode::Incremental,
+            GenMode::IncrementalParallel { threads: 4 },
+        ] {
+            let (compiled, cs) = spec.generate_with(mode.into(), &ctx).unwrap();
+            let (interp, is) = spec
+                .generate_with(GenOptions::interpreted(mode), &ctx)
+                .unwrap();
+            assert_eq!(compiled.len(), interp.len());
+            for (a, b) in compiled.rows().zip(interp.rows()) {
+                assert_eq!(a, b, "row mismatch under {mode:?}");
+            }
+            // Accounting must match too: readiness is computed from the
+            // original constraints on both paths.
+            assert_eq!(cs.candidates, is.candidates);
+            assert_eq!(cs.per_column, is.per_column);
+            assert_eq!(is.compile, Duration::ZERO);
+        }
     }
 
     #[test]

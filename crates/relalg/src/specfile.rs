@@ -283,9 +283,22 @@ fn parse_value(tok: &str) -> Result<Value> {
 /// against the result. Returns the generated relation and any failing
 /// checks with their witness relations.
 pub fn solve_specfile(sf: &SpecFile) -> Result<(crate::Relation, Vec<(String, crate::Relation)>)> {
+    solve_specfile_with(sf, true)
+}
+
+/// [`solve_specfile`] with compiled constraint evaluation switchable —
+/// `compile: false` is the interpreted oracle behind `--no-compile`.
+pub fn solve_specfile_with(
+    sf: &SpecFile,
+    compile: bool,
+) -> Result<(crate::Relation, Vec<(String, crate::Relation)>)> {
+    let opts = crate::GenOptions {
+        mode: crate::GenMode::Incremental,
+        compile,
+    };
     let (rel, _) = sf
         .spec
-        .generate(crate::GenMode::Incremental, &crate::expr::SetContext::new())?;
+        .generate_with(opts, &crate::expr::SetContext::new())?;
     let mut db = crate::Database::new();
     db.put_table(&sf.spec.name, rel.clone());
     let mut failures = Vec::new();

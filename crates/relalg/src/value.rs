@@ -1,7 +1,23 @@
-//! The value domain of the engine.
+//! The value domain of the engine, plus the process-global **value-id
+//! pool** the compiled constraint path runs on.
+//!
+//! [`Value`] is 16 bytes and `Copy`; the interpreted evaluator works on
+//! rows of `Value`s directly. The bytecode engine
+//! ([`crate::compile::Program`]) instead works on dense `u32` value ids:
+//! every distinct `Value` is interned once into a global pool (mirroring
+//! the [`Sym`] string interner) and compared, hashed and stored as a
+//! single word. Interning is injective, so id equality is value
+//! equality — exactly the semantics of the interpreter's `=`/`!=`,
+//! including `NULL = NULL` being true.
+//!
+//! `Bool(false)`, `Bool(true)` and `Null` are interned eagerly, giving
+//! the bytecode engine stable ids ([`FALSE_VID`], [`TRUE_VID`],
+//! [`NULL_VID`]) for its boolean results and jump tests.
 
 use crate::symbol::Sym;
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::{OnceLock, RwLock};
 
 /// A single cell value.
 ///
@@ -27,10 +43,68 @@ pub enum Value {
     Sym(Sym),
 }
 
+/// Value id of `Value::Bool(false)` in the global pool (seeded first).
+pub const FALSE_VID: u32 = 0;
+/// Value id of `Value::Bool(true)` in the global pool (seeded second).
+pub const TRUE_VID: u32 = 1;
+/// Value id of `Value::Null` in the global pool (seeded third).
+pub const NULL_VID: u32 = 2;
+
+struct VidPool {
+    map: HashMap<Value, u32>,
+    values: Vec<Value>,
+}
+
+fn vid_pool() -> &'static RwLock<VidPool> {
+    static POOL: OnceLock<RwLock<VidPool>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        // Seed order fixes FALSE_VID/TRUE_VID/NULL_VID.
+        let values = vec![Value::Bool(false), Value::Bool(true), Value::Null];
+        let map = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u32))
+            .collect();
+        RwLock::new(VidPool { map, values })
+    })
+}
+
+/// Snapshot of the global id→value decode table (index by id). Ids
+/// interned after the snapshot are absent; take it after interning the
+/// values you need to decode.
+pub fn vid_decode_table() -> Vec<Value> {
+    vid_pool().read().unwrap().values.clone()
+}
+
 impl Value {
     /// Shorthand for `Value::Sym(Sym::intern(s))`.
     pub fn sym(s: &str) -> Value {
         Value::Sym(Sym::intern(s))
+    }
+
+    /// Intern into the global value pool, returning this value's dense
+    /// id. Idempotent; id equality is value equality.
+    pub fn vid(self) -> u32 {
+        {
+            let g = vid_pool().read().unwrap();
+            if let Some(&id) = g.map.get(&self) {
+                return id;
+            }
+        }
+        let mut g = vid_pool().write().unwrap();
+        if let Some(&id) = g.map.get(&self) {
+            return id;
+        }
+        let id = g.values.len() as u32;
+        g.values.push(self);
+        g.map.insert(self, id);
+        id
+    }
+
+    /// Decode a pool id back to its value. Panics on an id that was
+    /// never returned by [`Value::vid`].
+    pub fn from_vid(id: u32) -> Value {
+        vid_pool().read().unwrap().values[id as usize]
     }
 
     /// True iff this is the `NULL` marker.
@@ -151,6 +225,23 @@ mod tests {
         assert_eq!(Value::Null.as_int(), None);
         assert_eq!(Value::Null.as_sym(), None);
         assert_eq!(Value::Int(1).as_bool(), None);
+    }
+
+    #[test]
+    fn vid_interning_is_injective_and_stable() {
+        assert_eq!(Value::Bool(false).vid(), FALSE_VID);
+        assert_eq!(Value::Bool(true).vid(), TRUE_VID);
+        assert_eq!(Value::Null.vid(), NULL_VID);
+        let a = Value::sym("vid-test-a").vid();
+        let b = Value::sym("vid-test-b").vid();
+        assert_ne!(a, b);
+        assert_eq!(a, Value::sym("vid-test-a").vid());
+        assert_eq!(Value::from_vid(a), Value::sym("vid-test-a"));
+        assert_eq!(Value::from_vid(NULL_VID), Value::Null);
+        let table = vid_decode_table();
+        assert_eq!(table[a as usize], Value::sym("vid-test-a"));
+        assert_eq!(Value::Int(-3).vid(), Value::Int(-3).vid());
+        assert_ne!(Value::Int(0).vid(), Value::sym("0").vid());
     }
 
     #[test]

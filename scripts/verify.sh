@@ -52,6 +52,43 @@ if [ "$SYM_STATES" -ge "$FULL_STATES" ]; then
     exit 1
 fi
 
+# The compiled solver must beat its own interpreted oracle (measured in
+# the same bench run, both single-threaded), and the parallel leg must
+# clear a 1.2x speedup wherever the host actually has >1 core.
+SOLVER_JSON=$(sed -n 's/.*"solver":{\(.*\)}}.*/\1/p' "$BENCH_DIR/BENCH_depend.json")
+RPS=$(printf '%s' "$SOLVER_JSON" | sed -n 's/.*"rows_per_sec_1t":\([0-9.]*\).*/\1/p')
+IRPS=$(printf '%s' "$SOLVER_JSON" | sed -n 's/.*"interp_rows_per_sec":\([0-9.]*\).*/\1/p')
+SPEEDUP=$(printf '%s' "$SOLVER_JSON" | sed -n 's/.*"speedup":\([0-9.]*\).*/\1/p')
+HW=$(sed -n 's/.*"hardware_threads":\([0-9]*\).*/\1/p' "$BENCH_DIR/BENCH_depend.json")
+awk -v c="$RPS" -v i="$IRPS" 'BEGIN { exit !(c > i) }' || {
+    echo "compiled solver ($RPS rows/s) does not beat interpreted ($IRPS rows/s)" >&2
+    exit 1
+}
+if [ "$HW" -gt 1 ]; then
+    awk -v s="$SPEEDUP" 'BEGIN { exit !(s > 1.2) }' || {
+        echo "solver parallel speedup $SPEEDUP <= 1.2 on a $HW-thread host" >&2
+        exit 1
+    }
+fi
+
+echo "==> solver differential oracle (compiled vs --no-compile, byte-for-byte, every spec)"
+for spec in specs/*.ccsql; do
+    rc_c=0
+    rc_i=0
+    cargo run --quiet --release -p ccsql-cli -- solve "$spec" --no-lint \
+        > "$BENCH_DIR/solve_c.txt" || rc_c=$?
+    cargo run --quiet --release -p ccsql-cli -- solve "$spec" --no-lint --no-compile \
+        > "$BENCH_DIR/solve_i.txt" || rc_i=$?
+    if [ "$rc_c" -ne "$rc_i" ]; then
+        echo "solve exit codes differ for $spec (compiled=$rc_c interpreted=$rc_i)" >&2
+        exit 1
+    fi
+    diff "$BENCH_DIR/solve_c.txt" "$BENCH_DIR/solve_i.txt" || {
+        echo "compiled and interpreted solves differ for $spec" >&2
+        exit 1
+    }
+done
+
 echo "==> ccsql fuzz --quick (chaos smoke: clean audit, live fault path, determinism)"
 cargo run --quiet --release -p ccsql-cli -- fuzz --quick --seed 1 \
     > "$BENCH_DIR/fuzz1.txt"
