@@ -68,6 +68,8 @@ USAGE:
     ccsql gen      [--table NAME] [--format ascii|csv|md] [--stats]
     ccsql check    [--liveness]
     ccsql deadlock [--assignment v0|v1|v2] [--exact-only] [--closure] [--threads N]
+                   [--json] [--no-flows]
+    ccsql flows    FILE.ccsql | --protocol  [--assignment v0|v1|v2] [--json] [--dot]
     ccsql map      [--emit verilog|rust] [--table NAME]
     ccsql sim      [--seed N] [--quads N] [--nodes N] [--ops N] [--shared-vc4]
                    [--chaos] [--fault-seed N] [--faults drop=R,dup=R,delay=R,reorder=R]
@@ -261,6 +263,7 @@ fn dispatch(args: &[String]) -> Result<String, String> {
         "gen" => cmd_gen(&opts),
         "check" => cmd_check(&opts),
         "deadlock" => cmd_deadlock(&opts),
+        "flows" => cmd_flows(&opts),
         "map" => cmd_map(&opts),
         "sim" => cmd_sim(&opts),
         "fuzz" => cmd_fuzz(&opts),
@@ -360,14 +363,18 @@ fn cmd_check(opts: &Opts) -> Result<String, String> {
     }
 }
 
+fn parse_assignment(opts: &Opts) -> Result<VcAssignment, String> {
+    match opts.value("--assignment").unwrap_or("v1") {
+        "v0" | "V0" => Ok(VcAssignment::v0()),
+        "v1" | "V1" => Ok(VcAssignment::v1()),
+        "v2" | "V2" => Ok(VcAssignment::v2()),
+        other => Err(format!("unknown assignment {other:?} (v0|v1|v2)")),
+    }
+}
+
 fn cmd_deadlock(opts: &Opts) -> Result<String, String> {
     let gen = generate()?;
-    let v = match opts.value("--assignment").unwrap_or("v1") {
-        "v0" | "V0" => VcAssignment::v0(),
-        "v1" | "V1" => VcAssignment::v1(),
-        "v2" | "V2" => VcAssignment::v2(),
-        other => return Err(format!("unknown assignment {other:?} (v0|v1|v2)")),
-    };
+    let v = parse_assignment(opts)?;
     let mut cfg = if opts.flag("--exact-only") {
         AnalysisConfig::exact_only()
     } else {
@@ -377,13 +384,117 @@ fn cmd_deadlock(opts: &Opts) -> Result<String, String> {
     cfg.threads = opts.num("--threads", default_threads() as u64)? as usize;
     let deps = protocol_dependency_table(&gen, &v, &cfg).map_err(|e| e.to_string())?;
     let rep = deadlock_report(&gen, v.name, &deps);
-    let rendered = rep.render();
+    // Parameterized flow pre-pass (skip with --no-flows): the symbolic
+    // verdict is printed first and cross-checked against the concrete
+    // one — a disagreement is a tool bug worth failing loudly on.
+    let flows = if opts.flag("--no-flows") {
+        None
+    } else {
+        Some(ccsql_lint::flows::analyze_protocol(&gen, &v)?)
+    };
+    if let Some(f) = &flows {
+        if f.deadlock_free_all_n() != rep.cycles.is_empty() {
+            return Err(format!(
+                "flow analysis disagrees with the concrete VCG: parameterized \
+                 deadlock-free={} but {} concrete cycle(s); {} row(s) without \
+                 flow cover may explain the gap (rerun `ccsql flows --protocol \
+                 --assignment {}` for details)",
+                f.deadlock_free_all_n(),
+                rep.cycles.len(),
+                f.uncovered.len(),
+                v.name,
+            ));
+        }
+    }
+    if opts.flag("--json") {
+        let mut json = rep.render_json(&deps);
+        if let Some(f) = &flows {
+            // Graft the flows object into the deadlock object so the
+            // output stays one canonical JSON value.
+            let flows_json = f.render_json();
+            json.truncate(json.trim_end().len() - 1); // drop "}\n"
+            json.push_str(",\"flows\":");
+            json.push_str(flows_json.trim_end());
+            json.push_str("}\n");
+        }
+        return if rep.cycles.is_empty() {
+            Ok(json)
+        } else {
+            Err(json)
+        };
+    }
+    let mut rendered = String::new();
+    if let Some(f) = &flows {
+        let verdict = if f.deadlock_free_all_n() {
+            "deadlock-free for every node count".to_string()
+        } else {
+            let n = f
+                .cycles
+                .iter()
+                .filter(|c| c.corroborated)
+                .map(|c| c.cycle.min_nodes)
+                .min()
+                .unwrap_or(2);
+            format!("parameterized wait-cycle closes at every N>={n}")
+        };
+        writeln!(
+            rendered,
+            "flow pre-pass: {} flow(s), {} uncovered row(s); {verdict}",
+            f.extraction.flows.len(),
+            f.uncovered.len(),
+        )
+        .unwrap();
+    }
+    rendered.push_str(&rep.render());
     if rep.cycles.is_empty() {
         Ok(rendered)
     } else {
         // Cycles found: report on stderr-style error path so scripts can
         // gate on the exit code, but still carry the full narrative.
         Err(rendered)
+    }
+}
+
+/// `ccsql flows` — parameterized deadlock-freedom via message-flow
+/// composition (Sethi/Talupur/Malik style): extract per-transaction
+/// flows from the solved tables, build the flow waits-for graph, and
+/// decide wait-cycle freedom symbolically in the node count.
+fn cmd_flows(opts: &Opts) -> Result<String, String> {
+    let v = parse_assignment(opts)?;
+    let analysis = if opts.flag("--protocol") {
+        let gen = generate()?;
+        ccsql_lint::flows::analyze_protocol(&gen, &v)?
+    } else {
+        let path = positional(opts, &["--assignment"])
+            .first()
+            .copied()
+            .ok_or_else(|| "flows expects a .ccsql spec file (or --protocol)".to_string())?;
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let sf =
+            ccsql_relalg::specfile::parse_specfile(&text).map_err(|e| format!("{path}: {e}"))?;
+        ccsql_lint::flows::analyze_specfile(&sf, &v)?
+    };
+    let mut report = ccsql_lint::LintReport::new();
+    analysis.lint(&mut report);
+    report.finish();
+    let out = if opts.flag("--json") {
+        analysis.render_json()
+    } else if opts.flag("--dot") {
+        analysis.render_dot()
+    } else {
+        let mut s = analysis.render_human();
+        if !report.diagnostics().is_empty() {
+            s.push_str(&report.render_human());
+        }
+        s
+    };
+    // Exit status reflects the deadlock verdict (CCL031). Coverage
+    // warnings (CCL030) and unrealisable cycles (CCL032) are advisory
+    // here — `ccsql lint` remains the boundary-hygiene gate.
+    if analysis.deadlock_free_all_n() {
+        Ok(out)
+    } else {
+        Err(out)
     }
 }
 
@@ -1619,12 +1730,7 @@ fn positional<'a>(opts: &Opts<'a>, value_flags: &[&str]) -> Vec<&'a str> {
 
 fn cmd_lint(opts: &Opts) -> Result<String, String> {
     let report = if opts.flag("--protocol") {
-        let v = match opts.value("--assignment").unwrap_or("v1") {
-            "v0" | "V0" => VcAssignment::v0(),
-            "v1" | "V1" => VcAssignment::v1(),
-            "v2" | "V2" => VcAssignment::v2(),
-            other => return Err(format!("unknown assignment {other:?} (v0|v1|v2)")),
-        };
+        let v = parse_assignment(opts)?;
         ccsql_lint::lint_protocol(&ccsql_protocol::ProtocolSpec::asura(), &v)
     } else {
         let paths = positional(opts, &["--assignment"]);
@@ -2004,6 +2110,66 @@ mod tests {
         assert!(out.contains("mc.states_per_sec"), "{out}");
         assert!(out.contains("histograms:"), "{out}");
         assert!(out.contains("events: pushed="), "{out}");
+    }
+
+    #[test]
+    fn flows_analyzes_specs() {
+        let fig3 = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/fig3.ccsql");
+        let out = run(&["flows".to_string(), fig3.to_string()]).unwrap();
+        assert!(out.contains("deadlock-free for every N"), "{out}");
+        // The seeded Figure-4 fixture is rejected with CCL031 naming the
+        // VC2/VC4 cycle, at every node count.
+        let bug = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../specs/fig3_flowbug.ccsql"
+        );
+        let err = run(&["flows".to_string(), bug.to_string()]).unwrap_err();
+        assert!(err.contains("CCL031"), "{err}");
+        assert!(err.contains("VC2") && err.contains("VC4"), "{err}");
+        assert!(err.contains("every N>=2"), "{err}");
+        // JSON mode: one well-formed value, byte-identical across runs.
+        let j1 = run(&["flows".to_string(), bug.to_string(), "--json".to_string()]).unwrap_err();
+        let j2 = run(&["flows".to_string(), bug.to_string(), "--json".to_string()]).unwrap_err();
+        assert_eq!(j1, j2, "flows --json must be deterministic");
+        json_check::parse(&j1).unwrap_or_else(|e| panic!("bad JSON ({e}): {j1}"));
+        assert!(j1.contains("\"deadlock_free_all_n\":false"), "{j1}");
+        let dot = run(&["flows".to_string(), bug.to_string(), "--dot".to_string()]).unwrap_err();
+        assert!(dot.starts_with("digraph flows {"), "{dot}");
+        assert!(run(&argv("flows")).is_err());
+        assert!(run(&argv("flows --protocol --assignment bogus")).is_err());
+        // A role-less `flow` directive is an input error, not a guess.
+        let roleless = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/fig3_buggy.ccsql");
+        let err = run(&["flows".to_string(), roleless.to_string()]).unwrap_err();
+        assert!(err.contains("no role-tagged flow columns"), "{err}");
+    }
+
+    #[test]
+    fn flows_protocol_verdict_tracks_assignment() {
+        let clean = run(&argv("flows --protocol --assignment v2")).unwrap();
+        assert!(clean.contains("deadlock-free for every N"), "{clean}");
+        let err = run(&argv("flows --protocol --assignment v1")).unwrap_err();
+        assert!(err.contains("CCL031"), "{err}");
+        assert!(err.contains("every N>=2"), "{err}");
+    }
+
+    #[test]
+    fn deadlock_json_carries_cycle_witnesses() {
+        let err = run(&argv("deadlock --assignment v1 --json")).unwrap_err();
+        json_check::parse(&err).unwrap_or_else(|e| panic!("bad JSON ({e})"));
+        // Every cycle edge names the dependency-table row realising it.
+        assert!(err.contains("\"witness\":{\"index\":"), "{err}");
+        assert!(err.contains("\"provenance\":{\"kind\":"), "{err}");
+        assert!(err.contains("\"deadlock_free\":false"), "{err}");
+        // The flows pre-pass verdict is grafted in by default…
+        assert!(err.contains("\"flows\":{"), "{err}");
+        let ok = run(&argv("deadlock --assignment v2 --json")).unwrap();
+        json_check::parse(&ok).unwrap_or_else(|e| panic!("bad JSON ({e})"));
+        assert!(ok.contains("\"deadlock_free\":true"), "{ok}");
+        // …and dropped with --no-flows.
+        let bare = run(&argv("deadlock --assignment v2 --json --no-flows")).unwrap();
+        assert!(!bare.contains("\"flows\""), "{bare}");
+        let human = run(&argv("deadlock --assignment v2")).unwrap();
+        assert!(human.contains("flow pre-pass:"), "{human}");
     }
 
     /// Minimal JSON validator: checks the whole document is one

@@ -166,6 +166,141 @@ fn describe_controller_row(
 }
 
 impl DeadlockReport {
+    /// Render the report as one canonical JSON object (trailing
+    /// newline), carrying for every edge of every cycle the full
+    /// witness dependency-table row — assignments, placement, and
+    /// provenance down to the controller-table rows that realise it.
+    pub fn render_json(&self, table: &DependencyTable) -> String {
+        use ccsql_obs::json::JsonObj;
+        let strs = |xs: &[String]| -> String {
+            let mut s = String::from("[");
+            for (i, x) in xs.iter().enumerate() {
+                if i > 0 {
+                    s.push(',');
+                }
+                ccsql_obs::json::write_json_str(&mut s, x);
+            }
+            s.push(']');
+            s
+        };
+        let assign = |a: &crate::depend::Assignment| -> String {
+            JsonObj::new()
+                .str("msg", a.msg.as_str())
+                .str("src", a.src.as_str())
+                .str("dest", a.dest.as_str())
+                .str("vc", a.vc.as_str())
+                .finish()
+        };
+        let witness = |i: usize| -> String {
+            let row = &table.rows[i];
+            let prov = match row.provenance {
+                Provenance::Direct { controller, row } => JsonObj::new()
+                    .str("kind", "direct")
+                    .str("controller", controller)
+                    .u64("row", row as u64)
+                    .finish(),
+                Provenance::Composed { left, right, mode } => {
+                    let mut wits = String::from("[");
+                    for (wi, (c, r)) in table.direct_witnesses(i).into_iter().enumerate() {
+                        if wi > 0 {
+                            wits.push(',');
+                        }
+                        wits.push_str(
+                            &JsonObj::new()
+                                .str("controller", c)
+                                .u64("row", r as u64)
+                                .finish(),
+                        );
+                    }
+                    wits.push(']');
+                    JsonObj::new()
+                        .str("kind", "composed")
+                        .str(
+                            "mode",
+                            match mode {
+                                MatchMode::Exact => "exact",
+                                MatchMode::IgnoreMessages => "ignore_messages",
+                            },
+                        )
+                        .u64("left", left as u64)
+                        .u64("right", right as u64)
+                        .raw("direct_witnesses", &wits)
+                        .finish()
+                }
+            };
+            JsonObj::new()
+                .u64("index", i as u64)
+                .raw("input", &assign(&row.input))
+                .raw("output", &assign(&row.output))
+                .str("placement", row.placement.notation())
+                .raw("provenance", &prov)
+                .finish()
+        };
+        let mut cycles = String::from("[");
+        for (ci, c) in self.cycles.iter().enumerate() {
+            if ci > 0 {
+                cycles.push(',');
+            }
+            let chans: Vec<String> = c.channels.iter().map(|x| x.to_string()).collect();
+            let mut edges = String::from("[");
+            for (ei, e) in c.edges.iter().enumerate() {
+                if ei > 0 {
+                    edges.push(',');
+                }
+                edges.push_str(
+                    &JsonObj::new()
+                        .str("from", e.from.as_str())
+                        .str("to", e.to.as_str())
+                        .raw("witness", &witness(e.witness))
+                        .finish(),
+                );
+            }
+            edges.push(']');
+            cycles.push_str(
+                &JsonObj::new()
+                    .raw("channels", &strs(&chans))
+                    .raw("edges", &edges)
+                    .finish(),
+            );
+        }
+        cycles.push(']');
+        let mut edges = String::from("[");
+        for (i, (from, to)) in self.edges.iter().enumerate() {
+            if i > 0 {
+                edges.push(',');
+            }
+            edges.push_str(&JsonObj::new().str("from", from).str("to", to).finish());
+        }
+        edges.push(']');
+        let mut out = JsonObj::new()
+            .str("kind", "deadlock")
+            .str("assignment", self.assignment)
+            .u64("dependency_rows", self.dependency_rows as u64)
+            .raw("channels", &strs(&self.channels))
+            .raw("edges", &edges)
+            .raw("cycles", &cycles)
+            .u64("simple_cycles", self.simple_cycles as u64)
+            .raw(
+                "simple_cycles_truncated",
+                if self.simple_cycles_truncated {
+                    "true"
+                } else {
+                    "false"
+                },
+            )
+            .raw(
+                "deadlock_free",
+                if self.cycles.is_empty() {
+                    "true"
+                } else {
+                    "false"
+                },
+            )
+            .finish();
+        out.push('\n');
+        out
+    }
+
     /// Render the whole report.
     pub fn render(&self) -> String {
         use std::fmt::Write;
@@ -230,6 +365,23 @@ mod tests {
         assert!(rendered.contains("VC2"));
         assert!(rendered.contains("VC4"));
         assert!(rendered.contains("POTENTIAL DEADLOCK"));
+    }
+
+    #[test]
+    fn v1_json_report_carries_edge_witnesses() {
+        let g = generated();
+        let t =
+            protocol_dependency_table(g, &VcAssignment::v1(), &AnalysisConfig::default()).unwrap();
+        let rep = deadlock_report(g, "V1", &t);
+        let json = rep.render_json(&t);
+        assert_eq!(json, rep.render_json(&t), "byte-identical across renders");
+        assert!(json.ends_with('\n'));
+        assert!(json.contains(r#""kind":"deadlock""#));
+        assert!(json.contains(r#""deadlock_free":false"#));
+        // Every cycle edge names its witness row with full provenance.
+        assert!(json.contains(r#""witness":{"index":"#));
+        assert!(json.contains(r#""placement":"#));
+        assert!(json.contains(r#""kind":"direct""#) || json.contains(r#""kind":"composed""#));
     }
 
     #[test]

@@ -68,6 +68,39 @@ pub mod codes {
     /// An emitted (message, src, dest) triple is accepted by name only:
     /// no controller admits it on that role pair.
     pub const NO_COMPATIBLE_RECEIVER: &str = "CCL023";
+    /// Flow extraction could not cover a table row: no extracted flow
+    /// reaches it from any environment-initiated message.
+    pub const NO_FLOW_COVER: &str = "CCL030";
+    /// The flow-waits-for graph has a wait-cycle that holds for every
+    /// node count: a parameterized deadlock.
+    pub const PARAM_WAIT_CYCLE: &str = "CCL031";
+    /// A flow-graph cycle the concrete dependency analysis cannot
+    /// corroborate (no matching VCG cycle) — triage note, not a defect.
+    pub const UNREALISABLE_FLOW_CYCLE: &str = "CCL032";
+
+    /// Index of every stable code with its short title, in code order.
+    /// Append-only like the constants above; the `readme_codes` test
+    /// asserts the constants, this index, and README's lint table agree.
+    pub const ALL: &[(&str, &str)] = &[
+        (UNKNOWN_COLUMN, "comparison references no declared column"),
+        (VALUE_NOT_IN_DOMAIN, "value outside the column table"),
+        (UNREACHABLE_BRANCH, "unreachable ternary branch"),
+        (FORCED_OUT_OF_DOMAIN, "column forced outside its table"),
+        (ALL_BRANCHES_NULL, "every branch assigns NULL"),
+        (UNCOVERED_INPUT, "legal input no constraint admits"),
+        (NONDETERMINISTIC, "legal input admits two or more rows"),
+        (ANALYSIS_SKIPPED, "analysis skipped"),
+        (EMITTED_NEVER_ACCEPTED, "emitted message never accepted"),
+        (ACCEPTED_NEVER_EMITTED, "accepted message never emitted"),
+        (NO_VC_ASSIGNMENT, "emitted triple has no VC assignment"),
+        (NO_COMPATIBLE_RECEIVER, "no receiver on that role pair"),
+        (NO_FLOW_COVER, "row not covered by any extracted flow"),
+        (PARAM_WAIT_CYCLE, "parameterized wait-cycle"),
+        (
+            UNREALISABLE_FLOW_CYCLE,
+            "flow cycle not realisable concretely",
+        ),
+    ];
 }
 
 /// One lint finding.

@@ -1,0 +1,285 @@
+//! The flow *universe*: solved controller tables reduced to their
+//! message behaviour.
+//!
+//! Flow extraction works on one uniform shape regardless of where the
+//! tables came from (a `.ccsql` spec file or the built-in protocol): a
+//! list of [`FlowRow`]s, each the message view of one solved table row —
+//! the `(message, source-role, destination-role)` triples it accepts
+//! and emits, tagged with the virtual channel `V(m,s,d,v)` assigns the
+//! triple — plus the [`EnvSource`] triples the environment may inject.
+//! Everything downstream (tree extraction, the waits-for graph, the
+//! concrete cross-check) consumes only this shape.
+
+use ccsql::gen::GeneratedProtocol;
+use ccsql::vc::VcAssignment;
+use ccsql_protocol::topology::Role;
+use ccsql_relalg::specfile::ROLE_LITERALS;
+use ccsql_relalg::{Relation, SpecFile, Value};
+
+/// One accept or emit occurrence of a table row: a fully-resolved
+/// message triple and its virtual channel.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlowAssign {
+    /// Message name.
+    pub msg: String,
+    /// Physical source role.
+    pub src: Role,
+    /// Physical destination role.
+    pub dest: Role,
+    /// The channel `V` assigns the triple; `None` when the triple has
+    /// no assignment or travels a dedicated path (no shared resource,
+    /// so it never participates in a wait).
+    pub vc: Option<String>,
+}
+
+impl FlowAssign {
+    /// `msg src→dest` (the rendering shared by diagnostics and DOT).
+    pub fn describe(&self) -> String {
+        format!("{} {}→{}", self.msg, self.src, self.dest)
+    }
+
+    /// Same `(msg, src, dest)` triple?
+    pub fn same_triple(&self, other: &FlowAssign) -> bool {
+        self.msg == other.msg && self.src == other.src && self.dest == other.dest
+    }
+}
+
+/// The message view of one solved table row.
+#[derive(Clone, Debug)]
+pub struct FlowRow {
+    /// Owning table (controller) name.
+    pub table: String,
+    /// Row index in the solved table.
+    pub row: usize,
+    /// Triples the row consumes.
+    pub accepts: Vec<FlowAssign>,
+    /// Triples the row produces.
+    pub emits: Vec<FlowAssign>,
+}
+
+/// A triple the environment may inject. Role slots are `None` when the
+/// boundary declares only message names (`extern send` in spec files).
+#[derive(Clone, Debug)]
+pub struct EnvSource {
+    /// Message name.
+    pub msg: String,
+    /// Source role, if declared.
+    pub src: Option<Role>,
+    /// Destination role, if declared.
+    pub dest: Option<Role>,
+}
+
+impl EnvSource {
+    /// Does this source trigger `accept`?
+    pub fn matches(&self, accept: &FlowAssign) -> bool {
+        self.msg == accept.msg
+            && self.src.is_none_or(|r| r == accept.src)
+            && self.dest.is_none_or(|r| r == accept.dest)
+    }
+
+    /// Flow label: `msg(src→dest)` with `*` for undeclared roles.
+    pub fn label(&self) -> String {
+        let role = |r: Option<Role>| r.map_or("*", |r| r.as_str());
+        format!("{}({}→{})", self.msg, role(self.src), role(self.dest))
+    }
+}
+
+/// Everything flow analysis needs to know about a set of solved tables.
+#[derive(Clone, Debug)]
+pub struct FlowUniverse {
+    /// Display name (spec table name or `protocol`).
+    pub name: String,
+    /// The `V(m,s,d,v)` assignment name the triples were tagged with.
+    pub assignment: String,
+    /// All rows, in (table, row) order.
+    pub rows: Vec<FlowRow>,
+    /// Environment-injected triples, in declaration order.
+    pub sources: Vec<EnvSource>,
+}
+
+impl FlowUniverse {
+    /// Build the universe of a solved spec file. Requires at least one
+    /// `flow` column with role slots — without roles there is no
+    /// `(m,s,d)` triple to assign channels to.
+    pub fn from_specfile(
+        sf: &SpecFile,
+        rel: &Relation,
+        v: &VcAssignment,
+    ) -> Result<FlowUniverse, String> {
+        let role_tagged: Vec<_> = sf
+            .meta
+            .flow_columns
+            .iter()
+            .filter(|fc| fc.src.is_some() && fc.dest.is_some())
+            .collect();
+        if role_tagged.is_empty() {
+            return Err(format!(
+                "spec `{}` declares no role-tagged flow columns; flow analysis needs \
+                 `flow COL(SRC, DEST)` directives (SRC/DEST: a role column or one of {})",
+                sf.spec.name,
+                ROLE_LITERALS.join("/"),
+            ));
+        }
+        let schema = rel.schema();
+        // A role slot is a column index (per-row role) or a constant.
+        let slot = |tok: &str| -> Result<std::result::Result<usize, Role>, String> {
+            if let Some(i) = schema.index_of_str(tok) {
+                return Ok(Ok(i));
+            }
+            Role::parse(tok)
+                .map(Err)
+                .ok_or_else(|| format!("flow role slot {tok:?} is neither a column nor a role"))
+        };
+        // (column index, input?, src slot, dest slot) per tagged column.
+        let mut plans = Vec::new();
+        for fc in &role_tagged {
+            let Some(mi) = schema.index_of_str(&fc.column) else {
+                continue;
+            };
+            let is_input = sf
+                .spec
+                .columns
+                .iter()
+                .find(|c| c.name.as_str() == fc.column.as_str())
+                .is_some_and(|c| matches!(c.role, ccsql_relalg::solver::ColumnRole::Input));
+            let src = slot(fc.src.as_deref().unwrap_or_default())?;
+            let dest = slot(fc.dest.as_deref().unwrap_or_default())?;
+            plans.push((mi, is_input, src, dest));
+        }
+        let mut rows = Vec::with_capacity(rel.len());
+        for (ri, row) in rel.rows().enumerate() {
+            let mut fr = FlowRow {
+                table: sf.spec.name.clone(),
+                row: ri,
+                accepts: Vec::new(),
+                emits: Vec::new(),
+            };
+            for (mi, is_input, src, dest) in &plans {
+                let Value::Sym(msg) = &row[*mi] else { continue };
+                let role_of = |s: &std::result::Result<usize, Role>| -> Option<Role> {
+                    match s {
+                        Ok(i) => match &row[*i] {
+                            Value::Sym(r) => Role::parse(r.as_str()),
+                            _ => None,
+                        },
+                        Err(r) => Some(*r),
+                    }
+                };
+                let (Some(src), Some(dest)) = (role_of(src), role_of(dest)) else {
+                    continue;
+                };
+                let assign = FlowAssign {
+                    msg: msg.to_string(),
+                    src,
+                    dest,
+                    vc: channel(v, msg.as_str(), src, dest),
+                };
+                if *is_input {
+                    fr.accepts.push(assign);
+                } else {
+                    fr.emits.push(assign);
+                }
+            }
+            rows.push(fr);
+        }
+        // `extern send` lists message names only: role-free sources.
+        let sources = sf
+            .meta
+            .extern_send
+            .iter()
+            .map(|m| EnvSource {
+                msg: m.clone(),
+                src: None,
+                dest: None,
+            })
+            .collect();
+        Ok(FlowUniverse {
+            name: sf.spec.name.clone(),
+            assignment: v.name.to_string(),
+            rows,
+            sources,
+        })
+    }
+
+    /// Build the universe of the generated built-in protocol: every
+    /// controller table, triples resolved through the controllers'
+    /// declared `(msg, src, dest)` column triples, sources from
+    /// [`ccsql_protocol::ProtocolSpec::flow_env`].
+    pub fn from_protocol(
+        gen: &GeneratedProtocol,
+        v: &VcAssignment,
+    ) -> Result<FlowUniverse, String> {
+        let mut rows = Vec::new();
+        for c in &gen.spec.controllers {
+            let table = gen
+                .table(c.name)
+                .map_err(|e| format!("controller {} has no generated table: {e}", c.name))?;
+            let schema = table.schema();
+            // Locate each triple's three columns once.
+            let locate = |ts: &[ccsql_protocol::MsgTriple]| -> Vec<(usize, usize, usize)> {
+                ts.iter()
+                    .filter_map(|t| {
+                        Some((
+                            schema.index_of_str(t.msg)?,
+                            schema.index_of_str(t.src)?,
+                            schema.index_of_str(t.dest)?,
+                        ))
+                    })
+                    .collect()
+            };
+            let (ins, outs) = (locate(&c.input_triples), locate(&c.output_triples));
+            for (ri, row) in table.rows().enumerate() {
+                let resolve = |&(mi, si, di): &(usize, usize, usize)| -> Option<FlowAssign> {
+                    let Value::Sym(msg) = &row[mi] else {
+                        return None;
+                    };
+                    let Value::Sym(src) = &row[si] else {
+                        return None;
+                    };
+                    let Value::Sym(dest) = &row[di] else {
+                        return None;
+                    };
+                    let (src, dest) = (Role::parse(src.as_str())?, Role::parse(dest.as_str())?);
+                    Some(FlowAssign {
+                        msg: msg.to_string(),
+                        src,
+                        dest,
+                        vc: channel(v, msg.as_str(), src, dest),
+                    })
+                };
+                rows.push(FlowRow {
+                    table: c.name.to_string(),
+                    row: ri,
+                    accepts: ins.iter().filter_map(&resolve).collect(),
+                    emits: outs.iter().filter_map(&resolve).collect(),
+                });
+            }
+        }
+        let sources = ccsql_protocol::ProtocolSpec::flow_env()
+            .sources
+            .iter()
+            .map(|t| EnvSource {
+                msg: t.msg.to_string(),
+                src: Role::parse(t.src),
+                dest: Role::parse(t.dest),
+            })
+            .collect();
+        Ok(FlowUniverse {
+            name: "protocol".to_string(),
+            assignment: v.name.to_string(),
+            rows,
+            sources,
+        })
+    }
+}
+
+/// The shared channel of a triple under `v`: `None` when unassigned or
+/// on a dedicated path (dedicated paths are private per message class,
+/// so nothing ever waits on them — mirrors `depend::resolve_ids`).
+fn channel(v: &VcAssignment, msg: &str, src: Role, dest: Role) -> Option<String> {
+    let vc = v.lookup(msg, src, dest)?;
+    if v.is_dedicated(vc) {
+        return None;
+    }
+    Some(vc.to_string())
+}

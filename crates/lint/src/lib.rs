@@ -19,6 +19,10 @@
 //!    (CCL020), accepted messages nothing emits (CCL021), emitted
 //!    triples without a virtual-channel assignment (CCL022) or without
 //!    a role-compatible receiver (CCL023).
+//! 4. **Flow composition** ([`flows`]): parameterized deadlock freedom
+//!    over extracted per-transaction flows — rows no flow covers
+//!    (CCL030), wait-cycles that hold for every node count (CCL031),
+//!    and flow cycles the concrete analysis cannot realise (CCL032).
 //!
 //! Analyses that cannot run (domain over budget, opaque predicate)
 //! report an informational CCL019 rather than guessing. All findings
@@ -30,9 +34,11 @@ pub mod coverage;
 pub mod diag;
 pub mod expr_lint;
 pub mod flow;
+pub mod flows;
 
 pub use diag::{codes, Diagnostic, LintReport, Severity};
 pub use flow::{Boundary, BoundaryTriple, FlowModel, FlowPoint, ANY};
+pub use flows::FlowsAnalysis;
 
 use ccsql::vc::VcAssignment;
 use ccsql_protocol::ProtocolSpec;
@@ -56,12 +62,26 @@ pub fn lint_table(
 
 /// Lint one or more parsed spec files together: per-table analyses for
 /// each, plus the message-flow checks across all of them using their
-/// `flow` / `extern` directives.
+/// `flow` / `extern` directives. Role-level flow checks (CCL022 /
+/// CCL023) run under [`ccsql::vc::VcAssignment::v1`] for flow columns
+/// carrying role slots; use [`lint_specfiles_with`] to pick another
+/// assignment.
 pub fn lint_specfiles(files: &[&SpecFile], ctx: &dyn EvalContext) -> LintReport {
+    lint_specfiles_with(files, ctx, &VcAssignment::v1())
+}
+
+/// [`lint_specfiles`] with an explicit virtual-channel assignment for
+/// the role-level flow checks.
+pub fn lint_specfiles_with(
+    files: &[&SpecFile],
+    ctx: &dyn EvalContext,
+    vc: &VcAssignment,
+) -> LintReport {
     let fspan = ccsql_obs::flight::span("lint", "specfiles");
     fspan.arg("files", files.len());
     let mut report = LintReport::new();
     let mut model = FlowModel::default();
+    let mut any_roles = false;
     for f in files {
         lint_table(
             &f.spec,
@@ -70,31 +90,7 @@ pub fn lint_specfiles(files: &[&SpecFile], ctx: &dyn EvalContext) -> LintReport 
             &mut report,
         );
 
-        for col_name in &f.meta.flow_columns {
-            let Some(col) = f
-                .spec
-                .columns
-                .iter()
-                .find(|c| c.name.as_str() == col_name.as_str())
-            else {
-                continue; // parse_specfile already rejects unknown names
-            };
-            let points = col.values.iter().filter_map(|v| match v {
-                Value::Sym(s) => Some(FlowPoint {
-                    table: f.spec.name.clone(),
-                    column: col_name.clone(),
-                    at: f.meta.column_span(col_name),
-                    msg: s.to_string(),
-                    src: ANY.to_string(),
-                    dest: ANY.to_string(),
-                }),
-                _ => None, // NULL is "no message"
-            });
-            match col.role {
-                ColumnRole::Input => model.accepts.extend(points),
-                ColumnRole::Output => model.emits.extend(points),
-            }
-        }
+        any_roles |= spec_flow_points(f, &mut model);
         model
             .boundary
             .send
@@ -104,8 +100,110 @@ pub fn lint_specfiles(files: &[&SpecFile], ctx: &dyn EvalContext) -> LintReport 
             .recv
             .extend(f.meta.extern_recv.iter().map(|m| BoundaryTriple::name(m)));
     }
-    flow::lint_flow(&model, None, &mut report);
+    // The role-level checks only have work to do once some spec declared
+    // role slots; without them every triple carries `"*"` roles.
+    let vc = any_roles.then_some(vc);
+    flow::lint_flow(&model, vc, &mut report);
     finish(report)
+}
+
+/// Collect a spec file's accept/emit [`FlowPoint`]s into `model`.
+/// Returns whether any flow column carried role slots. Role-tagged
+/// columns are expanded from the *solved* table (one triple per
+/// distinct row projection) so per-row role columns resolve to real
+/// roles; role-less columns expand declaration-level with [`ANY`] roles
+/// exactly as before.
+fn spec_flow_points(f: &SpecFile, model: &mut FlowModel) -> bool {
+    use std::collections::BTreeSet;
+    let has_roles = f
+        .meta
+        .flow_columns
+        .iter()
+        .any(|fc| fc.src.is_some() || fc.dest.is_some());
+    // Solve once per file, only when a role slot needs per-row values.
+    // A spec that fails to solve falls back to declaration-level points;
+    // the expression/coverage lints already report the underlying bug.
+    let solved = if has_roles {
+        let rspan = ccsql_obs::flight::span("lint", "solve-roles");
+        rspan.arg("table", f.spec.name.as_str());
+        ccsql_relalg::specfile::solve_specfile(f)
+            .ok()
+            .map(|(r, _)| r)
+    } else {
+        None
+    };
+    let mut seen: BTreeSet<(bool, String, String, String)> = BTreeSet::new();
+    for fc in &f.meta.flow_columns {
+        let Some(col) = f
+            .spec
+            .columns
+            .iter()
+            .find(|c| c.name.as_str() == fc.column.as_str())
+        else {
+            continue; // parse_specfile already rejects unknown names
+        };
+        let is_input = matches!(col.role, ColumnRole::Input);
+        let at = f.meta.column_span(&fc.column);
+        let mut push = |msg: String, src: String, dest: String| {
+            if !seen.insert((is_input, msg.clone(), src.clone(), dest.clone())) {
+                return;
+            }
+            let point = FlowPoint {
+                table: f.spec.name.clone(),
+                column: fc.column.clone(),
+                at,
+                msg,
+                src,
+                dest,
+            };
+            if is_input {
+                model.accepts.push(point);
+            } else {
+                model.emits.push(point);
+            }
+        };
+        let rel = solved
+            .as_ref()
+            .filter(|_| fc.src.is_some() || fc.dest.is_some());
+        match rel {
+            Some(rel) => {
+                let idx = |name: &str| rel.schema().index_of_str(name);
+                let Some(mi) = idx(&fc.column) else { continue };
+                // A role slot names a column (read per row) or is a
+                // role literal (constant for the whole column).
+                let slot = |s: &Option<String>| -> (Option<usize>, String) {
+                    match s {
+                        Some(tok) => match idx(tok) {
+                            Some(i) => (Some(i), String::new()),
+                            None => (None, tok.clone()),
+                        },
+                        None => (None, ANY.to_string()),
+                    }
+                };
+                let (si, sfix) = slot(&fc.src);
+                let (di, dfix) = slot(&fc.dest);
+                for row in rel.rows() {
+                    let Value::Sym(msg) = &row[mi] else { continue };
+                    let role_at = |i: Option<usize>, fixed: &str| match i {
+                        Some(i) => match &row[i] {
+                            Value::Sym(r) => r.to_string(),
+                            _ => ANY.to_string(),
+                        },
+                        None => fixed.to_string(),
+                    };
+                    push(msg.to_string(), role_at(si, &sfix), role_at(di, &dfix));
+                }
+            }
+            None => {
+                for v in &col.values {
+                    if let Value::Sym(s) = v {
+                        push(s.to_string(), ANY.to_string(), ANY.to_string());
+                    }
+                }
+            }
+        }
+    }
+    has_roles
 }
 
 /// Lint the full built-in protocol: per-controller analyses plus the

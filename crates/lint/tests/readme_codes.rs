@@ -1,0 +1,74 @@
+//! Drift check: the `CCLnnn` constants in `diag.rs`, the
+//! `codes::ALL` index, and README's lint code table must agree exactly.
+
+use ccsql_lint::codes;
+use std::collections::BTreeSet;
+
+const DIAG_SRC: &str = include_str!("../src/diag.rs");
+
+/// Every distinct `"CCLnnn"` literal in a text, in sorted order.
+fn codes_in(text: &str) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while let Some(p) = text[i..].find("CCL") {
+        let start = i + p;
+        let digits: String = text[start + 3..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect();
+        if digits.len() == 3 {
+            out.insert(format!("CCL{digits}"));
+        }
+        i = start + 3;
+        if i >= bytes.len() {
+            break;
+        }
+    }
+    out
+}
+
+#[test]
+fn all_index_covers_every_constant_in_diag_rs() {
+    let in_source = codes_in(DIAG_SRC);
+    let in_index: BTreeSet<String> = codes::ALL.iter().map(|(c, _)| c.to_string()).collect();
+    assert_eq!(
+        in_index, in_source,
+        "codes::ALL and the constants in diag.rs list different codes"
+    );
+    // The index is sorted and duplicate-free (codes are append-only).
+    assert_eq!(in_index.len(), codes::ALL.len(), "duplicate code in ALL");
+    let listed: Vec<&str> = codes::ALL.iter().map(|(c, _)| *c).collect();
+    let mut sorted = listed.clone();
+    sorted.sort();
+    assert_eq!(listed, sorted, "codes::ALL must stay in code order");
+}
+
+#[test]
+fn readme_table_matches_all_index() {
+    let readme = include_str!("../../../README.md");
+    // Rows of the lint code table: `| `CCLnnn` | title |`.
+    let mut table: Vec<(String, String)> = Vec::new();
+    for line in readme.lines() {
+        let Some(rest) = line.strip_prefix("| `CCL") else {
+            continue;
+        };
+        let Some((digits, rest)) = rest.split_once('`') else {
+            continue;
+        };
+        let title = rest
+            .trim_start_matches([' ', '|'])
+            .trim_end_matches([' ', '|'])
+            .to_string();
+        table.push((format!("CCL{digits}"), title));
+    }
+    let expected: Vec<(String, String)> = codes::ALL
+        .iter()
+        .map(|(c, t)| (c.to_string(), t.to_string()))
+        .collect();
+    assert_eq!(
+        table, expected,
+        "README's lint code table has drifted from diag.rs::codes::ALL — \
+         regenerate the table from the index"
+    );
+}

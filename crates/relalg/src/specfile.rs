@@ -32,10 +32,16 @@
 //!   empty set once the table is generated.
 //!
 //! Three optional directives describe the spec's *message flow* for the
-//! linter (`ccsql lint`); they have no effect on table generation:
+//! linter (`ccsql lint`) and the flow analysis (`ccsql flows`); they
+//! have no effect on table generation:
 //!
 //! * `flow COL, COL, …` — declares message columns. Input message
-//!   columns receive messages, output message columns emit them.
+//!   columns receive messages, output message columns emit them. Each
+//!   item may carry *role* slots: `flow COL(SRC, DEST)`, where `SRC` /
+//!   `DEST` is either a declared column (the role is read per row from
+//!   that column) or one of the literals `local` / `home` / `remote`
+//!   (the role is constant for every message in the column). Items
+//!   without role slots keep the `"*"` wildcard semantics.
 //! * `extern send m1, m2, …` — messages the environment (everything
 //!   outside the specs being linted) may send, so an input column
 //!   accepting them is not a dead input.
@@ -63,6 +69,35 @@ pub struct SpecFile {
     pub meta: SpecMeta,
 }
 
+/// One item of a `flow` directive: a message column, optionally tagged
+/// with the source and destination *role* of every message it carries.
+/// A role slot is either a declared column name (the role is read per
+/// row from that column) or a role literal (`local` / `home` /
+/// `remote`); `None` means the `"*"` wildcard (role unknown).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowColumn {
+    /// The message column.
+    pub column: String,
+    /// Source-role slot (column name or role literal).
+    pub src: Option<String>,
+    /// Destination-role slot (column name or role literal).
+    pub dest: Option<String>,
+}
+
+impl FlowColumn {
+    /// A role-less flow column (wildcard roles).
+    pub fn bare(column: &str) -> FlowColumn {
+        FlowColumn {
+            column: column.to_string(),
+            src: None,
+            dest: None,
+        }
+    }
+}
+
+/// The role literals a `flow` role slot may use instead of a column.
+pub const ROLE_LITERALS: [&str; 3] = ["local", "home", "remote"];
+
 /// Source metadata of a parsed spec file: where columns and constraints
 /// were declared, plus the optional message-flow directives. Purely
 /// informational — table generation ignores it; the linter uses it to
@@ -74,7 +109,7 @@ pub struct SpecMeta {
     /// Position of each constraint's expression, per column.
     pub constraint_spans: Vec<(String, Span)>,
     /// Columns declared as message columns via `flow COL, …`.
-    pub flow_columns: Vec<String>,
+    pub flow_columns: Vec<FlowColumn>,
     /// Messages the environment may send (`extern send …`).
     pub extern_send: Vec<String>,
     /// Messages the environment consumes (`extern recv …`).
@@ -179,11 +214,11 @@ pub fn parse_specfile(text: &str) -> Result<SpecFile> {
                 constraints.push((col.trim().to_string(), e));
             }
             "flow" => {
-                for name in rest.split(',').map(str::trim) {
-                    if name.is_empty() {
-                        return Err(err("expected `flow COL, COL, …`".into()));
+                for item in split_flow_items(rest).into_iter().map(str::trim) {
+                    if item.is_empty() {
+                        return Err(err("expected `flow COL, COL(SRC, DEST), …`".into()));
                     }
-                    meta.flow_columns.push(name.to_string());
+                    meta.flow_columns.push(parse_flow_item(item).map_err(err)?);
                 }
             }
             "extern" => {
@@ -242,14 +277,71 @@ pub fn parse_specfile(text: &str) -> Result<SpecFile> {
             )));
         }
     }
-    for c in &meta.flow_columns {
-        if !spec.columns.iter().any(|col| col.name.as_str() == c) {
+    let declared = |c: &str| spec.columns.iter().any(|col| col.name.as_str() == c);
+    for fc in &meta.flow_columns {
+        if !declared(&fc.column) {
             return Err(Error::BadSpec(format!(
-                "`flow` declares undeclared column {c}"
+                "`flow` declares undeclared column {}",
+                fc.column
             )));
+        }
+        // A role slot must resolve: either a declared column holding the
+        // role per row, or one of the fixed role literals.
+        for role in [&fc.src, &fc.dest].into_iter().flatten() {
+            if !declared(role) && !ROLE_LITERALS.contains(&role.as_str()) {
+                return Err(Error::BadSpec(format!(
+                    "`flow {}({}, {})`: role {role:?} is neither a declared column nor one of {}",
+                    fc.column,
+                    fc.src.as_deref().unwrap_or("?"),
+                    fc.dest.as_deref().unwrap_or("?"),
+                    ROLE_LITERALS.join("/"),
+                )));
+            }
         }
     }
     Ok(SpecFile { spec, checks, meta })
+}
+
+/// Split a `flow` directive's item list at top-level commas, so role
+/// slots inside `COL(SRC, DEST)` stay attached to their item.
+fn split_flow_items(rest: &str) -> Vec<&str> {
+    let mut items = Vec::new();
+    let (mut depth, mut start) = (0usize, 0usize);
+    for (i, ch) in rest.char_indices() {
+        match ch {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                items.push(&rest[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    items.push(&rest[start..]);
+    items
+}
+
+/// Parse one `flow` item: `COL` or `COL(SRC, DEST)`.
+fn parse_flow_item(item: &str) -> std::result::Result<FlowColumn, String> {
+    let Some((name, roles)) = item.split_once('(') else {
+        return Ok(FlowColumn::bare(item));
+    };
+    let roles = roles
+        .strip_suffix(')')
+        .ok_or_else(|| format!("unterminated role list in flow item {item:?}"))?;
+    let (src, dest) = roles
+        .split_once(',')
+        .ok_or_else(|| format!("expected `COL(SRC, DEST)` in flow item {item:?}"))?;
+    let (name, src, dest) = (name.trim(), src.trim(), dest.trim());
+    if name.is_empty() || src.is_empty() || dest.is_empty() || dest.contains(',') {
+        return Err(format!("expected `COL(SRC, DEST)` in flow item {item:?}"));
+    }
+    Ok(FlowColumn {
+        column: name.to_string(),
+        src: Some(src.to_string()),
+        dest: Some(dest.to_string()),
+    })
 }
 
 /// Parse one value token: `NULL`, a quoted string, an integer, or a
@@ -372,6 +464,31 @@ check readex-always-reads-memory: select inmsg, memmsg from Fig3 where inmsg = "
         assert!(parse_specfile("table t\ninput a = x\nconstrain a bad").is_err()); // no ':'
         assert!(parse_specfile("table t\ninput a = x\nconstrain a: ? ?").is_err());
         // bad expr
+    }
+
+    #[test]
+    fn flow_role_slots_parse_and_validate() {
+        let src = "table t\ninput a = x\ninput who = local, home\noutput o = y, NULL\n\
+                   flow a(who, home), o";
+        let sf = parse_specfile(src).unwrap();
+        assert_eq!(
+            sf.meta.flow_columns,
+            vec![
+                FlowColumn {
+                    column: "a".into(),
+                    src: Some("who".into()),
+                    dest: Some("home".into()),
+                },
+                FlowColumn::bare("o"),
+            ]
+        );
+        // Role slot neither a declared column nor a role literal.
+        let bad = "table t\ninput a = x\nflow a(nowhere, home)";
+        assert!(parse_specfile(bad).is_err());
+        // Malformed role lists.
+        assert!(parse_specfile("table t\ninput a = x\nflow a(home, local").is_err());
+        assert!(parse_specfile("table t\ninput a = x\nflow a(home)").is_err());
+        assert!(parse_specfile("table t\ninput a = x\nflow a(home, local, x)").is_err());
     }
 
     #[test]

@@ -140,6 +140,69 @@ if cargo run --quiet --release -p ccsql-cli -- lint specs/fig3_buggy.ccsql; then
     exit 1
 fi
 
+echo "==> ccsql flows (parameterized vs concrete vs operational deadlock verdicts, N=2..5)"
+# Spec files: clean specs must be verdict-clean at every N; the seeded
+# flow-bug fixture must be rejected with CCL031 naming the Figure-4
+# VC2/VC4 cycle. (The per-N verdict lines cover N=2..5.)
+for spec in specs/*.ccsql; do
+    case "$spec" in
+    *fig3_flowbug*)
+        if cargo run --quiet --release -p ccsql-cli -- flows "$spec" \
+            > "$BENCH_DIR/flows_bug.txt" 2>&1; then
+            echo "flows failed to reject $spec" >&2
+            exit 1
+        fi
+        grep -q 'CCL031' "$BENCH_DIR/flows_bug.txt"
+        grep -q 'VC2' "$BENCH_DIR/flows_bug.txt"
+        grep -q 'VC4' "$BENCH_DIR/flows_bug.txt"
+        grep -q 'N=2: deadlock' "$BENCH_DIR/flows_bug.txt"
+        grep -q 'N=5: deadlock' "$BENCH_DIR/flows_bug.txt"
+        ;;
+    *fig3_buggy*)
+        # Lint fixture with the pre-PR role-less `flow` directive: flows
+        # needs role slots and must say so rather than guess.
+        if cargo run --quiet --release -p ccsql-cli -- flows "$spec" \
+            > "$BENCH_DIR/flows_roleless.txt" 2>&1; then
+            echo "flows accepted a role-less spec" >&2
+            exit 1
+        fi
+        grep -q 'no role-tagged flow columns' "$BENCH_DIR/flows_roleless.txt"
+        ;;
+    *)
+        cargo run --quiet --release -p ccsql-cli -- flows "$spec" \
+            > "$BENCH_DIR/flows_ok.txt"
+        grep -q 'deadlock-free for every N' "$BENCH_DIR/flows_ok.txt"
+        ;;
+    esac
+done
+# Protocol: the parameterized verdict must track the assignment (the
+# deadlock pre-pass additionally hard-fails on any flows/VCG split),
+# and the operational leg must concur: the fixed protocol (V2 channel
+# discipline) verifies deadlock-free in the model checker at N=2..5.
+cargo run --quiet --release -p ccsql-cli -- flows --protocol --assignment v2 > /dev/null
+if cargo run --quiet --release -p ccsql-cli -- flows --protocol --assignment v1 \
+    > "$BENCH_DIR/flows_v1.txt" 2>&1; then
+    echo "flows missed the V1 Figure-4 cycle" >&2
+    exit 1
+fi
+grep -q 'CCL031' "$BENCH_DIR/flows_v1.txt"
+cargo run --quiet --release -p ccsql-cli -- deadlock --assignment v2 > /dev/null
+for nodes in 2 3 4 5; do
+    cargo run --quiet --release -p ccsql-cli -- mc --nodes "$nodes" --quota 1 \
+        > "$BENCH_DIR/mc_flows.txt"
+    grep -q 'verified' "$BENCH_DIR/mc_flows.txt" || {
+        echo "mc at $nodes node(s) disagrees with the parameterized verdict" >&2
+        exit 1
+    }
+done
+
+echo "==> ccsql flows --json determinism (two runs must be byte-identical)"
+cargo run --quiet --release -p ccsql-cli -- flows --protocol --assignment v2 --json \
+    > "$BENCH_DIR/flows_j1.json"
+cargo run --quiet --release -p ccsql-cli -- flows --protocol --assignment v2 --json \
+    > "$BENCH_DIR/flows_j2.json"
+diff "$BENCH_DIR/flows_j1.json" "$BENCH_DIR/flows_j2.json"
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
