@@ -13,7 +13,7 @@
 //! ccsql fuzz [--rounds N] [--seed N] [--out FILE.jsonl] [--quick]
 //! ccsql mc [--nodes N] [--quota N] [--resp-depth N] [--budget N] [--threads N]
 //!          [--no-symmetry]
-//! ccsql bench [--threads N] [--quick] [--out DIR]
+//! ccsql bench [--threads N] [--quick] [--out DIR] [--spec FILE.ccsql]
 //! ccsql fig4 [--fixed]
 //! ccsql query "SELECT …"
 //! ccsql lint [--json] [--protocol] [--assignment v0|v1|v2] FILE.ccsql …
@@ -47,7 +47,10 @@ use ccsql::liveness::BusyGraph;
 use ccsql::report::deadlock_report;
 use ccsql::vc::VcAssignment;
 use ccsql::{codegen, invariants};
-use ccsql_mc::{explore_threads, explore_with, McOpts, McOutcome, McStats, Model};
+use ccsql_mc::{
+    explore_threads, explore_with, McOpts, McOutcome, McStats, Model, SpecMachine, SpecMcOpts,
+    SpecVerdict,
+};
 use ccsql_protocol::states;
 use ccsql_protocol::topology::NodeId;
 use ccsql_relalg::report;
@@ -73,11 +76,11 @@ USAGE:
     ccsql map      [--emit verilog|rust] [--table NAME]
     ccsql sim      [--seed N] [--quads N] [--nodes N] [--ops N] [--shared-vc4]
                    [--chaos] [--fault-seed N] [--faults drop=R,dup=R,delay=R,reorder=R]
-                   [--coverage-report]
+                   [--coverage-report] [--spec FILE.ccsql]
     ccsql fuzz     [--rounds N] [--seed N] [--out FILE.jsonl] [--quick]
     ccsql mc       [--nodes N] [--quota N] [--resp-depth N] [--budget N] [--threads N]
-                   [--no-symmetry]
-    ccsql bench    [--threads N] [--quick] [--out DIR]
+                   [--no-symmetry] [--spec FILE.ccsql [--json]]
+    ccsql bench    [--threads N] [--quick] [--out DIR] [--spec FILE.ccsql]
     ccsql fig4     [--fixed]
     ccsql query    \"SELECT ... FROM D ...\"
     ccsql lint     [--json] [--protocol] [--assignment v0|v1|v2] FILE.ccsql ...
@@ -87,6 +90,17 @@ USAGE:
     ccsql stats    [<command> ...]
     ccsql profile  FILE.ccsql [--quick] [--threads N] [--nodes N] [--quota N]
                    [--budget N] [--ops N] [--seed N]
+    ccsql zoo      [DIR] [--quick] [--assignment v0|v1|v2]
+
+ZOO:
+    zoo runs every spec pack under DIR (default: specs) through the
+    whole pipeline — lint, compiled-vs-interpreted solve, flows/VCG,
+    spec-machine model checking (symmetry x threads identity) and a
+    seeded spec simulation — and prints a per-(protocol, stage) JSONL
+    verdict table. Packs named *_buggy / *_flowbug are seeded-bug
+    fixtures: zoo fails unless at least one stage rejects them; every
+    other pack must pass every stage. Output is deterministic
+    byte-for-byte across runs and thread counts.
 
 GLOBAL FLAGS (accepted anywhere):
     --metrics=FILE.jsonl   record stage metrics and export them as JSON lines
@@ -277,6 +291,7 @@ fn dispatch(args: &[String]) -> Result<String, String> {
         "export" => cmd_export(&opts),
         "stats" => cmd_stats(&args[1..]),
         "profile" => cmd_profile(&opts),
+        "zoo" => cmd_zoo(&opts),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
     }
@@ -566,6 +581,21 @@ fn parse_fault_rates(s: &str) -> Result<FaultRates, String> {
 }
 
 fn cmd_sim(opts: &Opts) -> Result<String, String> {
+    // `--spec FILE.ccsql`: a seeded random walk over the spec pack's
+    // transaction machine instead of the ASURA system simulator.
+    if let Some(path) = opts.value("--spec") {
+        let m = load_spec_machine(path)?;
+        let agents = opts.num("--nodes", 2)? as usize;
+        let seed = opts.num("--seed", 1)?;
+        let steps = opts.num("--ops", 10_000)? as usize;
+        let r = m.simulate(agents, seed, steps);
+        let text = format!("{}\n", r.render(seed));
+        return if r.stuck.is_none() {
+            Ok(text)
+        } else {
+            Err(text)
+        };
+    }
     let gen = generate()?;
     let quads = opts.num("--quads", 2)? as usize;
     let nodes_per_quad = opts.num("--nodes", 2)? as usize;
@@ -970,6 +1000,30 @@ fn default_threads() -> usize {
 }
 
 fn cmd_mc(opts: &Opts) -> Result<String, String> {
+    // `--spec FILE.ccsql`: model-check the spec pack's transaction
+    // machine (any protocol with `machine` directives) instead of the
+    // built-in ASURA model.
+    if let Some(path) = opts.value("--spec") {
+        let m = load_spec_machine(path)?;
+        let mc = SpecMcOpts {
+            agents: opts.num("--nodes", 2)? as usize,
+            threads: opts.num("--threads", 1)? as usize,
+            symmetry: !opts.flag("--no-symmetry"),
+            budget: opts.num("--budget", 1_000_000)? as usize,
+        };
+        let out = m.explore(&mc);
+        let mut text = if opts.flag("--json") {
+            out.render_json(&m.table, &mc)
+        } else {
+            out.render()
+        };
+        text.push('\n');
+        return if out.verdict == SpecVerdict::Verified {
+            Ok(text)
+        } else {
+            Err(text)
+        };
+    }
     let nodes = opts.num("--nodes", 2)? as usize;
     let quota = opts.num("--quota", 1)? as u8;
     let resp_depth = opts.num("--resp-depth", 2)? as usize;
@@ -1070,6 +1124,87 @@ fn cmd_bench(opts: &Opts) -> Result<String, String> {
     let quick = opts.flag("--quick");
     let out_dir = opts.value("--out").unwrap_or(".");
     let hardware = default_threads();
+
+    // ---- `--spec FILE.ccsql`: bench a spec pack's transaction machine
+    // instead of the built-in ASURA model, under the same identity
+    // discipline: symmetry orbit sum vs full state count, 1-thread vs
+    // N-thread stats equality, and a seeded walk that must reproduce
+    // itself exactly.
+    if let Some(path) = opts.value("--spec") {
+        let m = load_spec_machine(path)?;
+        let agents = opts.num("--nodes", if quick { 2 } else { 3 })? as usize;
+        let budget = opts.num("--budget", 1_000_000)? as usize;
+        let seed = opts.num("--seed", 1)?;
+        let mc = SpecMcOpts {
+            agents,
+            threads: 1,
+            symmetry: false,
+            budget,
+        };
+        let full = m.explore(&mc);
+        let sym = SpecMcOpts {
+            symmetry: true,
+            ..mc
+        };
+        let sym1 = m.explore(&sym);
+        let sym_n = m.explore(&SpecMcOpts { threads, ..sym });
+        let mut mc_same = sym1.verdict == sym_n.verdict && sym1.stats == sym_n.stats;
+        if full.verdict == SpecVerdict::Verified {
+            mc_same &= sym1.verdict == SpecVerdict::Verified
+                && sym1.stats.orbit_states == full.stats.states as u128;
+        }
+        let steps = if quick { 2_000 } else { 10_000 };
+        let walk1 = m.simulate(agents, seed, steps);
+        let walk2 = m.simulate(agents, seed, steps);
+        let sim_same = walk1.render(seed) == walk2.render(seed);
+        let sim_ok = walk1.stuck.is_none() && walk1.completions > 0;
+        let identical = mc_same && sim_same;
+        let mut text = String::new();
+        writeln!(
+            text,
+            "bench spec-mc: table={} agents={agents} budget={budget} threads={threads} \
+             verdict={} states={} orbit_states={} identical={mc_same}",
+            m.table,
+            full.verdict.as_str(),
+            full.stats.states,
+            sym1.stats.orbit_states
+        )
+        .unwrap();
+        writeln!(
+            text,
+            "bench spec-sim: seed={seed} steps={} completions={} stuck={} \
+             deterministic={sim_same}",
+            walk1.steps,
+            walk1.completions,
+            walk1.stuck.is_some()
+        )
+        .unwrap();
+        let json = format!(
+            "{{\n  \"table\": \"{}\",\n  \"agents\": {agents},\n  \"budget\": {budget},\n  \
+             \"threads\": {threads},\n  \"verdict\": \"{}\",\n  \"states\": {},\n  \
+             \"orbit_states\": {},\n  \"sim_steps\": {},\n  \"sim_completions\": {},\n  \
+             \"identical\": {identical}\n}}\n",
+            m.table,
+            full.verdict.as_str(),
+            full.stats.states,
+            sym1.stats.orbit_states,
+            walk1.steps,
+            walk1.completions
+        );
+        let spec_path = format!("{out_dir}/BENCH_spec.json");
+        std::fs::write(&spec_path, json).map_err(|e| format!("cannot write {spec_path}: {e}"))?;
+        writeln!(text, "wrote BENCH_spec.json").unwrap();
+        return if identical && sim_ok {
+            Ok(text)
+        } else if !identical {
+            Err(format!(
+                "{text}NONDETERMINISM: symmetry/thread or repeat-walk results differ"
+            ))
+        } else {
+            Err(format!("{text}spec walk stuck or completed nothing"))
+        };
+    }
+
     let mut text = String::new();
     let mut identical = true;
 
@@ -1713,6 +1848,289 @@ fn cmd_query(opts: &Opts) -> Result<String, String> {
 
 /// Positional (non-flag) arguments: everything that is not a `--flag`
 /// and not the value slot of a value-taking flag.
+/// Parse a spec pack, solve it (compiled path) and compile its
+/// transaction machine — the shared front half of `mc --spec`,
+/// `sim --spec` and the zoo's machine stages.
+fn load_spec_machine(path: &str) -> Result<SpecMachine, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let sf = ccsql_relalg::specfile::parse_specfile(&text).map_err(|e| format!("{path}: {e}"))?;
+    let (rel, failures) = ccsql_relalg::specfile::solve_specfile_with(&sf, true)
+        .map_err(|e| format!("{path}: {e}"))?;
+    if !failures.is_empty() {
+        return Err(format!(
+            "{path}: {} static check(s) failed — fix the table before running the machine",
+            failures.len()
+        ));
+    }
+    SpecMachine::build(&sf, &rel).map_err(|e| format!("{path}: {e}"))
+}
+
+/// One (protocol, stage) verdict of the zoo matrix.
+struct ZooRow {
+    protocol: String,
+    stage: &'static str,
+    verdict: &'static str,
+    detail: String,
+}
+
+impl ZooRow {
+    fn jsonl(&self) -> String {
+        format!(
+            "{{\"protocol\":\"{}\",\"stage\":\"{}\",\"verdict\":\"{}\",\"detail\":\"{}\"}}",
+            zoo_json_escape(&self.protocol),
+            self.stage,
+            self.verdict,
+            zoo_json_escape(&self.detail)
+        )
+    }
+}
+
+fn zoo_json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', " | ")
+}
+
+/// `ccsql zoo [DIR] [--quick]` — the protocol-zoo matrix: every spec
+/// pack under DIR runs through lint, compiled-vs-interpreted solve,
+/// flows/VCG, spec-machine model checking (with symmetry and thread
+/// identity cross-checks) and a seeded spec simulation. Spec packs
+/// named `*_buggy` / `*_flowbug` are seeded-bug fixtures that MUST be
+/// rejected by at least one stage; every other pack must pass all of
+/// them. Prints one JSONL verdict per (protocol, stage) plus a summary
+/// line; the whole output is deterministic across runs.
+fn cmd_zoo(opts: &Opts) -> Result<String, String> {
+    let quick = opts.flag("--quick");
+    let dir = positional(opts, &["--assignment"])
+        .first()
+        .copied()
+        .unwrap_or("specs");
+    let vc = parse_assignment(opts)?;
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read directory {dir}: {e}"))?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "ccsql"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!("no .ccsql spec packs under {dir}"));
+    }
+    // Agent/step budgets: the quick tier is the verify.sh gate, the
+    // full tier covers the deeper interleavings (3 agents reach the
+    // occupied-reservation rows of the phase-priority pack).
+    let agents = if quick { 2 } else { 3 };
+    let sim_steps = if quick { 2_000 } else { 10_000 };
+    let mut rows: Vec<ZooRow> = Vec::new();
+    let mut broken: Vec<String> = Vec::new();
+    for path in &paths {
+        let name = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("?")
+            .to_string();
+        let expect_reject = name.ends_with("_buggy") || name.ends_with("_flowbug");
+        let pack = zoo_pack(path, &name, &vc, agents, sim_steps)?;
+        let rejected = pack.iter().any(|r| r.verdict == "fail");
+        match (expect_reject, rejected) {
+            (true, false) => broken.push(format!(
+                "{name}: seeded-bug pack sailed through every stage"
+            )),
+            (false, true) => {
+                let stages: Vec<&str> = pack
+                    .iter()
+                    .filter(|r| r.verdict == "fail")
+                    .map(|r| r.stage)
+                    .collect();
+                broken.push(format!("{name}: clean pack failed {}", stages.join(", ")));
+            }
+            _ => {}
+        }
+        rows.extend(pack);
+    }
+    let mut out = String::new();
+    for r in &rows {
+        out.push_str(&r.jsonl());
+        out.push('\n');
+    }
+    let seeded = paths
+        .iter()
+        .filter(|p| {
+            p.file_stem()
+                .and_then(|s| s.to_str())
+                .is_some_and(|n| n.ends_with("_buggy") || n.ends_with("_flowbug"))
+        })
+        .count();
+    writeln!(
+        out,
+        "zoo: {} pack(s) ({} clean, {} seeded-bug), {} stage verdict(s), expectations {}",
+        paths.len(),
+        paths.len() - seeded,
+        seeded,
+        rows.len(),
+        if broken.is_empty() { "met" } else { "BROKEN" }
+    )
+    .unwrap();
+    for b in &broken {
+        writeln!(out, "  {b}").unwrap();
+    }
+    if broken.is_empty() {
+        Ok(out)
+    } else {
+        Err(out)
+    }
+}
+
+/// Run one spec pack through the five zoo stages.
+fn zoo_pack(
+    path: &std::path::Path,
+    name: &str,
+    vc: &VcAssignment,
+    agents: usize,
+    sim_steps: usize,
+) -> Result<Vec<ZooRow>, String> {
+    let path_str = path.display().to_string();
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path_str}: {e}"))?;
+    let sf =
+        ccsql_relalg::specfile::parse_specfile(&text).map_err(|e| format!("{path_str}: {e}"))?;
+    let mut rows = Vec::new();
+    let mut push = |stage: &'static str, pass: Option<bool>, detail: String| {
+        rows.push(ZooRow {
+            protocol: name.to_string(),
+            stage,
+            verdict: match pass {
+                Some(true) => "pass",
+                Some(false) => "fail",
+                None => "skip",
+            },
+            detail,
+        });
+    };
+
+    // Stage 1: lint (boundary hygiene, coverage, nondeterminism, …).
+    let report = ccsql_lint::lint_specfiles(&[&sf], &ccsql_protocol::ProtocolSpec::eval_context());
+    let (errors, warns) = report
+        .diagnostics()
+        .iter()
+        .fold((0, 0), |(e, w), d| match d.severity {
+            ccsql_lint::Severity::Error => (e + 1, w),
+            ccsql_lint::Severity::Warn => (e, w + 1),
+            _ => (e, w),
+        });
+    push(
+        "lint",
+        Some(!report.failed()),
+        format!("{errors} error(s), {warns} warning(s)"),
+    );
+
+    // Stage 2: solve, compiled AND interpreted, diffed byte-for-byte.
+    let compiled = ccsql_relalg::specfile::solve_specfile_with(&sf, true);
+    let interpreted = ccsql_relalg::specfile::solve_specfile_with(&sf, false);
+    let mut machine_rel = None;
+    match (compiled, interpreted) {
+        (Ok((rc, fc)), Ok((ri, fi))) => {
+            let tc = report::ascii_table(&rc.sorted());
+            let ti = report::ascii_table(&ri.sorted());
+            let identical = tc == ti;
+            let checks_ok = fc.is_empty() && fi.is_empty();
+            push(
+                "solve",
+                Some(identical && checks_ok),
+                format!(
+                    "{} row(s), compiled==interpreted: {identical}, failed check(s): {}",
+                    rc.len(),
+                    fc.len()
+                ),
+            );
+            if identical && checks_ok {
+                machine_rel = Some(rc);
+            }
+        }
+        (c, i) => {
+            let err = c
+                .err()
+                .or(i.err())
+                .map(|e| e.to_string())
+                .unwrap_or_default();
+            push("solve", Some(false), format!("solve failed: {err}"));
+        }
+    }
+
+    // Stage 3: flows / virtual-channel graph deadlock analysis.
+    match ccsql_lint::flows::analyze_specfile(&sf, vc) {
+        Ok(a) => {
+            let free = a.deadlock_free_all_n();
+            push(
+                "flows",
+                Some(free),
+                format!("deadlock-free for every N: {free}"),
+            );
+        }
+        Err(e) => push("flows", Some(false), format!("flow analysis failed: {e}")),
+    }
+
+    // Stages 4+5 need the operational directives and a clean table.
+    let machine = match &machine_rel {
+        None => Err("no clean solved table".to_string()),
+        Some(rel) => SpecMachine::build(&sf, rel),
+    };
+    match &machine {
+        Err(e) => {
+            push("specmc", None, format!("skipped: {e}"));
+            push("specsim", None, format!("skipped: {e}"));
+        }
+        Ok(m) => {
+            // Model check at 1 thread without symmetry, then with
+            // symmetry at 1 and 2 threads: the verdicts must agree, the
+            // orbit sizes must sum back to the full state count, and
+            // the two symmetric runs must render byte-identically.
+            let base = SpecMcOpts {
+                agents,
+                threads: 1,
+                symmetry: false,
+                budget: 1_000_000,
+            };
+            let sym_opts = SpecMcOpts {
+                symmetry: true,
+                ..base
+            };
+            let full = m.explore(&base);
+            let sym = m.explore(&sym_opts);
+            let threaded = m.explore(&SpecMcOpts {
+                threads: 2,
+                ..sym_opts
+            });
+            let identity = full.verdict == sym.verdict
+                && sym.stats.orbit_states == full.stats.states as u128
+                && sym.render_json(&m.table, &sym_opts)
+                    == threaded.render_json(&m.table, &sym_opts);
+            push(
+                "specmc",
+                Some(full.verdict == SpecVerdict::Verified && identity),
+                format!(
+                    "verdict {}, {} state(s) ({} orbit reps), rows {}/{}, sym/thread identity: {identity}",
+                    full.verdict.as_str(),
+                    full.stats.states,
+                    sym.stats.states,
+                    full.stats.rows_covered,
+                    full.stats.rows_total,
+                ),
+            );
+            // Seeded random walk, run twice: must be deterministic,
+            // never get stuck, and complete at least one transaction.
+            let r1 = m.simulate(agents, 5, sim_steps);
+            let r2 = m.simulate(agents, 5, sim_steps);
+            let deterministic = r1.render(5) == r2.render(5);
+            push(
+                "specsim",
+                Some(r1.stuck.is_none() && deterministic && r1.completions > 0),
+                format!("{}, deterministic: {deterministic}", r1.render(5)),
+            );
+        }
+    }
+    Ok(rows)
+}
+
 fn positional<'a>(opts: &Opts<'a>, value_flags: &[&str]) -> Vec<&'a str> {
     let mut out = Vec::new();
     let mut skip = false;
@@ -2460,6 +2878,129 @@ mod tests {
         let text = std::fs::read_to_string(&p).unwrap();
         assert!(text.contains("\"ccsql_lint.tables\""), "{text}");
         let _ = std::fs::remove_file(&p);
+    }
+
+    #[test]
+    fn zoo_emits_the_verdict_matrix_and_validates_flags() {
+        let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs");
+        let out = run(&argv(&format!("zoo {dir} --quick"))).unwrap();
+        assert!(out.contains("expectations met"), "{out}");
+        for stage in ["lint", "solve", "flows", "specmc", "specsim"] {
+            assert!(out.contains(&format!("\"stage\":\"{stage}\"")), "{out}");
+        }
+        // Summary counts agree with the fixture layout under specs/.
+        assert!(out.contains("7 pack(s) (3 clean, 4 seeded-bug)"), "{out}");
+        assert!(run(&argv("zoo /nonexistent-zoo-dir")).is_err());
+        assert!(run(&argv(&format!("zoo {dir} --assignment bogus"))).is_err());
+        // A directory with no spec packs is an error, not an empty pass.
+        let empty = std::env::temp_dir().join("ccsql_zoo_empty");
+        std::fs::create_dir_all(&empty).unwrap();
+        let err = run(&["zoo".into(), empty.display().to_string()]).unwrap_err();
+        assert!(err.contains("no .ccsql spec packs"), "{err}");
+        let _ = std::fs::remove_dir(&empty);
+    }
+
+    #[test]
+    fn spec_mc_flag_verifies_packs_and_rejects_unanimatable_ones() {
+        let spec = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../specs/phase_priority.ccsql"
+        );
+        let out = run(&argv(&format!("mc --spec {spec}"))).unwrap();
+        assert!(out.contains("specmc: verified"), "{out}");
+        let json = run(&argv(&format!("mc --spec {spec} --json"))).unwrap();
+        assert!(json.contains("\"verdict\":\"verified\""), "{json}");
+        assert!(run(&argv("mc --spec /nonexistent.ccsql")).is_err());
+        // fig3_buggy carries no operational directives (and a broken
+        // table): it cannot be animated as a machine.
+        let buggy = concat!(env!("CARGO_MANIFEST_DIR"), "/../../specs/fig3_buggy.ccsql");
+        assert!(run(&argv(&format!("mc --spec {buggy}"))).is_err());
+    }
+
+    #[test]
+    fn spec_sim_flag_walks_a_pack_and_reports_completions() {
+        let spec = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../specs/bedrock_moesif.ccsql"
+        );
+        let out = run(&argv(&format!("sim --spec {spec} --seed 3 --ops 500"))).unwrap();
+        assert!(out.contains("completion(s)"), "{out}");
+        assert!(!out.contains("STUCK"), "{out}");
+        assert!(run(&argv("sim --spec /nonexistent.ccsql")).is_err());
+    }
+
+    /// Absolute path of a zoo spec pack.
+    fn zoo_spec(name: &str) -> String {
+        format!("{}/../../specs/{name}.ccsql", env!("CARGO_MANIFEST_DIR"))
+    }
+
+    #[test]
+    fn profile_covers_every_zoo_protocol() {
+        // `ccsql profile` must take any clean pack through the whole
+        // pipeline, not just the MESI fig3 spec. Artifacts go to temp
+        // paths so the default names never land in the source tree.
+        let tmp = std::env::temp_dir();
+        let trace = tmp.join("ccsql_profile_zoo.trace.json");
+        let metrics = tmp.join("ccsql_profile_zoo.metrics.jsonl");
+        for name in ["fig3", "bedrock_moesif", "phase_priority"] {
+            let out = run(&[
+                "--trace-out".into(),
+                trace.display().to_string(),
+                format!("--metrics={}", metrics.display()),
+                "profile".into(),
+                zoo_spec(name),
+                "--quick".into(),
+            ])
+            .unwrap_or_else(|e| panic!("profile {name}: {e}"));
+            for line in ["stage", "throughput: solver", "outcomes: lint clean"] {
+                assert!(out.contains(line), "{name}: missing {line:?} in:\n{out}");
+            }
+        }
+        let _ = std::fs::remove_file(&trace);
+        let _ = std::fs::remove_file(&metrics);
+    }
+
+    #[test]
+    fn flows_dot_renders_every_zoo_protocol_deterministically() {
+        for name in ["fig3", "bedrock_moesif", "phase_priority"] {
+            let args = ["flows".to_string(), zoo_spec(name), "--dot".to_string()];
+            let dot = run(&args).unwrap_or_else(|e| panic!("flows --dot {name}: {e}"));
+            assert!(dot.starts_with("digraph flows {"), "{name}: {dot}");
+            assert!(dot.trim_end().ends_with('}'), "{name}: {dot}");
+            assert_eq!(
+                dot,
+                run(&args).unwrap(),
+                "{name}: --dot must be deterministic"
+            );
+        }
+    }
+
+    #[test]
+    fn bench_spec_leg_covers_every_zoo_protocol() {
+        let dir = std::env::temp_dir().join("ccsql_bench_spec_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let dir_s = dir.display().to_string();
+        for name in ["fig3", "bedrock_moesif", "phase_priority"] {
+            let out = run(&argv(&format!(
+                "bench --spec {} --quick --threads 2 --nodes 2 --out {dir_s}",
+                zoo_spec(name)
+            )))
+            .unwrap_or_else(|e| panic!("bench --spec {name}: {e}"));
+            assert!(out.contains("bench spec-mc:"), "{name}: {out}");
+            assert!(out.contains("verdict=verified"), "{name}: {out}");
+            assert!(out.contains("bench spec-sim:"), "{name}: {out}");
+            assert!(!out.contains("identical=false"), "{name}: {out}");
+            let json = std::fs::read_to_string(dir.join("BENCH_spec.json")).unwrap();
+            json_check::parse(&json).unwrap_or_else(|e| panic!("BENCH_spec.json: {e}\n{json}"));
+            assert!(json.contains("\"identical\": true"), "{name}: {json}");
+        }
+        // A pack the static checks reject never reaches the machine.
+        assert!(run(&argv(&format!(
+            "bench --spec {} --quick --out {dir_s}",
+            zoo_spec("fig3_buggy")
+        )))
+        .is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -204,9 +204,22 @@ pub fn lint_coverage(
     let mut uncovered_total = 0usize;
     let mut nondet_total = 0usize;
 
+    // Domain-value usage for the CCL006 vestigial-vocabulary lint: an
+    // input value is used when some legal row carries it, an output
+    // value when some completion of a legal input emits it. Rows with
+    // 2+ completions stop at the cutoff, so usage under-approximates on
+    // nondeterministic tables — which already fail CCL011 outright.
+    let mut used: Vec<std::collections::HashSet<u32>> =
+        vec![Default::default(); inputs.len() + outputs.len()];
+
     for row in &rows {
+        for (k, &id) in row.iter().enumerate() {
+            used[k].insert(id);
+        }
         let mut buf = row.clone();
-        let n = count_completions(&out_ids, &ready_at, &mut buf, 0, ctx, &mut regs, 2);
+        let n = count_completions(
+            &out_ids, &ready_at, &mut buf, 0, ctx, &mut regs, 2, &mut used,
+        );
         if n == 0 {
             uncovered_total += 1;
             if uncovered.len() < WITNESS_CAP {
@@ -247,6 +260,37 @@ pub fn lint_coverage(
         "constraints admit 2+ distinct output rows for legal input",
         "legal inputs admit 2+ distinct output rows",
     );
+
+    // CCL006: declared domain values the constraints dead-end — never
+    // carried by a legal input row, never emitted by any completion.
+    // Skip the check when the table has no rows at all (everything
+    // would be vestigial; the real defect lies elsewhere).
+    if !rows.is_empty() {
+        for (k, col) in inputs.iter().chain(outputs.iter()).enumerate() {
+            let role = if k < inputs.len() { "input" } else { "output" };
+            for v in col.values.iter().filter(|v| !used[k].contains(&v.vid())) {
+                report.push(
+                    Diagnostic::new(
+                        codes::VESTIGIAL_DOMAIN_VALUE,
+                        Severity::Warn,
+                        &spec.name,
+                        col.name.as_str(),
+                        format!(
+                            "{role} column table declares {} but no {} ever carries it \
+                             — vestigial domain value",
+                            Expr::Lit(*v),
+                            if role == "input" {
+                                "legal input row"
+                            } else {
+                                "generated row"
+                            },
+                        ),
+                    )
+                    .at(span_of(col.name.as_str())),
+                );
+            }
+        }
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -290,6 +334,8 @@ fn render_row(cols: &[Sym], row: &[u32]) -> String {
 /// Count complete output assignments satisfying all residuals, stopping
 /// at `cutoff`. `row` holds the legal input ids; outputs are pushed and
 /// popped in depth order, and each program runs at its ready depth.
+/// Every full completion marks its value ids in `used` (input ids at
+/// their prefix positions are marked by the caller).
 #[allow(clippy::too_many_arguments)]
 fn count_completions(
     out_ids: &[Vec<u32>],
@@ -299,8 +345,12 @@ fn count_completions(
     ctx: &dyn EvalContext,
     regs: &mut [u32],
     cutoff: usize,
+    used: &mut [std::collections::HashSet<u32>],
 ) -> usize {
     if depth == out_ids.len() {
+        for (k, &id) in row.iter().enumerate() {
+            used[k].insert(id);
+        }
         return 1;
     }
     let mut n = 0usize;
@@ -310,7 +360,16 @@ fn count_completions(
             .iter()
             .all(|p| matches!(p.eval_ids(row, ctx, regs), Ok(true)));
         if ok {
-            n += count_completions(out_ids, ready_at, row, depth + 1, ctx, regs, cutoff - n);
+            n += count_completions(
+                out_ids,
+                ready_at,
+                row,
+                depth + 1,
+                ctx,
+                regs,
+                cutoff - n,
+                used,
+            );
         }
         row.pop();
         if n >= cutoff {

@@ -52,6 +52,9 @@ pub mod codes {
     pub const FORCED_OUT_OF_DOMAIN: &str = "CCL004";
     /// Every branch of an output constraint assigns `NULL`.
     pub const ALL_BRANCHES_NULL: &str = "CCL005";
+    /// A declared domain value no legal input row carries and no output
+    /// row emits — vestigial vocabulary the constraints dead-end.
+    pub const VESTIGIAL_DOMAIN_VALUE: &str = "CCL006";
     /// A legal input assignment no constraint admits (incompleteness).
     pub const UNCOVERED_INPUT: &str = "CCL010";
     /// A legal input assignment admits ≥ 2 output rows (nondeterminism).
@@ -87,6 +90,7 @@ pub mod codes {
         (UNREACHABLE_BRANCH, "unreachable ternary branch"),
         (FORCED_OUT_OF_DOMAIN, "column forced outside its table"),
         (ALL_BRANCHES_NULL, "every branch assigns NULL"),
+        (VESTIGIAL_DOMAIN_VALUE, "domain value no row ever uses"),
         (UNCOVERED_INPUT, "legal input no constraint admits"),
         (NONDETERMINISTIC, "legal input admits two or more rows"),
         (ANALYSIS_SKIPPED, "analysis skipped"),

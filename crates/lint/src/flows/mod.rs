@@ -606,16 +606,10 @@ mod tests {
     fn protocol_universe_builds_and_v2_is_clean() {
         let gen = GeneratedProtocol::generate_default().unwrap();
         let a = analyze_protocol(&gen, &VcAssignment::v2()).unwrap();
-        // A real finding: the remote-access controller keeps two rows
-        // accepting `srdex` for the `OwnerTransfer::Direct` revision,
-        // but the default directory never emits it — dormant code no
-        // flow can reach. Both rows belong to R.
-        assert_eq!(a.uncovered.len(), 2, "uncovered: {:?}", a.uncovered);
-        for &i in &a.uncovered {
-            let row = &a.universe.rows[i];
-            assert_eq!(row.table, "R");
-            assert!(row.accepts.iter().all(|x| x.msg == "srdex"));
-        }
+        // Full coverage: the `srdex` rows that used to sit dormant in R
+        // (vestigial under `OwnerTransfer::ViaMemory`, CCL006) now exist
+        // only in the Direct revision, so every row is flow-reachable.
+        assert_eq!(a.uncovered.len(), 0, "uncovered: {:?}", a.uncovered);
         assert!(a.deadlock_free_all_n());
         assert!(a.agrees_with_vcg());
         let a1 = analyze_protocol(&gen, &VcAssignment::v1()).unwrap();

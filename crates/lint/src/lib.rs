@@ -323,8 +323,60 @@ mod tests {
              output o = p, NULL\n\
              constrain o: a = x ? o = p : (o != p and o != NULL)\n",
         );
+        // The lone legal row carries o = p, so NULL is also flagged as a
+        // vestigial domain value.
         let codes: Vec<&str> = r.diagnostics().iter().map(|d| d.code).collect();
-        assert_eq!(codes, vec![codes::UNCOVERED_INPUT], "{}", r.render_human());
+        assert_eq!(
+            codes,
+            vec![codes::VESTIGIAL_DOMAIN_VALUE, codes::UNCOVERED_INPUT],
+            "{}",
+            r.render_human()
+        );
+    }
+
+    #[test]
+    fn vestigial_domain_value_detected() {
+        // `q` is declared in o's column table but no constraint branch
+        // ever produces it, and `y` is declared for `a` but the filter
+        // admits no row carrying it.
+        let r = lint_src(
+            "table T\n\
+             input a = x, y\n\
+             constrain a: a = x\n\
+             output o = p, q, NULL\n\
+             constrain o: a = x ? o = p : o = NULL\n",
+        );
+        let codes: Vec<&str> = r.diagnostics().iter().map(|d| d.code).collect();
+        assert_eq!(
+            codes,
+            vec![codes::VESTIGIAL_DOMAIN_VALUE; 3],
+            "{}",
+            r.render_human()
+        );
+        let cols: Vec<&str> = r.diagnostics().iter().map(|d| d.column.as_str()).collect();
+        assert_eq!(cols, vec!["a", "o", "o"], "{}", r.render_human());
+        assert!(!r.is_clean());
+        assert!(r.failed(), "warnings gate the lint");
+    }
+
+    #[test]
+    fn both_protocol_revisions_are_vestigial_free() {
+        // Regression for the CCL006 sweep over the 8 ASURA controller
+        // tables: every declared domain value is carried by some row in
+        // whichever owner-transfer revision declares it.
+        use ccsql_protocol::directory::OwnerTransfer;
+        for transfer in [OwnerTransfer::ViaMemory, OwnerTransfer::Direct] {
+            let p = ProtocolSpec::asura_with(transfer);
+            let r = lint_protocol(&p, &VcAssignment::v2());
+            let vestigial: Vec<String> = r
+                .diagnostics()
+                .iter()
+                .filter(|d| d.code == codes::VESTIGIAL_DOMAIN_VALUE)
+                .map(|d| format!("{}.{}", d.table, d.column))
+                .collect();
+            assert!(vestigial.is_empty(), "{transfer:?}: {vestigial:?}");
+            assert!(!r.failed(), "{transfer:?}:\n{}", r.render_human());
+        }
     }
 
     #[test]
@@ -349,10 +401,12 @@ mod tests {
              output o = p, q, NULL\n\
              constrain o: a = x ? o = p : (a = x ? o = q : o = NULL)\n",
         );
+        // The dead branch was the only producer of q, so q is also
+        // flagged as a vestigial domain value.
         let codes: Vec<&str> = r.diagnostics().iter().map(|d| d.code).collect();
         assert_eq!(
             codes,
-            vec![codes::UNREACHABLE_BRANCH],
+            vec![codes::UNREACHABLE_BRANCH, codes::VESTIGIAL_DOMAIN_VALUE],
             "{}",
             r.render_human()
         );

@@ -36,6 +36,8 @@ fn ccl001_unknown_column() {
              declared column (mistyped column name?)",
             "T.o at 4:14: warn CCL003: then-branch of `\"bogus\" = \"x\" ? … : …` is \
              unreachable: the condition never holds on any path that reaches it",
+            "T.o at 4:14: warn CCL006: output column table declares \"p\" but no \
+             generated row ever carries it — vestigial domain value",
         ]
     );
     assert!(r.failed());
@@ -73,6 +75,8 @@ fn ccl003_unreachable_branch() {
         vec![
             "T.o at 4:14: warn CCL003: then-branch of `a = \"x\" ? … : …` is \
              unreachable: the condition never holds on any path that reaches it",
+            "T.o at 4:14: warn CCL006: output column table declares \"q\" but no \
+             generated row ever carries it — vestigial domain value",
         ]
     );
 }
@@ -92,6 +96,8 @@ fn ccl004_forced_out_of_domain() {
         vec![
             "T.o at 4:14: error CCL004: constraint assigns `o = \"q\"`, which is \
              outside the column table",
+            "T.o at 4:14: warn CCL006: output column table declares \"p\" but no \
+             generated row ever carries it — vestigial domain value",
             "T at 4:14: error CCL010: no output row satisfies the constraints for \
              legal input a=\"x\"",
         ]
@@ -111,6 +117,8 @@ fn ccl005_all_branches_null() {
         vec![
             "T.o at 4:14: warn CCL005: every branch assigns `o = NULL`: this output \
              can never do anything",
+            "T.o at 4:14: warn CCL006: output column table declares \"p\" but no \
+             generated row ever carries it — vestigial domain value",
         ]
     );
 }
@@ -127,6 +135,8 @@ fn ccl010_uncovered_input() {
     assert_eq!(
         findings(&r),
         vec![
+            "T.o at 4:14: warn CCL006: output column table declares NULL but no \
+             generated row ever carries it — vestigial domain value",
             "T at 4:14: error CCL010: no output row satisfies the constraints for \
              legal input a=\"y\"",
         ]
@@ -273,15 +283,21 @@ fn fig3_buggy_reports_each_seeded_bug() {
     let src = include_str!("../../../specs/fig3_buggy.ccsql");
     let r = lint_src(src);
     let codes_seen: Vec<&str> = r.diagnostics().iter().map(|d| d.code).collect();
-    // Three distinct codes, one per seeded bug (CCL010 reports both
-    // uncovered sharer-count witnesses of the same bug).
+    // Three distinct seeded-bug codes (CCL010 reports both uncovered
+    // sharer-count witnesses of the same bug), plus the CCL006 fallout:
+    // the dead `sfetch` flow, the rows the coverage hole swallows, and
+    // the state the dead branch was the only writer of all leave
+    // vestigial domain values behind.
     assert_eq!(
         codes_seen,
         vec![
             codes::EMITTED_NEVER_ACCEPTED,
+            codes::VESTIGIAL_DOMAIN_VALUE,
+            codes::VESTIGIAL_DOMAIN_VALUE,
             codes::UNCOVERED_INPUT,
             codes::UNCOVERED_INPUT,
             codes::UNREACHABLE_BRANCH,
+            codes::VESTIGIAL_DOMAIN_VALUE,
         ],
         "{}",
         r.render_human()
@@ -292,6 +308,10 @@ fn fig3_buggy_reports_each_seeded_bug() {
         vec![
             "Fig3Buggy.remmsg at 25:8: error CCL020: emits `sfetch`, which no \
              controller input column accepts and the environment does not consume",
+            "Fig3Buggy.remmsg at 40:19: warn CCL006: output column table declares \
+             \"sfetch\" but no generated row ever carries it — vestigial domain value",
+            "Fig3Buggy.remmsg at 40:19: warn CCL006: output column table declares \
+             \"sinv\" but no generated row ever carries it — vestigial domain value",
             "Fig3Buggy at 43:19: error CCL010: no output row satisfies the \
              constraints for legal input inmsg=\"readex\", dirst=\"SI\", dirpv=\"gone\"",
             "Fig3Buggy at 43:19: error CCL010: no output row satisfies the \
@@ -299,6 +319,8 @@ fn fig3_buggy_reports_each_seeded_bug() {
             "Fig3Buggy.nxtdirst at 45:21: warn CCL003: then-branch of \
              `dirst = \"SI\" ? … : …` is unreachable: the condition never holds on any \
              path that reaches it",
+            "Fig3Buggy.nxtdirst at 45:21: warn CCL006: output column table declares \
+             \"Busy-sd\" but no generated row ever carries it — vestigial domain value",
         ]
     );
 }

@@ -15,6 +15,7 @@
 pub mod compact;
 pub mod explore;
 pub mod model;
+pub mod spec;
 pub mod state;
 
 pub use compact::{canon, orbit_size, pack, unpack, Compact};
@@ -22,4 +23,5 @@ pub use explore::{
     explore, explore_from, explore_threads, explore_with, McOpts, McOutcome, McStats,
 };
 pub use model::Model;
+pub use spec::{SpecMachine, SpecMcOpts, SpecMcOutcome, SpecMcStats, SpecSimReport, SpecVerdict};
 pub use state::State;

@@ -24,21 +24,19 @@ pub fn cfg_spec() -> ControllerSpec {
     b.input("inmsgdest", only("home"), Expr::col_eq("inmsgdest", "home"));
     b.input("cfgst", vals(&["idle", "synced"]), Expr::True);
 
+    // Every special transaction is answered, so `outmsg` carries no
+    // NULL and the derived src/dest columns are fixed.
     b.output(
         "outmsg",
-        vals_null(&["cfgdata", "cfgcompl", "syncdone", "proberes"]),
-        Value::Null,
+        vals(&["cfgdata", "cfgcompl", "syncdone", "proberes"]),
+        v("cfgcompl"),
     );
     b.output("nxtcfgst", vals_null(&["idle", "synced"]), Value::Null);
-    b.derived(
-        "outmsgsrc",
-        vals_null(&["home"]),
-        ccsql_relalg::parse_expr("outmsg = NULL ? outmsgsrc = NULL : outmsgsrc = home").unwrap(),
-    );
+    b.derived("outmsgsrc", only("home"), Expr::col_eq("outmsgsrc", "home"));
     b.derived(
         "outmsgdest",
-        vals_null(&["local"]),
-        ccsql_relalg::parse_expr("outmsg = NULL ? outmsgdest = NULL : outmsgdest = local").unwrap(),
+        only("local"),
+        Expr::col_eq("outmsgdest", "local"),
     );
 
     let g = |m: &str, st: &[&str]| {

@@ -116,8 +116,15 @@ pub fn directory_spec_with(transfer: OwnerTransfer) -> ControllerSpec {
     let mut b = ControllerBuilder::new("D");
 
     // ------------------------------------------------------ input columns
+    // `xferdone` (the owner's cache-to-cache transfer confirmation) only
+    // exists in the Direct owner-transfer revision; accepting it in the
+    // ViaMemory design would be vestigial vocabulary (CCL006).
     let mut inmsgs: Vec<&str> = D_REQUESTS.to_vec();
-    inmsgs.extend_from_slice(D_RESPONSES);
+    inmsgs.extend(
+        D_RESPONSES
+            .iter()
+            .filter(|m| transfer == OwnerTransfer::Direct || **m != "xferdone"),
+    );
     b.input("inmsg", vals(&inmsgs), Expr::True);
     b.input(
         "inmsgsrc",

@@ -23,21 +23,20 @@ pub fn io_spec() -> ControllerSpec {
     b.input("inmsgdest", only("home"), Expr::col_eq("inmsgdest", "home"));
     b.input("iost", vals(&["ready", "owned"]), Expr::True);
 
+    // Every I/O transaction is answered (with data, completion, or a
+    // retry bounce), so `outmsg` carries no NULL and the derived
+    // src/dest columns are fixed.
     b.output(
         "outmsg",
-        vals_null(&["iodata", "iocompl", "intdone", "ack", "retry"]),
-        Value::Null,
+        vals(&["iodata", "iocompl", "intdone", "ack", "retry"]),
+        v("retry"),
     );
     b.output("nxtiost", vals_null(&["ready", "owned"]), Value::Null);
-    b.derived(
-        "outmsgsrc",
-        vals_null(&["home"]),
-        ccsql_relalg::parse_expr("outmsg = NULL ? outmsgsrc = NULL : outmsgsrc = home").unwrap(),
-    );
+    b.derived("outmsgsrc", only("home"), Expr::col_eq("outmsgsrc", "home"));
     b.derived(
         "outmsgdest",
-        vals_null(&["home"]),
-        ccsql_relalg::parse_expr("outmsg = NULL ? outmsgdest = NULL : outmsgdest = home").unwrap(),
+        only("home"),
+        Expr::col_eq("outmsgdest", "home"),
     );
 
     let g = |m: &str, st: &str| Expr::col_eq("inmsg", m).and(Expr::col_eq("iost", st));

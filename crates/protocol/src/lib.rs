@@ -114,7 +114,7 @@ impl ProtocolSpec {
                 directory::directory_spec_with(transfer),
                 memory::memory_spec(),
                 node::node_spec(),
-                rac::rac_spec(),
+                rac::rac_spec_with(transfer),
                 cache::cache_spec(),
                 io::io_spec(),
                 link::link_spec(),

@@ -8,6 +8,7 @@
 //! A to memory before receiving sinv(A)" — so a `sinv` can find the line
 //! already invalid and still must answer `idone`).
 
+use crate::directory::OwnerTransfer;
 use crate::spec::cols::{only, vals, vals_null};
 use crate::spec::{ControllerBuilder, ControllerSpec, MsgTriple, Rule};
 use ccsql_relalg::{Expr, Value};
@@ -24,14 +25,24 @@ fn g(inmsg: &str, st: &[&str]) -> Expr {
     Expr::col_eq("inmsg", inmsg).and(stx)
 }
 
-/// Build the remote access cache controller specification.
+/// Build the remote access cache controller specification (the paper's
+/// design: [`OwnerTransfer::ViaMemory`]).
 pub fn rac_spec() -> ControllerSpec {
+    rac_spec_with(OwnerTransfer::ViaMemory)
+}
+
+/// Build the RAC with a chosen owner-transfer design. The `srdex` snoop
+/// and its `xferdone` answer only exist in the Direct revision; in the
+/// paper's ViaMemory design they would be vestigial vocabulary (CCL006).
+pub fn rac_spec_with(transfer: OwnerTransfer) -> ControllerSpec {
+    let direct = transfer == OwnerTransfer::Direct;
     let mut b = ControllerBuilder::new("R");
-    b.input(
-        "inmsg",
-        vals(&["sinv", "sread", "sflush", "srdex", "sfetch"]),
-        Expr::True,
-    );
+    let mut snoops = vec!["sinv", "sread", "sflush"];
+    if direct {
+        snoops.push("srdex");
+    }
+    snoops.push("sfetch");
+    b.input("inmsg", vals(&snoops), Expr::True);
     b.input("inmsgsrc", only("home"), Expr::col_eq("inmsgsrc", "home"));
     b.input(
         "inmsgdest",
@@ -41,27 +52,25 @@ pub fn rac_spec() -> ControllerSpec {
     b.input("inmsgres", only("snpq"), Expr::col_eq("inmsgres", "snpq"));
     b.input("linest", vals(&["M", "E", "S", "I"]), Expr::True);
 
+    // Every snoop is answered (the liveness test below), so `rspmsg`
+    // carries no NULL and the derived src/dest/res columns are fixed.
     b.output(
         "rspmsg",
-        vals_null(&["idone", "sdata", "fdone", "xferdone", "sdone"]),
-        Value::Null,
+        vals(&["idone", "sdata", "fdone", "xferdone", "sdone"]),
+        v("idone"),
     );
     b.output("nxtlinest", vals_null(&["M", "E", "S", "I"]), Value::Null);
     b.derived(
         "rspmsgsrc",
-        vals_null(&["remote"]),
-        ccsql_relalg::parse_expr("rspmsg = NULL ? rspmsgsrc = NULL : rspmsgsrc = remote").unwrap(),
+        only("remote"),
+        Expr::col_eq("rspmsgsrc", "remote"),
     );
     b.derived(
         "rspmsgdest",
-        vals_null(&["home"]),
-        ccsql_relalg::parse_expr("rspmsg = NULL ? rspmsgdest = NULL : rspmsgdest = home").unwrap(),
+        only("home"),
+        Expr::col_eq("rspmsgdest", "home"),
     );
-    b.derived(
-        "rspmsgres",
-        vals_null(&["rspq"]),
-        ccsql_relalg::parse_expr("rspmsg = NULL ? rspmsgres = NULL : rspmsgres = rspq").unwrap(),
-    );
+    b.derived("rspmsgres", only("rspq"), Expr::col_eq("rspmsgres", "rspq"));
 
     // Invalidations: every state (including I — the line may have been
     // written back / replaced before the snoop arrived, Figure 4)
@@ -94,12 +103,14 @@ pub fn rac_spec() -> ControllerSpec {
         g("sflush", &["E", "S", "I"]),
         vec![("rspmsg", v("fdone")), ("nxtlinest", v("I"))],
     ));
-    // Ownership transfer.
-    b.rule(Rule::new(
-        "srdex",
-        g("srdex", &["M", "E"]),
-        vec![("rspmsg", v("xferdone")), ("nxtlinest", v("I"))],
-    ));
+    // Ownership transfer (Direct revision only).
+    if direct {
+        b.rule(Rule::new(
+            "srdex",
+            g("srdex", &["M", "E"]),
+            vec![("rspmsg", v("xferdone")), ("nxtlinest", v("I"))],
+        ));
+    }
     // Uncached fetch from the owner.
     b.rule(Rule::new(
         "sfetch",
@@ -128,8 +139,9 @@ mod tests {
             .spec
             .generate(GenMode::Incremental, &SetContext::new())
             .unwrap();
-        // sinv 4 + sread 4 + sflush 4 + srdex 2 + sfetch 2 = 16.
-        assert_eq!(rel.len(), 16);
+        // sinv 4 + sread 4 + sflush 4 + sfetch 2 = 14 (no srdex in the
+        // paper's ViaMemory design).
+        assert_eq!(rel.len(), 14);
         let s = rel.schema();
         let col = |n: &str| s.index_of_str(n).unwrap();
         // Figure 4: sinv finds the line already written back (I) and
@@ -141,6 +153,31 @@ mod tests {
         assert_eq!(r[col("rspmsg")], Value::sym("idone"));
         assert_eq!(r[col("rspmsgsrc")], Value::sym("remote"));
         assert_eq!(r[col("rspmsgdest")], Value::sym("home"));
+    }
+
+    #[test]
+    fn srdex_vocabulary_exists_only_in_the_direct_revision() {
+        // Regression for the CCL006 find: the ViaMemory RAC neither
+        // accepts `srdex` nor emits `xferdone`; the Direct revision
+        // does both (2 extra rows, one per owner state).
+        let ctx = SetContext::new();
+        let via = rac_spec()
+            .spec
+            .generate(GenMode::Incremental, &ctx)
+            .unwrap()
+            .0;
+        let direct = rac_spec_with(OwnerTransfer::Direct)
+            .spec
+            .generate(GenMode::Incremental, &ctx)
+            .unwrap()
+            .0;
+        assert_eq!(direct.len(), via.len() + 2);
+        let emits_xfer = |rel: &ccsql_relalg::Relation| {
+            let col = rel.schema().index_of_str("rspmsg").unwrap();
+            rel.rows().any(|r| r[col] == Value::sym("xferdone"))
+        };
+        assert!(!emits_xfer(&via));
+        assert!(emits_xfer(&direct));
     }
 
     #[test]

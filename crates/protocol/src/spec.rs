@@ -192,13 +192,39 @@ impl ControllerBuilder {
             );
             for rule in self.rules.iter().rev() {
                 let v = rule.value_for(out.name).unwrap_or(out.default);
+                assert!(
+                    out.values.contains(&v),
+                    "{}: rule `{}` sets {} = {}, which is not in the declared column table",
+                    self.name,
+                    rule.name,
+                    out.name,
+                    Expr::Lit(v),
+                );
                 let assign = Expr::Eq(
                     Box::new(Expr::Col(ccsql_relalg::Sym::intern(out.name))),
                     Box::new(Expr::Lit(v)),
                 );
                 chain = rule.guard.clone().ternary(assign, chain);
             }
-            spec.push(ColumnDef::output(out.name, out.values.clone(), chain));
+            // The column table is derived from the rules: only values
+            // some rule emits — plus the default, when a rule leaves the
+            // column alone — can appear in the generated table, so
+            // declaring anything wider is vestigial vocabulary (the
+            // CCL006 lint). Declared order is preserved.
+            let takes_default = self.rules.iter().any(|r| r.value_for(out.name).is_none());
+            let values: Vec<Value> = out
+                .values
+                .iter()
+                .filter(|v| {
+                    (takes_default && **v == out.default)
+                        || self
+                            .rules
+                            .iter()
+                            .any(|r| r.value_for(out.name) == Some(**v))
+                })
+                .copied()
+                .collect();
+            spec.push(ColumnDef::output(out.name, values, chain));
         }
 
         for d in &self.derived_outputs {

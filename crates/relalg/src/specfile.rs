@@ -48,6 +48,34 @@
 //! * `extern recv m1, m2, …` — messages the environment consumes, so
 //!   an output column emitting them is not unsendable.
 //!
+//! Four further optional directives give the spec an *operational*
+//! reading — enough for a generic transaction machine (`ccsql zoo` /
+//! the spec-level model checker in `ccsql-mc`) to execute the solved
+//! table as a closed system. Like `flow`/`extern`, they have no effect
+//! on table generation:
+//!
+//! * `machine COL = NXTCOL, init v1 v2 …[, stable v1 v2 …][, map X -> Y]…`
+//!   — declares `COL` a controller *state variable* whose next value
+//!   each row gives in output column `NXTCOL` (`NULL` = unchanged). The
+//!   `init` clause lists the values exploration may start from; the
+//!   `stable` clause (meaningful on the first `machine` directive, the
+//!   *primary* state variable) lists the states in which a transaction
+//!   is complete. `map` resolves transient next-values that are not
+//!   themselves states: `map MESI -> I` rewrites them, `map inc -> +1`
+//!   / `map dec -> -1` step along the declared value order (saturating
+//!   at the ends), and `map MESI -> init` closes the transaction by
+//!   resetting *every* state variable to its first `init` value.
+//! * `multicast COL, …` — emissions in these output columns address
+//!   many peers at once (e.g. one `sinv` invalidating every sharer), so
+//!   the machine grants the environment more than one response credit.
+//! * `complete COL = m1, m2, …` — delivering one of these messages to
+//!   the `local` role completes the requester's transaction even when
+//!   the controller itself stays busy (e.g. serving a pended request).
+//! * `bounce COL = m1, m2, …` — delivering one of these messages to the
+//!   `local` role *rejects* the request: the requester reposts it at
+//!   the next higher value of its request-attribute column (priority
+//!   escalation on retry).
+//!
 //! Every parse error carries the 1-based line/column it occurred at
 //! ([`crate::error::Span`]); constraint-expression errors are re-anchored
 //! from the expression substring to the real position in the file.
@@ -98,6 +126,39 @@ impl FlowColumn {
 /// The role literals a `flow` role slot may use instead of a column.
 pub const ROLE_LITERALS: [&str; 3] = ["local", "home", "remote"];
 
+/// How a transient next-state value resolves to a state-variable value
+/// (the `map` clauses of a `machine` directive).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineStep {
+    /// Rewrite to this (in-domain) value.
+    To(Value),
+    /// Step to the next value in the column's declared order
+    /// (saturating at the last value).
+    Up,
+    /// Step to the previous value in the declared order (saturating at
+    /// the first value).
+    Down,
+    /// Close the transaction: every machine variable resets to its
+    /// first `init` value.
+    Reset,
+}
+
+/// One `machine` directive: a state variable of the operational reading
+/// of the spec (see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineVar {
+    /// The input column holding the variable's current value.
+    pub column: String,
+    /// The output column giving its next value (`NULL` = unchanged).
+    pub next: String,
+    /// Values exploration may start from (first = the reset value).
+    pub init: Vec<Value>,
+    /// States in which a transaction is complete (primary variable).
+    pub stable: Vec<Value>,
+    /// Transient next-value resolutions, in declaration order.
+    pub maps: Vec<(Value, MachineStep)>,
+}
+
 /// Source metadata of a parsed spec file: where columns and constraints
 /// were declared, plus the optional message-flow directives. Purely
 /// informational — table generation ignores it; the linter uses it to
@@ -114,6 +175,17 @@ pub struct SpecMeta {
     pub extern_send: Vec<String>,
     /// Messages the environment consumes (`extern recv …`).
     pub extern_recv: Vec<String>,
+    /// State variables of the operational reading (`machine …`), in
+    /// declaration order; the first is the primary state variable.
+    pub machines: Vec<MachineVar>,
+    /// Output columns whose emissions address many peers (`multicast`).
+    pub multicast: Vec<String>,
+    /// `(column, messages)` whose delivery to `local` completes a
+    /// transaction (`complete COL = …`).
+    pub complete_msgs: Vec<(String, Vec<Value>)>,
+    /// `(column, messages)` whose delivery to `local` bounces the
+    /// request to a higher priority (`bounce COL = …`).
+    pub bounce_msgs: Vec<(String, Vec<Value>)>,
 }
 
 impl SpecMeta {
@@ -247,6 +319,39 @@ pub fn parse_specfile(text: &str) -> Result<SpecFile> {
                     .ok_or_else(|| err("expected `check NAME: SELECT …`".into()))?;
                 checks.push((name.trim().to_string(), sql.trim().to_string()));
             }
+            "machine" => {
+                meta.machines.push(parse_machine_item(rest).map_err(err)?);
+            }
+            "multicast" => {
+                for c in rest.split(',').map(str::trim) {
+                    if c.is_empty() {
+                        return Err(err("empty column name in `multicast` list".into()));
+                    }
+                    meta.multicast.push(c.to_string());
+                }
+            }
+            "complete" | "bounce" => {
+                let (col, vals) = rest.split_once('=').ok_or_else(|| {
+                    err(format!(
+                        "expected `{keyword} COL = m1, m2, …`, found {rest:?}"
+                    ))
+                })?;
+                let col = col.trim();
+                if col.is_empty() {
+                    return Err(err(format!("`{keyword}` needs a column name")));
+                }
+                let vals: Vec<Value> = vals
+                    .split(',')
+                    .map(|v| parse_value(v.trim()))
+                    .collect::<Result<_>>()
+                    .map_err(|e| err(format!("bad `{keyword}` value list: {e}")))?;
+                let list = if keyword == "complete" {
+                    &mut meta.complete_msgs
+                } else {
+                    &mut meta.bounce_msgs
+                };
+                list.push((col.to_string(), vals));
+            }
             other => return Err(err(format!("unknown directive {other:?}"))),
         }
     }
@@ -299,6 +404,80 @@ pub fn parse_specfile(text: &str) -> Result<SpecFile> {
             }
         }
     }
+    // The operational directives must name declared columns with
+    // in-domain values — a `machine` pointing at a typo'd column or an
+    // out-of-domain reset value is a spec bug worth rejecting at parse.
+    let domain_of = |c: &str| {
+        spec.columns
+            .iter()
+            .find(|col| col.name.as_str() == c)
+            .map(|col| col.values.clone())
+    };
+    for (i, m) in meta.machines.iter().enumerate() {
+        let sdom = domain_of(&m.column).ok_or_else(|| {
+            Error::BadSpec(format!("`machine` declares undeclared column {}", m.column))
+        })?;
+        let ndom = domain_of(&m.next).ok_or_else(|| {
+            Error::BadSpec(format!(
+                "`machine {}`: next column {} is not declared",
+                m.column, m.next
+            ))
+        })?;
+        if meta.machines[..i].iter().any(|o| o.column == m.column) {
+            return Err(Error::BadSpec(format!(
+                "duplicate `machine` directive for column {}",
+                m.column
+            )));
+        }
+        for v in m.init.iter().chain(&m.stable) {
+            if !sdom.contains(v) {
+                return Err(Error::BadSpec(format!(
+                    "`machine {}`: value {v} is not in the column's table",
+                    m.column
+                )));
+            }
+        }
+        for (from, step) in &m.maps {
+            if !ndom.contains(from) {
+                return Err(Error::BadSpec(format!(
+                    "`machine {}`: map source {from} is not a value of {}",
+                    m.column, m.next
+                )));
+            }
+            if let MachineStep::To(v) = step {
+                if !sdom.contains(v) {
+                    return Err(Error::BadSpec(format!(
+                        "`machine {}`: map target {v} is not in the column's table",
+                        m.column
+                    )));
+                }
+            }
+        }
+    }
+    for c in &meta.multicast {
+        if !declared(c) {
+            return Err(Error::BadSpec(format!(
+                "`multicast` declares undeclared column {c}"
+            )));
+        }
+    }
+    for (kw, list) in [
+        ("complete", &meta.complete_msgs),
+        ("bounce", &meta.bounce_msgs),
+    ] {
+        for (col, vals) in list {
+            let dom = domain_of(col).ok_or_else(|| {
+                Error::BadSpec(format!("`{kw}` declares undeclared column {col}"))
+            })?;
+            for v in vals {
+                if !dom.contains(v) {
+                    return Err(Error::BadSpec(format!(
+                        "`{kw} {col}`: value {v} is not in the column's table"
+                    )));
+                }
+            }
+        }
+    }
     Ok(SpecFile { spec, checks, meta })
 }
 
@@ -342,6 +521,71 @@ fn parse_flow_item(item: &str) -> std::result::Result<FlowColumn, String> {
         src: Some(src.to_string()),
         dest: Some(dest.to_string()),
     })
+}
+
+/// Parse one `machine` directive body:
+/// `COL = NXTCOL, init v1 v2 …[, stable v1 v2 …][, map X -> Y]…`.
+fn parse_machine_item(rest: &str) -> std::result::Result<MachineVar, String> {
+    let mut clauses = rest.split(',').map(str::trim);
+    let head = clauses.next().unwrap_or("");
+    let (column, next) = head
+        .split_once('=')
+        .ok_or_else(|| format!("expected `machine COL = NXTCOL, init …`, found {head:?}"))?;
+    let (column, next) = (column.trim(), next.trim());
+    if column.is_empty() || next.is_empty() {
+        return Err(format!(
+            "expected `machine COL = NXTCOL, …`, found {head:?}"
+        ));
+    }
+    let mut m = MachineVar {
+        column: column.to_string(),
+        next: next.to_string(),
+        init: Vec::new(),
+        stable: Vec::new(),
+        maps: Vec::new(),
+    };
+    let values = |list: &str| -> std::result::Result<Vec<Value>, String> {
+        let vals: Vec<Value> = list
+            .split_whitespace()
+            .map(parse_value)
+            .collect::<Result<_>>()
+            .map_err(|e| format!("bad value in `machine {column}`: {e}"))?;
+        if vals.is_empty() {
+            return Err(format!("`machine {column}`: empty value list"));
+        }
+        Ok(vals)
+    };
+    for clause in clauses {
+        let (kw, body) = clause
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| format!("bad `machine` clause {clause:?}"))?;
+        match kw {
+            "init" => m.init = values(body.trim())?,
+            "stable" => m.stable = values(body.trim())?,
+            "map" => {
+                let (from, to) = body
+                    .split_once("->")
+                    .ok_or_else(|| format!("expected `map X -> Y` in `machine {column}`"))?;
+                let from = parse_value(from.trim())
+                    .map_err(|e| format!("bad map source in `machine {column}`: {e}"))?;
+                let step = match to.trim() {
+                    "+1" => MachineStep::Up,
+                    "-1" => MachineStep::Down,
+                    "init" => MachineStep::Reset,
+                    v => MachineStep::To(
+                        parse_value(v)
+                            .map_err(|e| format!("bad map target in `machine {column}`: {e}"))?,
+                    ),
+                };
+                m.maps.push((from, step));
+            }
+            other => return Err(format!("unknown `machine` clause keyword {other:?}")),
+        }
+    }
+    if m.init.is_empty() {
+        return Err(format!("`machine {column}` needs an `init` clause"));
+    }
+    Ok(m)
 }
 
 /// Parse one value token: `NULL`, a quoted string, an integer, or a
@@ -489,6 +733,75 @@ check readex-always-reads-memory: select inmsg, memmsg from Fig3 where inmsg = "
         assert!(parse_specfile("table t\ninput a = x\nflow a(home, local").is_err());
         assert!(parse_specfile("table t\ninput a = x\nflow a(home)").is_err());
         assert!(parse_specfile("table t\ninput a = x\nflow a(home, local, x)").is_err());
+    }
+
+    #[test]
+    fn machine_directives_parse_and_validate() {
+        let src = "table t\n\
+                   input st = I, B\n\
+                   input pv = zero, one, gone\n\
+                   output nxtst = DONE, B, NULL\n\
+                   output nxtpv = inc, dec, NULL\n\
+                   output o = m, r, NULL\n\
+                   machine st = nxtst, init I, stable I, map DONE -> init\n\
+                   machine pv = nxtpv, init zero one, map inc -> +1, map dec -> -1\n\
+                   multicast o\n\
+                   complete o = m\n\
+                   bounce o = r";
+        let sf = parse_specfile(src).unwrap();
+        assert_eq!(sf.meta.machines.len(), 2);
+        let st = &sf.meta.machines[0];
+        assert_eq!(st.column, "st");
+        assert_eq!(st.next, "nxtst");
+        assert_eq!(st.init, vec![Value::sym("I")]);
+        assert_eq!(st.stable, vec![Value::sym("I")]);
+        assert_eq!(st.maps, vec![(Value::sym("DONE"), MachineStep::Reset)]);
+        let pv = &sf.meta.machines[1];
+        assert_eq!(pv.init, vec![Value::sym("zero"), Value::sym("one")]);
+        assert_eq!(
+            pv.maps,
+            vec![
+                (Value::sym("inc"), MachineStep::Up),
+                (Value::sym("dec"), MachineStep::Down),
+            ]
+        );
+        assert_eq!(sf.meta.multicast, vec!["o".to_string()]);
+        assert_eq!(
+            sf.meta.complete_msgs,
+            vec![("o".to_string(), vec![Value::sym("m")])]
+        );
+        assert_eq!(
+            sf.meta.bounce_msgs,
+            vec![("o".to_string(), vec![Value::sym("r")])]
+        );
+    }
+
+    #[test]
+    fn machine_directive_error_cases() {
+        let base = "table t\ninput st = I, B\noutput nxtst = DONE, B, NULL\n";
+        // Undeclared state / next columns.
+        assert!(parse_specfile(&format!("{base}machine nope = nxtst, init I")).is_err());
+        assert!(parse_specfile(&format!("{base}machine st = nope, init I")).is_err());
+        // Missing init; out-of-domain init/stable/map values.
+        assert!(parse_specfile(&format!("{base}machine st = nxtst, stable I")).is_err());
+        assert!(parse_specfile(&format!("{base}machine st = nxtst, init X")).is_err());
+        assert!(parse_specfile(&format!("{base}machine st = nxtst, init I, stable X")).is_err());
+        assert!(parse_specfile(&format!("{base}machine st = nxtst, init I, map X -> I")).is_err());
+        assert!(
+            parse_specfile(&format!("{base}machine st = nxtst, init I, map DONE -> X")).is_err()
+        );
+        // Duplicate machine for a column; malformed clauses.
+        assert!(parse_specfile(&format!(
+            "{base}machine st = nxtst, init I\nmachine st = nxtst, init B"
+        ))
+        .is_err());
+        assert!(parse_specfile(&format!("{base}machine st = nxtst, init I, bogus x")).is_err());
+        assert!(parse_specfile(&format!("{base}machine st nxtst, init I")).is_err());
+        // multicast / complete / bounce validation.
+        assert!(parse_specfile(&format!("{base}multicast nope")).is_err());
+        assert!(parse_specfile(&format!("{base}complete nope = m")).is_err());
+        assert!(parse_specfile(&format!("{base}complete nxtst = m")).is_err());
+        assert!(parse_specfile(&format!("{base}bounce nxtst = DONE\nbounce nope = x")).is_err());
     }
 
     #[test]

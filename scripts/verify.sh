@@ -133,12 +133,18 @@ diff "$BENCH_DIR/spans1.txt" "$BENCH_DIR/spans2.txt"
 
 echo "==> ccsql lint (clean specs must stay clean; seeded bugs must be caught)"
 cargo test -q -p ccsql-lint
-cargo run --quiet --release -p ccsql-cli -- lint specs/fig3.ccsql
+# bedrock_moesif_buggy is *deliberately* in the clean list: its seeded
+# bug is undrainability, which only the specmc zoo stage can see.
+cargo run --quiet --release -p ccsql-cli -- lint specs/fig3.ccsql \
+    specs/bedrock_moesif.ccsql specs/bedrock_moesif_buggy.ccsql \
+    specs/phase_priority.ccsql
 cargo run --quiet --release -p ccsql-cli -- lint --protocol
-if cargo run --quiet --release -p ccsql-cli -- lint specs/fig3_buggy.ccsql; then
-    echo "lint failed to reject specs/fig3_buggy.ccsql" >&2
-    exit 1
-fi
+for bad in specs/fig3_buggy.ccsql specs/phase_priority_buggy.ccsql; do
+    if cargo run --quiet --release -p ccsql-cli -- lint "$bad"; then
+        echo "lint failed to reject $bad" >&2
+        exit 1
+    fi
+done
 
 echo "==> ccsql flows (parameterized vs concrete vs operational deadlock verdicts, N=2..5)"
 # Spec files: clean specs must be verdict-clean at every N; the seeded
@@ -202,6 +208,22 @@ cargo run --quiet --release -p ccsql-cli -- flows --protocol --assignment v2 --j
 cargo run --quiet --release -p ccsql-cli -- flows --protocol --assignment v2 --json \
     > "$BENCH_DIR/flows_j2.json"
 diff "$BENCH_DIR/flows_j1.json" "$BENCH_DIR/flows_j2.json"
+
+echo "==> ccsql zoo --quick (protocol x stage matrix: determinism + completeness)"
+cargo run --quiet --release -p ccsql-cli -- zoo specs --quick > "$BENCH_DIR/zoo1.jsonl"
+cargo run --quiet --release -p ccsql-cli -- zoo specs --quick > "$BENCH_DIR/zoo2.jsonl"
+# Two runs must be byte-identical, the expectations (clean packs pass
+# everything, seeded-bug packs fail somewhere) must hold, and every
+# pack on disk must appear in the matrix.
+diff "$BENCH_DIR/zoo1.jsonl" "$BENCH_DIR/zoo2.jsonl"
+grep -q 'expectations met' "$BENCH_DIR/zoo1.jsonl"
+for spec in specs/*.ccsql; do
+    stem=$(basename "$spec" .ccsql)
+    grep -q "\"protocol\":\"$stem\"" "$BENCH_DIR/zoo1.jsonl" || {
+        echo "zoo matrix is missing $stem" >&2
+        exit 1
+    }
+done
 
 echo "==> cargo fmt --check"
 cargo fmt --check

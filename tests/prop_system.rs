@@ -90,6 +90,33 @@ fn regression_seed_5709_capacity_one() {
     sim.audit().unwrap();
 }
 
+// Drift guard for the promotion rule above: every shrunk case the
+// proptest corpus records must have a named always-on replay in this
+// file. If a future `--features slow-tests` run appends a new
+// `cc … # shrinks to seed = N` line, this test fails until the seed is
+// promoted to a `regression_seed_N_*` unit test.
+#[test]
+fn every_recorded_regression_seed_is_promoted() {
+    let corpus = include_str!("prop_system.proptest-regressions");
+    let this_file = include_str!("prop_system.rs");
+    let mut seeds = 0usize;
+    for line in corpus.lines().filter(|l| l.starts_with("cc ")) {
+        let seed = line
+            .split("seed = ")
+            .nth(1)
+            .and_then(|s| s.split(|c: char| !c.is_ascii_digit()).next())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| panic!("unparseable regression corpus line: {line}"));
+        assert!(
+            this_file.contains(&format!("fn regression_seed_{seed}")),
+            "corpus records shrunk seed {seed} but no regression_seed_{seed}_* \
+             test promotes it — add an always-on replay"
+        );
+        seeds += 1;
+    }
+    assert!(seeds > 0, "regression corpus lists no shrunk cases");
+}
+
 #[cfg(feature = "slow-tests")]
 mod proptests {
     use super::*;
