@@ -79,7 +79,8 @@ USAGE:
                    [--coverage-report] [--spec FILE.ccsql]
     ccsql fuzz     [--rounds N] [--seed N] [--out FILE.jsonl] [--quick]
     ccsql mc       [--nodes N] [--quota N] [--resp-depth N] [--budget N] [--threads N]
-                   [--no-symmetry] [--spec FILE.ccsql [--json]]
+                   [--no-symmetry] [--shards N] [--mem-budget BYTES] [--spill-dir DIR]
+                   [--spec FILE.ccsql [--json]]
     ccsql bench    [--threads N] [--quick] [--out DIR] [--spec FILE.ccsql]
     ccsql fig4     [--fixed]
     ccsql query    \"SELECT ... FROM D ...\"
@@ -89,8 +90,10 @@ USAGE:
     ccsql export   [--table NAME] [--invariants]
     ccsql stats    [<command> ...]
     ccsql profile  FILE.ccsql [--quick] [--threads N] [--nodes N] [--quota N]
-                   [--budget N] [--ops N] [--seed N]
-    ccsql zoo      [DIR] [--quick] [--assignment v0|v1|v2]
+                   [--budget N] [--ops N] [--seed N] [--shards N]
+                   [--mem-budget BYTES] [--spill-dir DIR]
+    ccsql zoo      [DIR] [--quick] [--assignment v0|v1|v2] [--shards N]
+                   [--mem-budget BYTES] [--spill-dir DIR]
 
 ZOO:
     zoo runs every spec pack under DIR (default: specs) through the
@@ -119,6 +122,17 @@ SYMMETRY:
     representative per orbit; up to nodes! fewer states, same verdict).
     --no-symmetry explores the full space instead; bench runs both and
     cross-checks them.
+
+OUT-OF-CORE:
+    --shards N          hash-partition states into N shard-owned stores
+                        (default 64); results are identical for every N.
+    --mem-budget BYTES  spill cold state segments and completed frontier
+                        levels to temp files once resident bytes exceed
+                        the budget (suffixes K/M/G accepted; 0 = fully
+                        resident). Verdict, counts and witness are
+                        byte-identical with and without spilling.
+    --spill-dir DIR     where spill files live (default: system temp);
+                        they are removed on exit, even on panic.
 ";
 
 /// Parsed `--flag value` options.
@@ -150,6 +164,24 @@ impl<'a> Opts<'a> {
                 .parse()
                 .map_err(|_| format!("{name} expects a number, got {v:?}")),
         }
+    }
+
+    /// Parse a byte-size flag with an optional K/M/G suffix
+    /// (`--mem-budget 64M`).
+    fn bytes(&self, name: &str, default: usize) -> Result<usize, String> {
+        let Some(v) = self.value(name) else {
+            return Ok(default);
+        };
+        let (digits, mult) = match v.char_indices().next_back() {
+            Some((i, 'k' | 'K')) => (&v[..i], 1usize << 10),
+            Some((i, 'm' | 'M')) => (&v[..i], 1 << 20),
+            Some((i, 'g' | 'G')) => (&v[..i], 1 << 30),
+            _ => (v, 1),
+        };
+        digits
+            .parse::<usize>()
+            .map(|n| n * mult)
+            .map_err(|_| format!("{name} expects bytes with an optional K/M/G suffix, got {v:?}"))
     }
 }
 
@@ -1010,6 +1042,9 @@ fn cmd_mc(opts: &Opts) -> Result<String, String> {
             threads: opts.num("--threads", 1)? as usize,
             symmetry: !opts.flag("--no-symmetry"),
             budget: opts.num("--budget", 1_000_000)? as usize,
+            shards: opts.num("--shards", ccsql_mc::DEFAULT_SHARDS as u64)? as usize,
+            mem_budget: opts.bytes("--mem-budget", 0)?,
+            spill_dir: opts.value("--spill-dir").map(Into::into),
         };
         let out = m.explore(&mc);
         let mut text = if opts.flag("--json") {
@@ -1030,6 +1065,9 @@ fn cmd_mc(opts: &Opts) -> Result<String, String> {
     let budget = opts.num("--budget", 1_000_000)? as usize;
     let threads = opts.num("--threads", default_threads() as u64)? as usize;
     let symmetry = !opts.flag("--no-symmetry");
+    let shards = opts.num("--shards", ccsql_mc::DEFAULT_SHARDS as u64)? as usize;
+    let mem_budget = opts.bytes("--mem-budget", 0)?;
+    let spill_dir = opts.value("--spill-dir").map(Into::into);
     if nodes < 2 {
         return Err("nodes must be at least 2".into());
     }
@@ -1046,6 +1084,9 @@ fn cmd_mc(opts: &Opts) -> Result<String, String> {
             budget,
             threads,
             symmetry,
+            shards,
+            mem_budget,
+            spill_dir,
         },
     );
     let mut text = String::new();
@@ -1080,6 +1121,18 @@ fn cmd_mc(opts: &Opts) -> Result<String, String> {
             "symmetry: off, arena {} bytes ({} bytes/state)",
             stats.arena_bytes,
             stats.arena_bytes.checked_div(stats.states).unwrap_or(0),
+        )
+        .unwrap();
+    }
+    // Resident-peak and spilled bytes vary with scheduling, so this
+    // line only appears when the user opted into a memory budget — the
+    // default output stays byte-identical across runs.
+    if stats.mem_budget > 0 {
+        writeln!(
+            text,
+            "out-of-core: {} shard(s), budget {} bytes, resident peak {} bytes, \
+             spilled {} bytes",
+            stats.shards, stats.mem_budget, stats.mem_peak_bytes, stats.spilled_bytes,
         )
         .unwrap();
     }
@@ -1140,6 +1193,7 @@ fn cmd_bench(opts: &Opts) -> Result<String, String> {
             threads: 1,
             symmetry: false,
             budget,
+            ..SpecMcOpts::default()
         };
         let full = m.explore(&mc);
         let sym = SpecMcOpts {
@@ -1262,6 +1316,7 @@ fn cmd_bench(opts: &Opts) -> Result<String, String> {
         budget,
         threads: 1,
         symmetry: true,
+        ..McOpts::default()
     };
     let (sym_out1, sym1) = explore_with(&m, m.initial(), &sym_opts);
     let (sym_out_n, sym_n) = explore_with(
@@ -1297,6 +1352,82 @@ fn cmd_bench(opts: &Opts) -> Result<String, String> {
         m.nodes, m.quota, sym1.states, sym1.orbit_states, sym1.arena_bytes
     )
     .unwrap();
+    // ---- Leg 1c: the same search out-of-core -------------------------
+    // A resident baseline and a spill-forced run over the
+    // nodes=4/quota=2 space must agree on every deterministic field;
+    // the budgeted run must actually spill (the resident target sits
+    // below the arena size, so the maintenance pass has no choice) and
+    // its all-inclusive resident peak must stay under the budget.
+    // Quick: the 60k-state prefix of the nodes=4/quota=2 space under a
+    // 1.5 MiB budget. Full: the headline run — the nodes=5/quota=3
+    // space is ~2.48e9 full states (~1100x the ASURA-sized config's
+    // 2,252,157), verified through ~22.1M orbit representatives whose
+    // 354 MB arena never fits the 128 MiB resident budget.
+    let (ooc_model, ooc_budget, ooc_mem, ooc_sym) = if quick {
+        (
+            Model {
+                nodes: 4,
+                quota: 2,
+                resp_depth: 2,
+            },
+            60_000,
+            1_536 * 1024,
+            false,
+        )
+    } else {
+        (
+            Model {
+                nodes: 5,
+                quota: 3,
+                resp_depth: 2,
+            },
+            25_000_000,
+            128 * 1024 * 1024,
+            true,
+        )
+    };
+    let (base_out, base) = explore_with(
+        &ooc_model,
+        ooc_model.initial(),
+        &McOpts {
+            budget: ooc_budget,
+            symmetry: ooc_sym,
+            ..McOpts::default()
+        },
+    );
+    let (ooc_out, ooc) = explore_with(
+        &ooc_model,
+        ooc_model.initial(),
+        &McOpts {
+            budget: ooc_budget,
+            threads,
+            symmetry: ooc_sym,
+            mem_budget: ooc_mem,
+            ..McOpts::default()
+        },
+    );
+    let ooc_same = base_out == ooc_out
+        && base.states == ooc.states
+        && base.orbit_states == ooc.orbit_states
+        && base.transitions == ooc.transitions
+        && base.dedup_hits == ooc.dedup_hits
+        && base.depth == ooc.depth
+        && base.levels == ooc.levels
+        && base.frontier_peak == ooc.frontier_peak
+        && base.witness == ooc.witness;
+    let ooc_spilled = ooc.spilled_bytes > 0;
+    let ooc_under = ooc.mem_peak_bytes <= ooc_mem;
+    let ooc_ok = ooc_same && ooc_spilled && ooc_under;
+    identical &= ooc_ok;
+    writeln!(
+        text,
+        "bench mc-ooc: nodes={} quota={} budget={ooc_budget} threads={threads} shards={} \
+         mem_budget={ooc_mem} outcome={ooc_out:?} states={} orbit_states={} \
+         spilled={ooc_spilled} under_budget={ooc_under} identical={ooc_same}",
+        ooc_model.nodes, ooc_model.quota, ooc.shards, ooc.states, ooc.orbit_states
+    )
+    .unwrap();
+
     let mc_json = bench_mc_json(BenchMc {
         m: &m,
         budget,
@@ -1308,7 +1439,11 @@ fn cmd_bench(opts: &Opts) -> Result<String, String> {
         sym_outcome: &sym_out1,
         sym1: &sym1,
         sym_n: &sym_n,
-        identical: mc_same && sym_same,
+        ooc: &ooc,
+        ooc_budget,
+        ooc_mem,
+        ooc_ok,
+        identical: mc_same && sym_same && ooc_ok,
     });
     let mc_path = format!("{out_dir}/BENCH_mc.json");
     std::fs::write(&mc_path, mc_json).map_err(|e| format!("cannot write {mc_path}: {e}"))?;
@@ -1450,6 +1585,10 @@ struct BenchMc<'a> {
     sym_outcome: &'a McOutcome,
     sym1: &'a McStats,
     sym_n: &'a McStats,
+    ooc: &'a McStats,
+    ooc_budget: usize,
+    ooc_mem: usize,
+    ooc_ok: bool,
     identical: bool,
 }
 
@@ -1458,6 +1597,7 @@ fn bench_mc_json(b: BenchMc) -> String {
     let sn = b.st_n.elapsed.as_secs_f64();
     let y1 = b.sym1.elapsed.as_secs_f64();
     let yn = b.sym_n.elapsed.as_secs_f64();
+    let ooc_secs = b.ooc.elapsed.as_secs_f64();
     ccsql_obs::json::JsonObj::new()
         .str("bench", "mc")
         .u64("nodes", b.m.nodes as u64)
@@ -1492,11 +1632,30 @@ fn bench_mc_json(b: BenchMc) -> String {
             b.sym1.orbit_states as f64 / b.sym1.states.max(1) as f64,
         )
         .u64("arena_bytes", b.sym1.arena_bytes as u64)
-        .u64("visited_bytes", b.sym1.visited_bytes as u64)
+        .u64("frontier_bytes", b.sym1.frontier_bytes as u64)
         .f64(
             "bytes_per_state",
             b.sym1.arena_bytes as f64 / b.sym1.states.max(1) as f64,
         )
+        .u64("shards", b.ooc.shards as u64)
+        .u64("mem_budget", b.ooc_mem as u64)
+        .u64("ooc_budget", b.ooc_budget as u64)
+        .u64("ooc_states", b.ooc.states as u64)
+        .u64("ooc_orbit_states", b.ooc.orbit_states)
+        .u64("ooc_arena_bytes", b.ooc.arena_bytes as u64)
+        .u64("ooc_mem_peak_bytes", b.ooc.mem_peak_bytes as u64)
+        .u64("ooc_spilled_bytes", b.ooc.spilled_bytes)
+        .f64("ooc_secs", ooc_secs)
+        .f64("ooc_states_per_sec", per_sec(b.ooc.states as f64, ooc_secs))
+        .raw(
+            "ooc_under_budget",
+            if b.ooc.mem_peak_bytes <= b.ooc_mem {
+                "true"
+            } else {
+                "false"
+            },
+        )
+        .raw("ooc_identical", if b.ooc_ok { "true" } else { "false" })
         .raw("identical", if b.identical { "true" } else { "false" })
         .finish()
 }
@@ -1722,6 +1881,9 @@ fn cmd_profile(opts: &Opts) -> Result<String, String> {
             budget,
             threads,
             symmetry: true,
+            shards: opts.num("--shards", ccsql_mc::DEFAULT_SHARDS as u64)? as usize,
+            mem_budget: opts.bytes("--mem-budget", 0)?,
+            spill_dir: opts.value("--spill-dir").map(Into::into),
         },
     );
 
@@ -1782,8 +1944,12 @@ fn cmd_profile(opts: &Opts) -> Result<String, String> {
     .unwrap();
     writeln!(
         text,
-        "memory: mc arena {} bytes, visited index {} bytes, peak frontier {} states",
-        mc_stats.arena_bytes, mc_stats.visited_bytes, mc_stats.frontier_peak
+        "memory: mc arena {} bytes, resident peak {} bytes, spilled {} bytes, \
+         peak frontier {} states",
+        mc_stats.arena_bytes,
+        mc_stats.mem_peak_bytes,
+        mc_stats.spilled_bytes,
+        mc_stats.frontier_peak
     )
     .unwrap();
     let sim_label = match &sim_out {
@@ -1921,6 +2087,19 @@ fn cmd_zoo(opts: &Opts) -> Result<String, String> {
     // occupied-reservation rows of the phase-priority pack).
     let agents = if quick { 2 } else { 3 };
     let sim_steps = if quick { 2_000 } else { 10_000 };
+    // Prototype model-checking options for every pack; --shards /
+    // --mem-budget / --spill-dir steer the out-of-core machinery and
+    // never change a verdict byte (the identity gates below would
+    // catch it if they did).
+    let proto = SpecMcOpts {
+        agents,
+        threads: 1,
+        symmetry: false,
+        budget: 1_000_000,
+        shards: opts.num("--shards", ccsql_mc::DEFAULT_SHARDS as u64)? as usize,
+        mem_budget: opts.bytes("--mem-budget", 0)?,
+        spill_dir: opts.value("--spill-dir").map(Into::into),
+    };
     let mut rows: Vec<ZooRow> = Vec::new();
     let mut broken: Vec<String> = Vec::new();
     for path in &paths {
@@ -1930,7 +2109,7 @@ fn cmd_zoo(opts: &Opts) -> Result<String, String> {
             .unwrap_or("?")
             .to_string();
         let expect_reject = name.ends_with("_buggy") || name.ends_with("_flowbug");
-        let pack = zoo_pack(path, &name, &vc, agents, sim_steps)?;
+        let pack = zoo_pack(path, &name, &vc, &proto, sim_steps)?;
         let rejected = pack.iter().any(|r| r.verdict == "fail");
         match (expect_reject, rejected) {
             (true, false) => broken.push(format!(
@@ -1986,9 +2165,10 @@ fn zoo_pack(
     path: &std::path::Path,
     name: &str,
     vc: &VcAssignment,
-    agents: usize,
+    proto: &SpecMcOpts,
     sim_steps: usize,
 ) -> Result<Vec<ZooRow>, String> {
+    let agents = proto.agents;
     let path_str = path.display().to_string();
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path_str}: {e}"))?;
     let sf =
@@ -2084,21 +2264,16 @@ fn zoo_pack(
             // symmetry at 1 and 2 threads: the verdicts must agree, the
             // orbit sizes must sum back to the full state count, and
             // the two symmetric runs must render byte-identically.
-            let base = SpecMcOpts {
-                agents,
-                threads: 1,
-                symmetry: false,
-                budget: 1_000_000,
-            };
+            let base = proto.clone();
             let sym_opts = SpecMcOpts {
                 symmetry: true,
-                ..base
+                ..base.clone()
             };
             let full = m.explore(&base);
             let sym = m.explore(&sym_opts);
             let threaded = m.explore(&SpecMcOpts {
                 threads: 2,
-                ..sym_opts
+                ..sym_opts.clone()
             });
             let identity = full.verdict == sym.verdict
                 && sym.stats.orbit_states == full.stats.states as u128

@@ -114,6 +114,7 @@ fn model_checker_agrees_with_v2_verdict() {
                 budget: 5_000_000,
                 threads: 2,
                 symmetry: true,
+                ..McOpts::default()
             },
         );
         assert_eq!(

@@ -1,56 +1,57 @@
-//! Breadth-first explicit-state exploration (the Murphi-style engine),
-//! parallelised level-synchronously, with optional symmetry reduction.
+//! Model exploration as an adapter over the shared out-of-core engine
+//! ([`crate::engine`]).
 //!
-//! The exploration proceeds in BFS *levels*. All distinct states live in
-//! a single append-only arena in discovery order — stored as bit-packed
-//! [`Compact`] words (16 bytes each, see [`crate::compact`]), unpacked
-//! only at the model boundary — so a level is a contiguous range of
-//! arena indices, the frontier is two integers, and no state is ever
-//! cloned on the hot path (only the single witness row is materialised
-//! when a violation ends the run).
+//! The builtin directory-MESI model ([`crate::model::Model`]) is
+//! exposed to the engine as a [`Space`] over bit-packed [`Compact`]
+//! words (16 bytes each, see [`crate::compact`]): states are unpacked
+//! only at the model boundary, successors are packed (and, with
+//! [`McOpts::symmetry`] on, canonicalised to the lexicographically
+//! least member of their node-permutation orbit) before they enter the
+//! exchange. The engine owns everything else — sharding, sorted-run
+//! dedup, spilling under [`McOpts::mem_budget`], parallel expansion
+//! and merge — so this module is mostly translation: `McOpts` →
+//! `EngineOpts`, `EngineOutcome` word witnesses → unpacked [`State`]s
+//! plus the re-derived property name, `EngineStats` → [`McStats`].
 //!
-//! With [`McOpts::symmetry`] on, every successor is canonicalised to
-//! the lexicographically-least member of its node-permutation orbit
-//! before fingerprinting, so the BFS explores the *quotient* graph: one
-//! representative per orbit, dividing the reachable space by up to `n!`
-//! on fully node-permutable states. Soundness rests on the initial
-//! state and every checked property being permutation-invariant (see
-//! DESIGN.md §11); the equivalence gates in `tests/symmetry.rs` pin the
-//! on/off verdicts against each other at small configurations.
+//! With symmetry on the BFS explores the *quotient* graph: one
+//! representative per orbit, dividing the reachable space by up to
+//! `n!` on fully node-permutable states. Soundness rests on the
+//! initial state and every checked property being permutation
+//! invariant (see DESIGN.md §11); the equivalence gates in
+//! `tests/symmetry.rs` pin the on/off verdicts against each other at
+//! small configurations.
 //!
-//! Each level runs in two phases:
-//!
-//! 1. **Scan (parallel)** — the level range is split into one
-//!    contiguous chunk per worker (`std::thread::scope`, the same
-//!    pattern as the relalg solver). Workers check safety properties,
-//!    generate successors, pack (and optionally canonicalise) them,
-//!    fingerprint the packed word with the fast [`ccsql_obs::hash`]
-//!    hasher and probe the *read-only* visited set; survivors are
-//!    collected per worker in discovery order together with per-worker
-//!    transition/dedup counters.
-//! 2. **Merge (sequential)** — worker outputs are folded in chunk
-//!    order, which is exactly the order a 1-thread scan would have
-//!    produced. New states are deduplicated across workers and appended
-//!    to the arena; the state budget is enforced here, one state at a
-//!    time.
-//!
-//! Because the merge is order-deterministic, a run with N workers is
-//! **byte-identical** to a run with 1 worker: same outcome, same state
-//! count, same counters, and — via the rule that the *lowest
-//! (depth, BFS-order) event wins* — the same violation witness. The
-//! visited set is sharded by fingerprint high bits so the merge touches
-//! small tables and a future parallel merge can take one shard per
-//! worker without changing the observable order.
+//! Determinism: a run with any (threads, shards, mem_budget)
+//! combination is byte-identical in outcome, counts and witness to
+//! every other — see the engine's witness/budget rules. The witness
+//! under a violation or stuck outcome is the minimum packed word among
+//! the earliest level's events (an orbit representative under
+//! symmetry): a genuine violating state, possibly a node-renumbering
+//! of the one a differently-configured run of the *seed* engine would
+//! have reported.
 
 use crate::compact::{canon, orbit_size, pack, unpack, Compact};
+use crate::engine::{
+    self, Emitter, EngineOpts, EngineOutcome, EngineProgress, EngineStats, Space, Word,
+    DEFAULT_SHARDS,
+};
 use crate::model::Model;
 use crate::state::State;
-use ccsql_obs::hash::{fx_hash_one, FxBuildHasher, FxHashMap};
 use ccsql_obs::FieldValue;
-use std::ops::Range;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+impl Word for Compact {
+    const WIDTH: usize = 16;
+    fn write_bytes(&self, out: &mut [u8]) {
+        out.copy_from_slice(&self.0.to_be_bytes());
+    }
+    fn read_bytes(buf: &[u8]) -> Self {
+        Compact(u128::from_be_bytes(buf.try_into().unwrap()))
+    }
+}
 
 /// Why the exploration stopped.
 #[derive(Debug, PartialEq, Eq)]
@@ -67,15 +68,35 @@ pub enum McOutcome {
 }
 
 /// Exploration options.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct McOpts {
     /// Distinct-state budget (quotient states when `symmetry` is on).
+    /// Exact: a budget-exceeded run stops at exactly this many states.
     pub budget: usize,
     /// Worker threads (results are identical for every count).
     pub threads: usize,
     /// Canonicalise states to their orbit representative before
     /// visiting: explore the symmetry-reduced quotient graph.
     pub symmetry: bool,
+    /// Disjoint state shards (results are identical for every count).
+    pub shards: usize,
+    /// Resident-memory target in bytes; 0 = unlimited (no spilling).
+    pub mem_budget: usize,
+    /// Base directory for spill files (OS temp dir when `None`).
+    pub spill_dir: Option<PathBuf>,
+}
+
+impl Default for McOpts {
+    fn default() -> McOpts {
+        McOpts {
+            budget: 1_000_000,
+            threads: 1,
+            symmetry: false,
+            shards: DEFAULT_SHARDS,
+            mem_budget: 0,
+            spill_dir: None,
+        }
+    }
 }
 
 /// Exploration statistics.
@@ -92,7 +113,8 @@ pub struct McStats {
     /// Transitions fired (from orbit representatives only, under
     /// symmetry).
     pub transitions: u64,
-    /// Transitions whose target state had already been seen.
+    /// Transitions whose target state had already been seen
+    /// (`transitions − distinct new states`, per completed level).
     pub dedup_hits: u64,
     /// Largest BFS level observed.
     pub frontier_peak: usize,
@@ -102,146 +124,81 @@ pub struct McStats {
     pub levels: usize,
     /// Worker threads used.
     pub threads: usize,
+    /// State shards used.
+    pub shards: usize,
     /// Whether symmetry reduction was on.
     pub symmetry: bool,
-    /// Peak bytes held by the packed state arena (16 bytes per state).
+    /// Logical bytes of all packed distinct states (16 per state) —
+    /// resident or spilled.
     pub arena_bytes: usize,
-    /// Approximate bytes held by the visited-set fingerprint index
-    /// (shard map + overflow *entries*, not table capacity, so the
-    /// figure is deterministic across allocators and thread counts).
-    pub visited_bytes: usize,
+    /// Logical bytes of the widest BFS level (16 per state).
+    pub frontier_bytes: usize,
+    /// The configured resident-memory target (0 = unlimited).
+    pub mem_budget: usize,
+    /// Peak of the all-inclusive resident ledger: hot runs, exchange
+    /// buffers, decode blocks and spill I/O buffers. Varies with
+    /// threads/shards — excluded from the determinism gates.
+    pub mem_peak_bytes: usize,
+    /// Total bytes written to spill files (0 when fully resident).
+    /// Excluded from the determinism gates.
+    pub spilled_bytes: u64,
     /// The violating (or stuck) state, when the outcome is
-    /// [`McOutcome::Violation`] or [`McOutcome::Stuck`] — identical for
-    /// every thread count by the lowest-(depth, BFS-order) rule. Under
-    /// symmetry it is the orbit representative: a genuine violating
-    /// state, possibly a node-renumbering of the one a full run reports.
+    /// [`McOutcome::Violation`] or [`McOutcome::Stuck`] — identical
+    /// for every (threads, shards, mem_budget) combination by the
+    /// engine's minimum-word witness rule. Under symmetry it is the
+    /// orbit representative: a genuine violating state, possibly a
+    /// node-renumbering of the one a full run reports.
     pub witness: Option<State>,
     /// Wall-clock time.
     pub elapsed: Duration,
 }
 
-/// Number of visited-set shards (fingerprint high bits).
-const SHARD_BITS: u32 = 6;
-const N_SHARDS: usize = 1 << SHARD_BITS;
-
-/// Below this level width the scan runs inline: spawning workers costs
-/// more than the level.
-const PAR_MIN_LEVEL: usize = 128;
-
-/// Cap on the up-front arena reservation (states), so a huge `--budget`
-/// does not commit gigabytes before the first state is explored.
-const RESERVE_CAP: usize = 1 << 18;
-
-/// The visited set: all distinct states — as packed 16-byte words — in
-/// BFS discovery order plus a sharded fingerprint index. `map` holds
-/// the first arena index per fingerprint; genuine 64-bit collisions
-/// (different states, same fingerprint) overflow into a per-shard list
-/// that stays empty in practice but keeps the checker exact (the final
-/// compare is on the full 128-bit word).
-struct Visited {
-    arena: Vec<Compact>,
-    shards: Vec<Shard>,
+/// The builtin model as an engine [`Space`].
+struct ModelSpace<'a> {
+    model: &'a Model,
+    symmetry: bool,
 }
 
-#[derive(Default)]
-struct Shard {
-    map: FxHashMap<u64, u32>,
-    overflow: Vec<(u64, u32)>,
-}
+impl Space for ModelSpace<'_> {
+    type W = Compact;
 
-#[inline]
-fn shard_of(fp: u64) -> usize {
-    (fp >> (64 - SHARD_BITS)) as usize
-}
-
-impl Visited {
-    fn with_capacity(cap: usize) -> Visited {
-        let per_shard = cap / N_SHARDS + 1;
-        Visited {
-            arena: Vec::with_capacity(cap),
-            shards: (0..N_SHARDS)
-                .map(|_| Shard {
-                    map: FxHashMap::with_capacity_and_hasher(per_shard, FxBuildHasher),
-                    overflow: Vec::new(),
-                })
-                .collect(),
+    fn expand(&self, w: Compact, em: &mut Emitter<'_, Compact>) {
+        let s = unpack(w);
+        if self.model.check(&s).is_some() {
+            em.violation();
+            return;
         }
-    }
-
-    fn len(&self) -> usize {
-        self.arena.len()
-    }
-
-    fn bytes(&self) -> usize {
-        self.arena.len() * std::mem::size_of::<Compact>()
-    }
-
-    /// Approximate bytes held by the fingerprint index: 12 bytes per
-    /// map/overflow entry (`u64` fingerprint + `u32` arena index).
-    /// Counts entries rather than capacity so the number is a pure
-    /// function of the explored graph.
-    fn index_bytes(&self) -> usize {
-        let entry = std::mem::size_of::<u64>() + std::mem::size_of::<u32>();
-        self.shards
-            .iter()
-            .map(|s| (s.map.len() + s.overflow.len()) * entry)
-            .sum()
-    }
-
-    /// Read-only membership probe (safe to call from many workers).
-    fn contains(&self, fp: u64, c: Compact) -> bool {
-        let shard = &self.shards[shard_of(fp)];
-        match shard.map.get(&fp) {
-            Some(&i) if self.arena[i as usize] == c => true,
-            Some(_) => shard
-                .overflow
-                .iter()
-                .any(|&(f, i)| f == fp && self.arena[i as usize] == c),
-            None => false,
-        }
-    }
-
-    /// Append `c` to the arena unless already present; returns whether
-    /// it was new.
-    fn insert(&mut self, fp: u64, c: Compact) -> bool {
-        if self.contains(fp, c) {
-            return false;
-        }
-        let idx = self.arena.len() as u32;
-        let shard = &mut self.shards[shard_of(fp)];
-        match shard.map.entry(fp) {
-            std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(idx);
+        let succ = self.model.successors(&s);
+        if succ.is_empty() {
+            if s.quiescent() {
+                em.quiescent();
             }
-            std::collections::hash_map::Entry::Occupied(_) => {
-                // Same fingerprint, different state: exact fallback.
-                shard.overflow.push((fp, idx));
-            }
+            return;
         }
-        self.arena.push(c);
-        true
+        for t in &succ {
+            let mut c = pack(t);
+            if self.symmetry {
+                c = canon(c);
+            }
+            em.succ(c, 0);
+        }
     }
-}
 
-/// Progress counters published by the BFS loop (one batch of relaxed
-/// stores per level) and read by the heartbeat ticker. The hot loop
-/// never reads these, so the ticker cannot perturb the exploration —
-/// see `ccsql_obs::heartbeat` for the full neutrality argument.
-#[derive(Default)]
-struct Progress {
-    states: AtomicU64,
-    frontier: AtomicU64,
-    levels: AtomicU64,
-    transitions: AtomicU64,
-    orbit_states: AtomicU64,
-    arena_bytes: AtomicU64,
+    fn orbit_weight(&self, w: Compact) -> u128 {
+        if self.symmetry {
+            orbit_size(w) as u128
+        } else {
+            1
+        }
+    }
 }
 
 /// Start the mc heartbeat ticker (inert when `--heartbeat` is off),
 /// deriving states/sec, budget fraction and a budget-exhaustion ETA
-/// from the published counters and the monotonic start instant.
+/// from the engine's published counters and the monotonic start
+/// instant, plus the out-of-core gauges (resident and spilled bytes).
 fn start_heartbeat(
-    progress: &Arc<Progress>,
+    progress: &Arc<EngineProgress>,
     budget: usize,
     t0: Instant,
 ) -> ccsql_obs::heartbeat::Ticker {
@@ -259,6 +216,14 @@ fn start_heartbeat(
             ("level", p.levels.load(Ordering::Relaxed).into()),
             ("transitions", p.transitions.load(Ordering::Relaxed).into()),
             ("arena_bytes", p.arena_bytes.load(Ordering::Relaxed).into()),
+            (
+                "resident_bytes",
+                p.resident_bytes.load(Ordering::Relaxed).into(),
+            ),
+            (
+                "spilled_bytes",
+                p.spilled_bytes.load(Ordering::Relaxed).into(),
+            ),
             ("states_per_sec", round1(rate).into()),
             ("budget_frac", ((frac * 1000.0).round() / 1000.0).into()),
         ];
@@ -277,100 +242,8 @@ fn start_heartbeat(
     })
 }
 
-/// A property violation or stuck state found while scanning a level,
-/// keyed by arena index for the lowest-BFS-order-wins rule.
-#[derive(Clone, Copy)]
-enum LevelEvent {
-    Violation(&'static str),
-    Stuck,
-}
-
-/// Per-worker scan output for one chunk of a level.
-struct ChunkOut {
-    /// Fingerprinted candidate successors (packed, canonical under
-    /// symmetry), in discovery order. May still contain states another
-    /// worker also found this level; the merge resolves those.
-    cands: Vec<(u64, Compact)>,
-    transitions: u64,
-    dedup_hits: u64,
-    /// Lowest-index event in this chunk, if any.
-    event: Option<(u32, LevelEvent)>,
-}
-
-/// Scan arena indices `range` against the read-only visited set.
-fn scan_chunk(model: &Model, visited: &Visited, range: Range<usize>, symmetry: bool) -> ChunkOut {
-    let mut out = ChunkOut {
-        cands: Vec::new(),
-        transitions: 0,
-        dedup_hits: 0,
-        event: None,
-    };
-    for i in range {
-        let s = unpack(visited.arena[i]);
-        if let Some(prop) = model.check(&s) {
-            if out.event.is_none() {
-                out.event = Some((i as u32, LevelEvent::Violation(prop)));
-            }
-            continue; // a violating state is terminal
-        }
-        let succ = model.successors(&s);
-        if succ.is_empty() && !s.quiescent() {
-            if out.event.is_none() {
-                out.event = Some((i as u32, LevelEvent::Stuck));
-            }
-            continue;
-        }
-        for t in succ {
-            out.transitions += 1;
-            let mut c = pack(&t);
-            if symmetry {
-                c = canon(c);
-            }
-            let fp = fx_hash_one(&c);
-            if visited.contains(fp, c) {
-                out.dedup_hits += 1;
-            } else {
-                out.cands.push((fp, c));
-            }
-        }
-    }
-    out
-}
-
-/// Scan one level, splitting it into contiguous per-worker chunks. The
-/// level is borrowed as an index range into the arena — nothing is
-/// cloned. Chunk outputs come back in chunk order, so folding them left
-/// to right reproduces the 1-thread scan order exactly.
-fn scan_level(
-    model: &Model,
-    visited: &Visited,
-    level: &Range<usize>,
-    threads: usize,
-    symmetry: bool,
-) -> Vec<ChunkOut> {
-    let n = level.len();
-    if threads <= 1 || n < PAR_MIN_LEVEL {
-        return vec![scan_chunk(model, visited, level.start..level.end, symmetry)];
-    }
-    let workers = threads.min(n);
-    let chunk = n.div_ceil(workers);
-    std::thread::scope(|s| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                let lo = (level.start + w * chunk).min(level.end);
-                let hi = (level.start + (w + 1) * chunk).min(level.end);
-                s.spawn(move || scan_chunk(model, visited, lo..hi, symmetry))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("mc worker panicked"))
-            .collect()
-    })
-}
-
 /// Explore the model's state space up to `budget` distinct states
-/// (single worker, no symmetry reduction).
+/// (single worker, no symmetry reduction, fully resident).
 pub fn explore(model: &Model, budget: usize) -> (McOutcome, McStats) {
     explore_threads(model, budget, 1)
 }
@@ -395,134 +268,74 @@ pub fn explore_from(
         &McOpts {
             budget,
             threads,
-            symmetry: false,
+            ..McOpts::default()
         },
     )
 }
 
 /// Explore with explicit [`McOpts`] — the full interface: budget,
-/// worker count, and symmetry reduction.
+/// worker count, symmetry reduction, shard count and memory budget.
 pub fn explore_with(model: &Model, init: State, opts: &McOpts) -> (McOutcome, McStats) {
     model
         .validate()
         .expect("model parameters exceed the packed-state bounds");
     let start = Instant::now();
-    let threads = opts.threads.max(1);
-    let budget = opts.budget;
-    let symmetry = opts.symmetry;
     let run_span = ccsql_obs::flight::span("mc", "explore");
-    run_span.arg("budget", budget as u64);
-    run_span.arg("threads", threads as u64);
-    run_span.arg("symmetry", u64::from(symmetry));
+    run_span.arg("budget", opts.budget as u64);
+    run_span.arg("threads", opts.threads.max(1) as u64);
+    run_span.arg("symmetry", u64::from(opts.symmetry));
+    run_span.arg("shards", opts.shards.max(1) as u64);
+    run_span.arg("mem_budget", opts.mem_budget as u64);
     // Heartbeat plumbing exists only when `--heartbeat` is on: the
     // default path allocates nothing and stores nothing.
-    let progress: Option<Arc<Progress>> = if ccsql_obs::heartbeat::heartbeat_ms() > 0 {
-        Some(Arc::new(Progress::default()))
+    let progress: Option<Arc<EngineProgress>> = if ccsql_obs::heartbeat::heartbeat_ms() > 0 {
+        Some(Arc::new(EngineProgress::default()))
     } else {
         None
     };
-    let _ticker = progress.as_ref().map(|p| start_heartbeat(p, budget, start));
-    let mut visited = Visited::with_capacity(budget.min(RESERVE_CAP));
+    let _ticker = progress
+        .as_ref()
+        .map(|p| start_heartbeat(p, opts.budget, start));
+
+    let space = ModelSpace {
+        model,
+        symmetry: opts.symmetry,
+    };
     let mut c0 = pack(&init);
-    if symmetry {
+    if opts.symmetry {
         c0 = canon(c0);
     }
-    let mut orbit_states: u64 = if symmetry { orbit_size(c0) } else { 0 };
-    visited.insert(fx_hash_one(&c0), c0);
-
-    let mut transitions = 0u64;
-    let mut dedup_hits = 0u64;
-    let mut frontier_peak = 1usize;
-    let mut levels = 0usize;
-    let mut witness: Option<State> = None;
-
-    let mut level: Range<usize> = 0..1;
-    let outcome = 'bfs: loop {
-        levels += 1;
-        frontier_peak = frontier_peak.max(level.len());
-        let level_span = ccsql_obs::flight::span("mc", "level");
-        level_span.arg("depth", levels as u64 - 1);
-        level_span.arg("width", level.len());
-
-        let chunks = scan_level(model, &visited, &level, threads, symmetry);
-
-        // Fold per-worker counters and pick the lowest-BFS-order event.
-        let mut event: Option<(u32, LevelEvent)> = None;
-        for c in &chunks {
-            transitions += c.transitions;
-            dedup_hits += c.dedup_hits;
-            if let Some((i, ev)) = c.event {
-                if event.is_none_or(|(j, _)| i < j) {
-                    event = Some((i, ev));
-                }
-            }
-        }
-        if let Some((i, ev)) = event {
-            witness = Some(unpack(visited.arena[i as usize]));
-            break match ev {
-                LevelEvent::Violation(prop) => McOutcome::Violation(prop),
-                LevelEvent::Stuck => McOutcome::Stuck,
-            };
-        }
-
-        // Deterministic merge: chunk order == 1-thread discovery order.
-        let next_start = visited.len();
-        for c in chunks {
-            for (fp, st) in c.cands {
-                if visited.contains(fp, st) {
-                    dedup_hits += 1;
-                } else {
-                    if visited.len() >= budget {
-                        break 'bfs McOutcome::BudgetExceeded;
-                    }
-                    if symmetry {
-                        orbit_states += orbit_size(st);
-                    }
-                    visited.insert(fp, st);
-                }
-            }
-        }
-        level_span.arg("new_states", visited.len() - next_start);
-        if let Some(p) = &progress {
-            p.states.store(visited.len() as u64, Ordering::Relaxed);
-            p.frontier
-                .store((visited.len() - next_start) as u64, Ordering::Relaxed);
-            p.levels.store(levels as u64, Ordering::Relaxed);
-            p.transitions.store(transitions, Ordering::Relaxed);
-            p.orbit_states.store(orbit_states, Ordering::Relaxed);
-            p.arena_bytes
-                .store(visited.bytes() as u64, Ordering::Relaxed);
-        }
-        if visited.len() == next_start {
-            break McOutcome::Verified;
-        }
-        level = next_start..visited.len();
+    let eopts = EngineOpts {
+        budget: opts.budget,
+        threads: opts.threads.max(1),
+        shards: opts.shards.max(1),
+        mem_budget: opts.mem_budget,
+        spill_dir: opts.spill_dir.clone(),
+        track_parents: false,
+        capture_edges: false,
     };
+    let out = engine::run::<_, ()>(&space, &[c0], &eopts, progress.as_deref());
 
-    if !symmetry {
-        orbit_states = visited.len() as u64;
-    }
-    let stats = McStats {
-        states: visited.len(),
-        orbit_states,
-        transitions,
-        dedup_hits,
-        frontier_peak,
-        depth: levels - 1,
-        levels,
-        threads,
-        symmetry,
-        arena_bytes: visited.bytes(),
-        visited_bytes: visited.index_bytes(),
-        witness,
-        elapsed: start.elapsed(),
+    let (outcome, witness) = match out.outcome {
+        EngineOutcome::Verified => (McOutcome::Verified, None),
+        EngineOutcome::BudgetExceeded => (McOutcome::BudgetExceeded, None),
+        EngineOutcome::Stuck(w) => (McOutcome::Stuck, Some(unpack(w))),
+        EngineOutcome::Violation(w) => {
+            let s = unpack(w);
+            let prop = model
+                .check(&s)
+                .expect("witness must violate a property on re-check");
+            (McOutcome::Violation(prop), Some(s))
+        }
     };
-    run_span.arg("states", stats.states);
+    let stats = mc_stats(&out.stats, opts.symmetry, witness, start.elapsed());
+    run_span.arg("states", stats.states as u64);
     run_span.arg("transitions", stats.transitions);
-    run_span.arg("levels", stats.levels);
-    run_span.arg("frontier_peak", stats.frontier_peak);
-    run_span.arg("arena_bytes", stats.arena_bytes);
-    run_span.arg("visited_bytes", stats.visited_bytes);
+    run_span.arg("levels", stats.levels as u64);
+    run_span.arg("frontier_peak", stats.frontier_peak as u64);
+    run_span.arg("arena_bytes", stats.arena_bytes as u64);
+    run_span.arg("mem_peak_bytes", stats.mem_peak_bytes as u64);
+    run_span.arg("spilled_bytes", stats.spilled_bytes);
     run_span.arg(
         "outcome",
         match &outcome {
@@ -534,6 +347,34 @@ pub fn explore_with(model: &Model, init: State, opts: &McOpts) -> (McOutcome, Mc
     );
     record_mc_metrics(&stats);
     (outcome, stats)
+}
+
+/// Translate engine statistics into the model-checker report.
+fn mc_stats(
+    es: &EngineStats,
+    symmetry: bool,
+    witness: Option<State>,
+    elapsed: Duration,
+) -> McStats {
+    McStats {
+        states: es.states,
+        orbit_states: es.orbit_states.min(u64::MAX as u128) as u64,
+        transitions: es.transitions,
+        dedup_hits: es.dedup_hits,
+        frontier_peak: es.frontier_peak.max(1),
+        depth: es.levels.saturating_sub(1),
+        levels: es.levels,
+        threads: es.threads,
+        shards: es.shards,
+        symmetry,
+        arena_bytes: es.arena_bytes,
+        frontier_bytes: es.frontier_bytes,
+        mem_budget: es.mem_budget,
+        mem_peak_bytes: es.mem_peak_bytes,
+        spilled_bytes: es.spilled_bytes,
+        witness,
+        elapsed,
+    }
 }
 
 /// Record one exploration's aggregates into the global obs registry.
@@ -549,11 +390,17 @@ fn record_mc_metrics(stats: &McStats) {
     reg.counter("mc.dedup_hits").add(stats.dedup_hits);
     reg.counter("mc.levels").add(stats.levels as u64);
     reg.gauge("mc.threads").set(stats.threads as f64);
+    reg.gauge("mc.shards").set(stats.shards as f64);
     reg.gauge("mc.symmetry")
         .set(if stats.symmetry { 1.0 } else { 0.0 });
     reg.gauge("mc.arena_bytes").set(stats.arena_bytes as f64);
-    reg.gauge("mc.visited_bytes")
-        .set(stats.visited_bytes as f64);
+    reg.gauge("mc.frontier_bytes")
+        .set(stats.frontier_bytes as f64);
+    reg.gauge("mc.mem_budget").set(stats.mem_budget as f64);
+    reg.gauge("mc.mem_peak_bytes")
+        .set(stats.mem_peak_bytes as f64);
+    reg.gauge("mc.spilled_bytes")
+        .set(stats.spilled_bytes as f64);
     reg.gauge("mc.frontier_peak")
         .set(stats.frontier_peak as f64);
     reg.gauge("mc.depth").set(stats.depth as f64);
@@ -575,9 +422,13 @@ fn record_mc_metrics(stats: &McStats) {
             ("frontier_peak", (stats.frontier_peak as u64).into()),
             ("depth", (stats.depth as u64).into()),
             ("threads", (stats.threads as u64).into()),
+            ("shards", (stats.shards as u64).into()),
             ("symmetry", u64::from(stats.symmetry).into()),
             ("arena_bytes", (stats.arena_bytes as u64).into()),
-            ("visited_bytes", (stats.visited_bytes as u64).into()),
+            ("frontier_bytes", (stats.frontier_bytes as u64).into()),
+            ("mem_budget", (stats.mem_budget as u64).into()),
+            ("mem_peak_bytes", (stats.mem_peak_bytes as u64).into()),
+            ("spilled_bytes", stats.spilled_bytes.into()),
             ("elapsed_us", (stats.elapsed.as_micros() as u64).into()),
         ],
     );
@@ -602,8 +453,8 @@ mod tests {
         assert!(stats.witness.is_none());
         assert_eq!(stats.orbit_states, stats.states as u64);
         assert_eq!(stats.arena_bytes, stats.states * 16);
-        // One 12-byte index entry per state, absent fp collisions.
-        assert_eq!(stats.visited_bytes, stats.states * 12);
+        assert_eq!(stats.frontier_bytes, stats.frontier_peak * 16);
+        assert_eq!(stats.spilled_bytes, 0, "no spilling without a budget");
     }
 
     #[test]
@@ -650,8 +501,8 @@ mod tests {
             m.initial(),
             &McOpts {
                 budget: 10_000_000,
-                threads: 1,
                 symmetry: true,
+                ..McOpts::default()
             },
         );
         assert_eq!(full_out, sym_out);
@@ -668,7 +519,7 @@ mod tests {
     }
 
     #[test]
-    fn budget_exhaustion_reported() {
+    fn budget_exhaustion_is_exact() {
         let m = Model {
             nodes: 3,
             quota: 2,
@@ -676,7 +527,7 @@ mod tests {
         };
         let (out, stats) = explore(&m, 50);
         assert_eq!(out, McOutcome::BudgetExceeded);
-        assert!(stats.states <= 51);
+        assert_eq!(stats.states, 50, "the budget rule is exact");
     }
 
     #[test]
@@ -700,30 +551,39 @@ mod tests {
     }
 
     #[test]
-    fn visited_set_handles_fingerprint_collisions() {
-        let m = Model::default();
-        let mut v = Visited::with_capacity(4);
-        let a = pack(&m.initial());
-        let mut b_state = m.initial();
-        b_state.cache[0] = crate::state::Cache::S;
-        let b = pack(&b_state);
-        // Force both states under one fingerprint: the exact 128-bit
-        // compare must still tell them apart via the overflow list.
-        let fp = 0xdead_beef_u64;
-        assert!(v.insert(fp, a));
-        assert!(v.contains(fp, a));
-        assert!(!v.contains(fp, b));
-        assert!(v.insert(fp, b));
-        assert!(v.contains(fp, b));
-        assert!(!v.insert(fp, a));
-        assert_eq!(v.len(), 2);
-        assert_eq!(v.bytes(), 32);
+    fn forced_spill_agrees_with_resident_runs() {
+        // An artificially tiny budget forces spilling even at 2 nodes;
+        // every deterministic field must match the resident run.
+        let m = Model {
+            nodes: 2,
+            quota: 2,
+            resp_depth: 2,
+        };
+        let base = explore_with(&m, m.initial(), &McOpts::default());
+        let spilled = explore_with(
+            &m,
+            m.initial(),
+            &McOpts {
+                mem_budget: 4 * 1024,
+                shards: 4,
+                ..McOpts::default()
+            },
+        );
+        assert_eq!(base.0, spilled.0);
+        assert_eq!(base.1.states, spilled.1.states);
+        assert_eq!(base.1.transitions, spilled.1.transitions);
+        assert_eq!(base.1.dedup_hits, spilled.1.dedup_hits);
+        assert_eq!(base.1.depth, spilled.1.depth);
+        assert_eq!(base.1.frontier_peak, spilled.1.frontier_peak);
+        assert!(spilled.1.spilled_bytes > 0, "tiny budget must spill");
+        assert_eq!(base.1.spilled_bytes, 0);
     }
 
     #[test]
     fn thread_counts_agree_in_module() {
         // Quick in-crate equivalence check; the full matrix lives in
-        // tests/parallel.rs (and tests/symmetry.rs for the quotient).
+        // tests/parallel.rs (and tests/symmetry.rs for the quotient,
+        // tests/out_of_core.rs for the shards × mem-budget matrix).
         let m = Model {
             nodes: 3,
             quota: 1,

@@ -13,12 +13,15 @@
 //! cost of the SQL analyses.
 
 pub mod compact;
+pub mod engine;
 pub mod explore;
 pub mod model;
 pub mod spec;
+pub mod spill;
 pub mod state;
 
 pub use compact::{canon, orbit_size, pack, unpack, Compact};
+pub use engine::DEFAULT_SHARDS;
 pub use explore::{
     explore, explore_from, explore_threads, explore_with, McOpts, McOutcome, McStats,
 };

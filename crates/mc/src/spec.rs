@@ -37,9 +37,10 @@
 //!   can run forever but never complete its work.
 //! * **verified** — none of the above, within budget.
 
+use crate::engine::{Emitter, EngineOpts, EngineOutcome, ParentLink, Space, Word};
+use ccsql_obs::FxHashMap;
 use ccsql_relalg::specfile::{MachineStep, SpecFile, ROLE_LITERALS};
 use ccsql_relalg::{Relation, Value};
-use std::collections::HashMap;
 use std::fmt::Write as _;
 
 /// Response credits granted by a `multicast` emission, and the cap the
@@ -137,10 +138,13 @@ pub struct SpecMachine {
     pub dropped_inits: usize,
 }
 
-/// One enabled transition out of a state.
+/// One enabled transition out of a state. The label is a dense numeric
+/// id (see [`SpecMachine::label_text`]) so the exploration hot path
+/// never formats strings; labels are rendered only when a
+/// counterexample path is printed.
 struct Succ {
     state: Vec<u8>,
-    label: String,
+    label: u32,
     row: Option<u16>,
     completed: bool,
 }
@@ -152,7 +156,7 @@ struct Violation {
 }
 
 /// Exploration options.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct SpecMcOpts {
     /// Number of symmetric requester agents.
     pub agents: usize,
@@ -161,8 +165,16 @@ pub struct SpecMcOpts {
     /// Explore the agent-permutation quotient instead of the full
     /// space (same verdict, fewer states).
     pub symmetry: bool,
-    /// Maximum states to visit before giving up.
+    /// Maximum states to visit before giving up (exact: the engine
+    /// stops at exactly this many states when the space is larger).
     pub budget: usize,
+    /// Disjoint state shards (results identical for every count ≥ 1).
+    pub shards: usize,
+    /// Resident-memory target in bytes (0 = unlimited); see
+    /// [`crate::engine::EngineOpts::mem_budget`].
+    pub mem_budget: usize,
+    /// Base directory for spill files (OS temp dir when `None`).
+    pub spill_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for SpecMcOpts {
@@ -172,6 +184,9 @@ impl Default for SpecMcOpts {
             threads: 1,
             symmetry: false,
             budget: 1_000_000,
+            shards: crate::engine::DEFAULT_SHARDS,
+            mem_budget: 0,
+            spill_dir: None,
         }
     }
 }
@@ -701,6 +716,54 @@ impl SpecMachine {
         s
     }
 
+    // ---- numeric transition labels ------------------------------------
+    // Dense id space for a fixed agent count: posts first, then
+    // completion deliveries, then plain row firings.
+    //
+    //   [0, A)          agent i posts request ri   (id = i·R + ri)
+    //   [A, A + B)      row ri completes agent i   (id = A + ri·N + i)
+    //   [A + B, …)      row ri fires plainly       (id = A + B + ri)
+    //
+    // with R = |reqs|, N = agents, A = N·R, B = N·|rows|.
+
+    /// Render a numeric transition label exactly as the old string
+    /// labels read (counterexample paths only — never the hot path).
+    fn label_text(&self, agents: usize, label: u32) -> String {
+        let l = label as usize;
+        let a = agents * self.reqs.len();
+        let b = agents * self.rows.len();
+        if l < a {
+            format!(
+                "agent{} posts {}",
+                l / self.reqs.len(),
+                self.reqs[l % self.reqs.len()].msg
+            )
+        } else if l < a + b {
+            let x = l - a;
+            format!(
+                "{} completes agent{}",
+                self.rows[x / agents].label,
+                x % agents
+            )
+        } else {
+            self.rows[l - a - b].label.clone()
+        }
+    }
+
+    /// The table row a transition label fires, if any (posts fire none).
+    fn label_row(&self, agents: usize, label: u32) -> Option<usize> {
+        let l = label as usize;
+        let a = agents * self.reqs.len();
+        let b = agents * self.rows.len();
+        if l < a {
+            None
+        } else if l < a + b {
+            Some((l - a) / agents)
+        } else {
+            Some(l - a - b)
+        }
+    }
+
     /// Initial machine-variable combinations: the `init` cross
     /// product, filtered to combinations at least one row matches.
     fn initial_var_states(&self) -> InitialStates {
@@ -743,12 +806,12 @@ impl SpecMachine {
             if st[ao + i] != 0 {
                 continue;
             }
-            for (ri, rq) in self.reqs.iter().enumerate() {
+            for ri in 0..self.reqs.len() {
                 let mut s = st.to_vec();
                 s[ao + i] = self.lane(ri as u8, 0, false);
                 out.push(Succ {
                     state: s,
-                    label: format!("agent{i} posts {}", rq.msg),
+                    label: (i * self.reqs.len() + ri) as u32,
                     row: None,
                     completed: false,
                 });
@@ -896,7 +959,7 @@ impl SpecMachine {
                     s2[ao + i] = 0;
                     out.push(Succ {
                         state: s2,
-                        label: format!("{} completes agent{i}", row.label),
+                        label: (agents * self.reqs.len() + ri * agents + i) as u32,
                         row: Some(ri as u16),
                         completed: true,
                     });
@@ -906,7 +969,7 @@ impl SpecMachine {
         }
         out.push(Succ {
             state: s,
-            label: row.label.clone(),
+            label: (agents * self.reqs.len() + agents * self.rows.len() + ri) as u32,
             row: Some(ri as u16),
             completed: false,
         });
@@ -943,202 +1006,164 @@ impl SpecMachine {
         num / den
     }
 
-    /// Exhaustive breadth-first exploration.
+    /// Exhaustive breadth-first exploration, routed through the shared
+    /// out-of-core engine ([`crate::engine`]): the spec machines and
+    /// the built-in model use the same shard-owned visited runs,
+    /// exchange spill and exact budget rule, so shards / memory budget
+    /// behave — and determinise — identically on both paths.
     pub fn explore(&self, opts: &SpecMcOpts) -> SpecMcOutcome {
         let agents = opts.agents.max(1);
-        let threads = opts.threads.max(1);
-        let mut visited: HashMap<Vec<u8>, u32> = HashMap::new();
-        let mut order: Vec<Vec<u8>> = Vec::new();
-        // Parent transition per state: (parent id, label); u32::MAX = root.
-        let mut parent: Vec<(u32, String)> = Vec::new();
-        let mut edges: Vec<(u32, u32)> = Vec::new();
-        let mut rows_fired = vec![false; self.rows.len()];
-        let mut transitions = 0usize;
-
-        let inits = self.initial_var_states();
-        let mut frontier: Vec<u32> = Vec::new();
-        for vars in &inits.states {
-            let mut st = vec![0u8; self.agent_off() + agents];
+        let len = self.agent_off() + agents;
+        assert!(
+            len <= SPEC_WORD_BYTES,
+            "spec state needs {len} bytes ({} machine vars + 2 credits + {agents} agents) \
+             but the engine word holds {SPEC_WORD_BYTES}; reduce the agent count",
+            self.nvars()
+        );
+        let space = SpecSpace {
+            m: self,
+            agents,
+            len,
+            symmetry: opts.symmetry,
+        };
+        let inits_raw = self.initial_var_states();
+        let mut inits: Vec<SpecWord> = Vec::with_capacity(inits_raw.states.len());
+        for vars in &inits_raw.states {
+            let mut st = vec![0u8; len];
             st[..self.nvars()].copy_from_slice(vars);
             if opts.symmetry {
                 self.canon(&mut st);
             }
-            if !visited.contains_key(&st) {
-                let id = order.len() as u32;
-                visited.insert(st.clone(), id);
-                order.push(st);
-                parent.push((u32::MAX, String::new()));
-                frontier.push(id);
-            }
+            inits.push(SpecWord::encode(&st));
         }
+        let eopts = EngineOpts {
+            budget: opts.budget,
+            threads: opts.threads.max(1),
+            shards: opts.shards.max(1),
+            mem_budget: opts.mem_budget,
+            spill_dir: opts.spill_dir.clone(),
+            track_parents: true,
+            capture_edges: true,
+        };
+        let eout = crate::engine::run::<_, ParentLink<SpecWord>>(&space, &inits, &eopts, None);
 
-        let mut depth = 0usize;
-        let stats = |order: &Vec<Vec<u8>>,
-                     transitions: usize,
-                     depth: usize,
-                     rows_fired: &[bool],
-                     orbit: u128| SpecMcStats {
-            states: order.len(),
-            transitions,
-            depth,
-            rows_covered: rows_fired.iter().filter(|f| **f).count(),
+        let stats = SpecMcStats {
+            states: eout.stats.states,
+            transitions: eout.stats.transitions as usize,
+            depth: eout.stats.levels,
+            rows_covered: eout.coverage.iter().filter(|f| **f).count(),
             rows_total: self.rows.len(),
-            orbit_states: orbit,
+            orbit_states: eout.stats.orbit_states,
             dropped_inits: self.dropped_inits,
         };
-        let path_to = |parent: &[(u32, String)], mut id: u32| -> Vec<String> {
+        let parent_of: FxHashMap<SpecWord, ParentLink<SpecWord>> =
+            eout.parents.iter().map(|(w, p)| (*w, *p)).collect();
+        let path_to = |w: SpecWord| -> Vec<String> {
             let mut path = Vec::new();
-            while id != u32::MAX && !parent[id as usize].1.is_empty() {
-                path.push(format!("  {}", parent[id as usize].1));
-                id = parent[id as usize].0;
+            let mut cur = w;
+            while let Some(link) = parent_of.get(&cur) {
+                path.push(format!("  {}", self.label_text(agents, link.label)));
+                cur = link.parent;
             }
             path.reverse();
             path
         };
-        let orbit_sum = |order: &Vec<Vec<u8>>| -> u128 {
-            if opts.symmetry {
-                order.iter().map(|s| self.orbit(s)).sum()
-            } else {
-                order.len() as u128
-            }
-        };
 
-        while !frontier.is_empty() {
-            depth += 1;
-            // Expand the frontier in parallel chunks; chunks are
-            // contiguous, results are merged in chunk order, so the
-            // merge order equals the frontier order for every thread
-            // count — byte-identical results.
-            let chunk = frontier.len().div_ceil(threads);
-            type Expanded = Vec<(u32, Result<Vec<Succ>, Violation>)>;
-            let results: Vec<Expanded> = std::thread::scope(|scope| {
-                let handles: Vec<_> = frontier
-                    .chunks(chunk)
-                    .map(|ids| {
-                        let order = &order;
-                        scope.spawn(move || {
-                            ids.iter()
-                                .map(|id| (*id, self.expand(&order[*id as usize], agents)))
-                                .collect::<Expanded>()
-                        })
+        match eout.outcome {
+            EngineOutcome::Violation(w) => {
+                // The engine reports the minimum violating word of the
+                // earliest violating level; re-expanding it recovers
+                // the message and the offending row's label.
+                let v = self
+                    .expand(w.state(len), agents)
+                    .err()
+                    .expect("violation witness must re-expand to the violation");
+                let mut cx = vec![format!("violation: {} (at {})", v.msg, v.label)];
+                cx.extend(path_to(w));
+                cx.push(format!("  state: {}", self.render_state(w.state(len))));
+                SpecMcOutcome {
+                    verdict: SpecVerdict::Violation,
+                    stats,
+                    counterexample: cx,
+                }
+            }
+            EngineOutcome::Stuck(w) => {
+                let mut cx = vec!["stuck: no enabled transition".to_string()];
+                cx.extend(path_to(w));
+                cx.push(format!("  state: {}", self.render_state(w.state(len))));
+                SpecMcOutcome {
+                    verdict: SpecVerdict::Stuck,
+                    stats,
+                    counterexample: cx,
+                }
+            }
+            EngineOutcome::BudgetExceeded => SpecMcOutcome {
+                verdict: SpecVerdict::Budget,
+                stats,
+                counterexample: vec![format!(
+                    "budget: {} state(s) explored without exhausting the space",
+                    eout.stats.states
+                )],
+            },
+            EngineOutcome::Verified => {
+                // Drain check: every reachable state must be able to
+                // reach a quiescent one (all agents idle, primary
+                // variable stable) — reverse reachability over the
+                // captured transition set. The discovery order is the
+                // engine's deterministic level → shard → ascending-word
+                // order (sorted roots first), so the reported
+                // undrainable representative is identical for every
+                // (threads, shards, mem_budget) combination.
+                let mut order: Vec<SpecWord> = inits.clone();
+                order.sort_unstable();
+                order.dedup();
+                order.extend(eout.parents.iter().map(|(w, _)| *w));
+                let id_of: FxHashMap<SpecWord, u32> = order
+                    .iter()
+                    .enumerate()
+                    .map(|(i, w)| (*w, i as u32))
+                    .collect();
+                let n = order.len();
+                let mut rev: Vec<Vec<u32>> = vec![Vec::new(); n];
+                for (a, b) in &eout.edges {
+                    rev[id_of[b] as usize].push(id_of[a]);
+                }
+                let ao = self.agent_off();
+                let mut drains = vec![false; n];
+                let mut queue: Vec<u32> = (0..n as u32)
+                    .filter(|i| {
+                        let st = order[*i as usize].state(len);
+                        self.vars[0].stable[st[0] as usize] && st[ao..].iter().all(|l| *l == 0)
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().unwrap()).collect()
-            });
-            let mut next_frontier = Vec::new();
-            for (from, res) in results.into_iter().flatten() {
-                let succs = match res {
-                    Ok(s) => s,
-                    Err(v) => {
-                        let mut cx = vec![format!("violation: {} (at {})", v.msg, v.label)];
-                        cx.extend(path_to(&parent, from));
-                        cx.push(format!(
-                            "  state: {}",
-                            self.render_state(&order[from as usize])
-                        ));
-                        return SpecMcOutcome {
-                            verdict: SpecVerdict::Violation,
-                            stats: stats(
-                                &order,
-                                transitions,
-                                depth,
-                                &rows_fired,
-                                orbit_sum(&order),
-                            ),
-                            counterexample: cx,
-                        };
+                for q in &queue {
+                    drains[*q as usize] = true;
+                }
+                while let Some(q) = queue.pop() {
+                    for p in &rev[q as usize] {
+                        if !drains[*p as usize] {
+                            drains[*p as usize] = true;
+                            queue.push(*p);
+                        }
                     }
-                };
-                if succs.is_empty() {
-                    let mut cx = vec!["stuck: no enabled transition".to_string()];
-                    cx.extend(path_to(&parent, from));
-                    cx.push(format!(
-                        "  state: {}",
-                        self.render_state(&order[from as usize])
-                    ));
+                }
+                if let Some(bad) = drains.iter().position(|d| !d) {
+                    let w = order[bad];
+                    let mut cx = vec!["undrainable: no path back to quiescence".to_string()];
+                    cx.extend(path_to(w));
+                    cx.push(format!("  state: {}", self.render_state(w.state(len))));
                     return SpecMcOutcome {
-                        verdict: SpecVerdict::Stuck,
-                        stats: stats(&order, transitions, depth, &rows_fired, orbit_sum(&order)),
+                        verdict: SpecVerdict::Undrainable,
+                        stats,
                         counterexample: cx,
                     };
                 }
-                for succ in succs {
-                    transitions += 1;
-                    if let Some(r) = succ.row {
-                        rows_fired[r as usize] = true;
-                    }
-                    let mut st = succ.state;
-                    if opts.symmetry {
-                        self.canon(&mut st);
-                    }
-                    let id = match visited.get(&st) {
-                        Some(id) => *id,
-                        None => {
-                            let id = order.len() as u32;
-                            visited.insert(st.clone(), id);
-                            order.push(st);
-                            parent.push((from, succ.label));
-                            next_frontier.push(id);
-                            id
-                        }
-                    };
-                    edges.push((from, id));
+                SpecMcOutcome {
+                    verdict: SpecVerdict::Verified,
+                    stats,
+                    counterexample: Vec::new(),
                 }
             }
-            if order.len() > opts.budget {
-                return SpecMcOutcome {
-                    verdict: SpecVerdict::Budget,
-                    stats: stats(&order, transitions, depth, &rows_fired, orbit_sum(&order)),
-                    counterexample: vec![format!(
-                        "budget: {} state(s) explored without exhausting the space",
-                        order.len()
-                    )],
-                };
-            }
-            frontier = next_frontier;
-        }
-
-        // Drain check: every reachable state must be able to reach a
-        // quiescent one (all agents idle, primary variable stable).
-        let n = order.len();
-        let mut rev: Vec<Vec<u32>> = vec![Vec::new(); n];
-        for (a, b) in &edges {
-            rev[*b as usize].push(*a);
-        }
-        let ao = self.agent_off();
-        let mut drains = vec![false; n];
-        let mut queue: Vec<u32> = (0..n as u32)
-            .filter(|i| {
-                let st = &order[*i as usize];
-                self.vars[0].stable[st[0] as usize] && st[ao..].iter().all(|l| *l == 0)
-            })
-            .collect();
-        for q in &queue {
-            drains[*q as usize] = true;
-        }
-        while let Some(q) = queue.pop() {
-            for p in &rev[q as usize] {
-                if !drains[*p as usize] {
-                    drains[*p as usize] = true;
-                    queue.push(*p);
-                }
-            }
-        }
-        if let Some(bad) = drains.iter().position(|d| !d) {
-            let mut cx = vec!["undrainable: no path back to quiescence".to_string()];
-            cx.extend(path_to(&parent, bad as u32));
-            cx.push(format!("  state: {}", self.render_state(&order[bad])));
-            return SpecMcOutcome {
-                verdict: SpecVerdict::Undrainable,
-                stats: stats(&order, transitions, depth, &rows_fired, orbit_sum(&order)),
-                counterexample: cx,
-            };
-        }
-
-        SpecMcOutcome {
-            verdict: SpecVerdict::Verified,
-            stats: stats(&order, transitions, depth, &rows_fired, orbit_sum(&order)),
-            counterexample: Vec::new(),
         }
     }
 
@@ -1199,6 +1224,90 @@ impl SpecMachine {
 struct InitialStates {
     states: Vec<Vec<u8>>,
     dropped: usize,
+}
+
+/// Fixed engine-word width for spec states: the packed state bytes,
+/// zero-padded. Byte order equals state order, so the spill codec's
+/// sorted-prefix compression applies directly. Generous enough for any
+/// plausible spec (vars + 2 credits + agents ≤ 32 lanes).
+const SPEC_WORD_BYTES: usize = 32;
+
+/// A spec-machine state as an engine [`Word`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+struct SpecWord([u8; SPEC_WORD_BYTES]);
+
+impl SpecWord {
+    fn encode(st: &[u8]) -> SpecWord {
+        let mut w = [0u8; SPEC_WORD_BYTES];
+        w[..st.len()].copy_from_slice(st);
+        SpecWord(w)
+    }
+
+    /// The live state bytes (the encoded length travels out-of-band).
+    fn state(&self, len: usize) -> &[u8] {
+        &self.0[..len]
+    }
+}
+
+impl Word for SpecWord {
+    const WIDTH: usize = SPEC_WORD_BYTES;
+
+    fn write_bytes(&self, out: &mut [u8]) {
+        out.copy_from_slice(&self.0);
+    }
+
+    fn read_bytes(buf: &[u8]) -> SpecWord {
+        SpecWord(buf.try_into().expect("spec word width"))
+    }
+}
+
+/// [`Space`] adapter for one (machine, agents, symmetry) configuration.
+struct SpecSpace<'a> {
+    m: &'a SpecMachine,
+    agents: usize,
+    /// Live bytes per state: `agent_off() + agents`.
+    len: usize,
+    symmetry: bool,
+}
+
+impl Space for SpecSpace<'_> {
+    type W = SpecWord;
+
+    fn expand(&self, w: SpecWord, em: &mut Emitter<'_, SpecWord>) {
+        match self.m.expand(w.state(self.len), self.agents) {
+            // A violating state is terminal; the adapter re-expands the
+            // engine's minimum witness to recover message and label.
+            Err(_) => em.violation(),
+            Ok(succs) => {
+                // Spec states are never quiescent-exempt: a state with
+                // no enabled transition is a table-level deadlock, so
+                // `em.quiescent()` is deliberately never called.
+                for succ in succs {
+                    let mut s = succ.state;
+                    if self.symmetry {
+                        self.m.canon(&mut s);
+                    }
+                    em.succ(SpecWord::encode(&s), succ.label);
+                }
+            }
+        }
+    }
+
+    fn orbit_weight(&self, w: SpecWord) -> u128 {
+        if self.symmetry {
+            self.m.orbit(w.state(self.len))
+        } else {
+            1
+        }
+    }
+
+    fn coverage_slots(&self) -> usize {
+        self.m.rows.len()
+    }
+
+    fn cover_slot(&self, label: u32) -> Option<usize> {
+        self.m.label_row(self.agents, label)
+    }
 }
 
 #[cfg(test)]

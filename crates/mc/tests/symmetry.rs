@@ -18,6 +18,7 @@ fn sym(m: &Model, init: State, threads: usize) -> (McOutcome, ccsql_mc::McStats)
             budget: 10_000_000,
             threads,
             symmetry: true,
+            ..McOpts::default()
         },
     )
 }

@@ -55,11 +55,13 @@ pub mod flight;
 pub mod hash;
 pub mod heartbeat;
 pub mod json;
+pub mod mem;
 pub mod metrics;
 pub mod rng;
 pub mod trace;
 
 pub use hash::{fx_hash_one, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use mem::{MemGauge, MemLease};
 pub use metrics::{MetricValue, Registry, Snapshot};
 pub use rng::SplitMix64;
 pub use trace::{Event, FieldValue, Ring, Span};

@@ -27,6 +27,9 @@ echo "==> symmetry reduction (canon laws + on/off verdict equivalence at 2-3 nod
 cargo test -q -p ccsql-mc --test canon
 cargo test -q -p ccsql-mc --test symmetry
 
+echo "==> out-of-core determinism (shards x threads x mem-budget matrix, spill cleanup)"
+cargo test -q -p ccsql-mc --test out_of_core
+
 echo "==> ccsql bench --quick (nondeterminism gate: two runs must print identically)"
 BENCH_DIR="$(mktemp -d)"
 trap 'rm -rf "$BENCH_DIR"' EXIT
@@ -49,6 +52,39 @@ SYM_STATES=$(sed -n 's/.*mc-sym:.* states=\([0-9]*\) .*/\1/p' "$BENCH_DIR/run1.t
 FULL_STATES=$(sed -n 's/^bench mc:.* states=\([0-9]*\) .*/\1/p' "$BENCH_DIR/run1.txt")
 if [ "$SYM_STATES" -ge "$FULL_STATES" ]; then
     echo "symmetry did not reduce the state count ($SYM_STATES >= $FULL_STATES)" >&2
+    exit 1
+fi
+# The out-of-core leg must have spilled for real AND kept the
+# all-inclusive resident peak under its memory budget.
+grep -q 'bench mc-ooc:' "$BENCH_DIR/run1.txt"
+grep -q 'spilled=true' "$BENCH_DIR/run1.txt"
+grep -q 'under_budget=true' "$BENCH_DIR/run1.txt"
+grep -Eq '"ooc_spilled_bytes": *[1-9]' "$BENCH_DIR/BENCH_mc.json"
+grep -Eq '"ooc_under_budget": *true' "$BENCH_DIR/BENCH_mc.json"
+
+echo "==> forced-spill quick gate (in-memory vs out-of-core, byte-for-byte)"
+# Same space, three storage shapes: fully resident, 4-shard spilled,
+# 16-shard spilled. After blanking the wall-clock token and dropping
+# the (intentionally nondeterministic) out-of-core stats line, all
+# three outputs must be byte-identical.
+cargo run --quiet --release -p ccsql-cli -- mc --nodes 3 --quota 2 --no-symmetry \
+    --threads 2 > "$BENCH_DIR/mc_res.txt"
+cargo run --quiet --release -p ccsql-cli -- mc --nodes 3 --quota 2 --no-symmetry \
+    --threads 2 --shards 4 --mem-budget 64K > "$BENCH_DIR/mc_ooc1.txt"
+cargo run --quiet --release -p ccsql-cli -- mc --nodes 3 --quota 2 --no-symmetry \
+    --threads 2 --shards 16 --mem-budget 64K > "$BENCH_DIR/mc_ooc2.txt"
+normalize_mc() {
+    sed -e 's/ thread(s), .*$/ thread(s)/' -e '/^out-of-core:/d' "$1"
+}
+normalize_mc "$BENCH_DIR/mc_res.txt" > "$BENCH_DIR/mc_res.norm"
+normalize_mc "$BENCH_DIR/mc_ooc1.txt" > "$BENCH_DIR/mc_ooc1.norm"
+normalize_mc "$BENCH_DIR/mc_ooc2.txt" > "$BENCH_DIR/mc_ooc2.norm"
+diff "$BENCH_DIR/mc_res.norm" "$BENCH_DIR/mc_ooc1.norm"
+diff "$BENCH_DIR/mc_res.norm" "$BENCH_DIR/mc_ooc2.norm"
+# The budgeted runs must actually have hit the disk.
+grep -q '^out-of-core: ' "$BENCH_DIR/mc_ooc1.txt"
+if grep -q 'spilled 0 bytes' "$BENCH_DIR/mc_ooc1.txt"; then
+    echo "forced-spill run spilled nothing" >&2
     exit 1
 fi
 
